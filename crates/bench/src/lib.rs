@@ -1,0 +1,71 @@
+//! # sl-bench
+//!
+//! Experiment harness reproducing the paper's tables, figures, and
+//! theorem-level claims (see EXPERIMENTS.md at the workspace root for
+//! the experiment index E1–E9 and the recorded paper-vs-measured
+//! outcomes), plus Criterion performance benchmarks for the underlying
+//! algorithms.
+//!
+//! Each experiment is a binary (`cargo run -p sl-bench --bin e1_rem_linear`
+//! and so on) that prints the reproduced table and exits nonzero if any
+//! claim fails to reproduce.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// Prints a rule line matching the width used by the experiment tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str) {
+    let line = format!("{id}: {title}");
+    rule(line.len());
+    println!("{line}");
+    rule(line.len());
+}
+
+/// Tracks pass/fail across a table of claims and renders the outcome.
+#[derive(Debug, Default)]
+pub struct Scoreboard {
+    passed: usize,
+    failed: usize,
+}
+
+impl Scoreboard {
+    /// New empty scoreboard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a claim with its expected/actual rendering.
+    pub fn claim(&mut self, description: &str, ok: bool) {
+        if ok {
+            self.passed += 1;
+            println!("  [ok]   {description}");
+        } else {
+            self.failed += 1;
+            println!("  [FAIL] {description}");
+        }
+    }
+
+    /// Number of failed claims.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.failed
+    }
+
+    /// Prints the summary and returns the process exit code.
+    #[must_use]
+    pub fn finish(self) -> std::process::ExitCode {
+        println!();
+        println!("claims: {} passed, {} failed", self.passed, self.failed);
+        if self.failed == 0 {
+            std::process::ExitCode::SUCCESS
+        } else {
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

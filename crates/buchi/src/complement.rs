@@ -1,0 +1,353 @@
+//! Complementation of Büchi automata.
+//!
+//! Two constructions:
+//!
+//! * [`complement_safety`] — for *all-accepting* automata (the shape the
+//!   closure operator produces), whose language is "some infinite run
+//!   exists". The complement is the co-safety language "all runs die",
+//!   obtained by a subset construction with an accepting dead-state sink.
+//!   This is cheap (at most `2^n` subsets) and is all the decomposition
+//!   theorem needs for the liveness part `B ∪ ¬cl(B)`.
+//! * [`complement`] — full Kupferman–Vardi rank-based complementation
+//!   for arbitrary NBA, used by the exact safety/liveness deciders and
+//!   language-inclusion checks. States are (level ranking, obligation
+//!   set) pairs explored lazily; the construction is exponential, so a
+//!   state budget guards against blow-ups.
+
+use crate::automaton::{Buchi, BuchiBuilder, StateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error for complementation blow-ups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplementBudgetExceeded {
+    /// The state budget that was exceeded.
+    pub budget: usize,
+}
+
+impl fmt::Display for ComplementBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "complement construction exceeded {} states", self.budget)
+    }
+}
+
+impl std::error::Error for ComplementBudgetExceeded {}
+
+/// Complements an all-accepting ("closure-shaped") automaton via the
+/// subset construction.
+///
+/// # Panics
+///
+/// Panics if some state of `b` is non-accepting; apply
+/// [`crate::closure::closure`] first, or use [`complement`].
+#[must_use]
+pub fn complement_safety(b: &Buchi) -> Buchi {
+    assert!(
+        (0..b.num_states()).all(|q| b.is_accepting(q)),
+        "complement_safety requires an all-accepting automaton"
+    );
+    let sigma = b.alphabet().clone();
+    let mut builder = BuchiBuilder::new(sigma.clone());
+    // The accepting sink that swallows words once all runs have died.
+    let dead = builder.add_state(true);
+    for sym in sigma.symbols() {
+        builder.add_transition(dead, sym, dead);
+    }
+    let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let start: Vec<StateId> = vec![b.initial()];
+    let start_id = builder.add_state(false);
+    ids.insert(start.clone(), start_id);
+    let mut work = vec![start];
+    while let Some(subset) = work.pop() {
+        let from = ids[&subset];
+        for sym in sigma.symbols() {
+            let mut next: Vec<StateId> = subset
+                .iter()
+                .flat_map(|&q| b.successors(q, sym).iter().copied())
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                builder.add_transition(from, sym, dead);
+            } else {
+                let to = *ids.entry(next.clone()).or_insert_with(|| {
+                    work.push(next);
+                    builder.add_state(false)
+                });
+                builder.add_transition(from, sym, to);
+            }
+        }
+    }
+    builder.build(start_id)
+}
+
+/// A ranking-construction state: ranks per original state (`-1` =
+/// absent) plus the obligation set as a bitmask.
+type RankState = (Vec<i8>, u64);
+
+/// Default state budget for [`complement`].
+pub const DEFAULT_COMPLEMENT_BUDGET: usize = 1 << 17;
+
+/// Complements an arbitrary Büchi automaton (Kupferman–Vardi rank-based
+/// construction) with the default state budget.
+///
+/// # Errors
+///
+/// Returns [`ComplementBudgetExceeded`] if the construction grows past
+/// [`DEFAULT_COMPLEMENT_BUDGET`] states.
+pub fn complement(b: &Buchi) -> Result<Buchi, ComplementBudgetExceeded> {
+    complement_with_budget(b, DEFAULT_COMPLEMENT_BUDGET)
+}
+
+/// Complements with an explicit state budget.
+///
+/// # Errors
+///
+/// Returns [`ComplementBudgetExceeded`] if more than `budget` states are
+/// created.
+///
+/// # Panics
+///
+/// Panics if the automaton has more than 64 states (the obligation set
+/// is a `u64` bitmask).
+pub fn complement_with_budget(b: &Buchi, budget: usize) -> Result<Buchi, ComplementBudgetExceeded> {
+    let n = b.num_states();
+    assert!(n <= 64, "rank-based complement limited to 64 states");
+    // Fast path: all-accepting automata complement by subset construction.
+    if (0..n).all(|q| b.is_accepting(q)) {
+        return Ok(complement_safety(b));
+    }
+    // Kupferman–Vardi: ranks of rejecting run DAGs are bounded by
+    // 2(n - |F|), not just 2n — a substantial saving since the rank
+    // alphabet enters the state space exponentially.
+    let accepting_count = (0..n).filter(|&q| b.is_accepting(q)).count();
+    let max_rank = (2 * (n - accepting_count)) as i8;
+    let sigma = b.alphabet().clone();
+    let mut builder = BuchiBuilder::new(sigma.clone());
+    let mut ids: HashMap<RankState, StateId> = HashMap::new();
+
+    let mut initial_rank = vec![-1i8; n];
+    // Accepting states must carry even ranks; max_rank = 2n is even, so
+    // the initial rank is legal regardless of the initial state's flag.
+    initial_rank[b.initial()] = max_rank;
+    let start: RankState = (initial_rank, 0);
+    let start_id = builder.add_state(true); // O = ∅ is accepting
+    ids.insert(start.clone(), start_id);
+    let mut work = vec![start];
+
+    while let Some((ranks, obligations)) = work.pop() {
+        let from = ids[&(ranks.clone(), obligations)];
+        let domain: Vec<usize> = (0..n).filter(|&q| ranks[q] >= 0).collect();
+        for sym in sigma.symbols() {
+            // Upper bound for each successor's rank: min over predecessors.
+            let mut bound = vec![i8::MIN; n];
+            let mut present = vec![false; n];
+            for &q in &domain {
+                for &succ in b.successors(q, sym) {
+                    if !present[succ] {
+                        present[succ] = true;
+                        bound[succ] = ranks[q];
+                    } else {
+                        bound[succ] = bound[succ].min(ranks[q]);
+                    }
+                }
+            }
+            let successors: Vec<usize> = (0..n).filter(|&q| present[q]).collect();
+            // Enumerate all rankings f' with f'(q') <= bound[q'] and
+            // accepting states even-ranked.
+            let mut assignments: Vec<Vec<i8>> = vec![vec![-1i8; n]];
+            for &q in &successors {
+                let mut extended = Vec::new();
+                for partial in &assignments {
+                    for r in 0..=bound[q] {
+                        if b.is_accepting(q) && r % 2 == 1 {
+                            continue;
+                        }
+                        let mut next = partial.clone();
+                        next[q] = r;
+                        extended.push(next);
+                    }
+                }
+                assignments = extended;
+                if assignments.is_empty() {
+                    break;
+                }
+            }
+            for ranks_next in assignments {
+                // Obligation set: trace even-ranked states; reset when
+                // empty.
+                let source: Vec<usize> = if obligations != 0 {
+                    (0..n).filter(|&q| obligations & (1 << q) != 0).collect()
+                } else {
+                    domain.clone()
+                };
+                let mut next_obl: u64 = 0;
+                for &q in &source {
+                    for &succ in b.successors(q, sym) {
+                        if ranks_next[succ] >= 0 && ranks_next[succ] % 2 == 0 {
+                            next_obl |= 1 << succ;
+                        }
+                    }
+                }
+                let key: RankState = (ranks_next, next_obl);
+                let to = match ids.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        if ids.len() >= budget {
+                            return Err(ComplementBudgetExceeded { budget });
+                        }
+                        let id = builder.add_state(next_obl == 0);
+                        ids.insert(key.clone(), id);
+                        work.push(key);
+                        id
+                    }
+                };
+                builder.add_transition(from, sym, to);
+            }
+        }
+    }
+    Ok(builder.build(start_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use crate::closure::closure;
+    use sl_omega::{all_lassos, Alphabet};
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn inf_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    fn first_a_safety(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(true);
+        let q1 = builder.add_state(true);
+        builder.add_transition(q0, a, q1);
+        builder.add_transition(q1, a, q1);
+        builder.add_transition(q1, b, q1);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn safety_complement_of_first_a() {
+        let s = sigma();
+        let m = first_a_safety(&s);
+        let c = complement_safety(&m);
+        for w in all_lassos(&s, 2, 3) {
+            assert_eq!(c.accepts(&w), !m.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn safety_complement_of_universal_is_empty() {
+        let s = sigma();
+        let c = complement_safety(&Buchi::universal(s.clone()));
+        for w in all_lassos(&s, 2, 3) {
+            assert!(!c.accepts(&w));
+        }
+        assert!(crate::empty::is_empty(&c));
+    }
+
+    #[test]
+    fn rank_complement_of_inf_a_is_fin_a() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let m = inf_a(&s);
+        let c = complement(&m).unwrap();
+        for w in all_lassos(&s, 3, 3) {
+            assert_eq!(c.accepts(&w), w.finitely_often(a), "{w}");
+        }
+    }
+
+    #[test]
+    fn rank_complement_roundtrip_on_samples() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let cc = complement(&complement(&m).unwrap());
+        // The double complement can be large; fall back to sampling only
+        // if it fits the budget.
+        if let Ok(cc) = cc {
+            for w in all_lassos(&s, 2, 2) {
+                assert_eq!(cc.accepts(&w), m.accepts(&w), "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_complement_of_empty_is_universal() {
+        let s = sigma();
+        let c = complement(&Buchi::empty_language(s.clone())).unwrap();
+        for w in all_lassos(&s, 2, 2) {
+            assert!(c.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn rank_complement_agrees_with_safety_complement() {
+        let s = sigma();
+        let m = closure(&inf_a(&s)); // universal, all-accepting
+        let c1 = complement_safety(&m);
+        let c2 = complement(&m).unwrap();
+        for w in all_lassos(&s, 2, 3) {
+            assert_eq!(c1.accepts(&w), c2.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn complement_partitions_language_on_random_like_machine() {
+        // A slightly gnarlier machine: accepts words where 'a' occurs at
+        // some position followed immediately by 'b' infinitely often
+        // (GF (a & X b)).
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(false); // just saw a
+        let qf = builder.add_state(true); // saw a then b
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.add_transition(qa, b, qf);
+        builder.add_transition(qf, a, qa);
+        builder.add_transition(qf, b, q0);
+        let m = builder.build(q0);
+        let c = complement(&m).unwrap();
+        for w in all_lassos(&s, 2, 4) {
+            assert_ne!(m.accepts(&w), c.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let err = complement_with_budget(&m, 1).unwrap_err();
+        assert_eq!(err.budget, 1);
+        assert!(err.to_string().contains("exceeded 1 states"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an all-accepting automaton")]
+    fn safety_complement_rejects_general_automata() {
+        let s = sigma();
+        let _ = complement_safety(&inf_a(&s));
+    }
+}

@@ -1,0 +1,222 @@
+//! Graph algorithms on automata: Tarjan SCC and reachability helpers.
+
+/// A generic successor-function graph on nodes `0..n`.
+pub(crate) struct Graph<'a> {
+    pub n: usize,
+    pub succ: Box<dyn Fn(usize) -> Vec<usize> + 'a>,
+}
+
+/// The strongly connected components of a graph, in reverse topological
+/// order (a component appears after every component it can reach).
+/// `component[v]` is the id of the SCC containing `v`.
+pub(crate) struct SccResult {
+    pub component: Vec<usize>,
+    pub count: usize,
+}
+
+impl SccResult {
+    /// The members of each component.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+}
+
+/// Iterative Tarjan SCC (explicit stack; no recursion so big automata
+/// don't overflow).
+pub(crate) fn tarjan(graph: &Graph<'_>) -> SccResult {
+    let n = graph.n;
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Work items: (node, successor list, position in list).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, Vec<usize>, usize),
+    }
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(root)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, (graph.succ)(v), 0));
+                }
+                Frame::Resume(v, succs, mut i) => {
+                    let mut descended = false;
+                    while i < succs.len() {
+                        let w = succs[i];
+                        i += 1;
+                        if index[w] == UNSET {
+                            work.push(Frame::Resume(v, succs, i));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors done: close v.
+                    if lowlink[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                    }
+                    // Propagate lowlink to parent (the frame below, if it
+                    // is a Resume of the DFS parent).
+                    if let Some(Frame::Resume(parent, _, _)) = work.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    SccResult { component, count }
+}
+
+/// Whether node `v` lies on a cycle (its SCC is nontrivial, or it has a
+/// self loop).
+pub(crate) fn on_cycle(graph: &Graph<'_>, scc: &SccResult, v: usize) -> bool {
+    let members = scc.members();
+    members[scc.component[v]].len() > 1 || (graph.succ)(v).contains(&v)
+}
+
+/// Backward reachability: all nodes that can reach some node in `targets`
+/// (including the targets themselves). `pred` gives predecessors.
+pub(crate) fn backward_reachable(
+    n: usize,
+    pred: impl Fn(usize) -> Vec<usize>,
+    targets: &[usize],
+) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for &t in targets {
+        if !seen[t] {
+            seen[t] = true;
+            stack.push(t);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for p in pred(v) {
+            if !seen[p] {
+                seen[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> Graph<'_> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u].push(v);
+        }
+        Graph {
+            n,
+            succ: Box::new(move |v| adj[v].clone()),
+        }
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.count, 1);
+        assert!(on_cycle(&g, &scc, 0));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.count, 3);
+        assert!(!on_cycle(&g, &scc, 0));
+        assert!(!on_cycle(&g, &scc, 2));
+    }
+
+    #[test]
+    fn reverse_topological_order() {
+        // 0 -> 1 -> 2 with 2 a sink: component ids increase towards
+        // sources.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let scc = tarjan(&g);
+        assert!(scc.component[2] < scc.component[1]);
+        assert!(scc.component[1] < scc.component[0]);
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let g = graph_from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan(&g);
+        assert!(on_cycle(&g, &scc, 0));
+        assert!(!on_cycle(&g, &scc, 1));
+    }
+
+    #[test]
+    fn two_components_plus_bridge() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.count, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[2], scc.component[4]);
+        assert_ne!(scc.component[0], scc.component[2]);
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (3, 3)]);
+        // Predecessor function derived from the same edges.
+        let pred = |v: usize| -> Vec<usize> {
+            [(0usize, 1usize), (1, 2), (3, 3)]
+                .iter()
+                .filter(|&&(_, t)| t == v)
+                .map(|&(s, _)| s)
+                .collect()
+        };
+        let _ = g;
+        let seen = backward_reachable(4, pred, &[2]);
+        assert_eq!(seen, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        let n = 200_000;
+        let g = Graph {
+            n,
+            succ: Box::new(move |v| if v + 1 < n { vec![v + 1] } else { vec![] }),
+        };
+        let scc = tarjan(&g);
+        assert_eq!(scc.count, n);
+    }
+}

@@ -1,0 +1,131 @@
+//! Export to the Hanoi Omega-Automata (HOA) format.
+//!
+//! HOA is the interchange format understood by Spot, Owl, and the rest
+//! of the ω-automata ecosystem; exporting lets the automata produced
+//! here (tableau translations, closures, decomposition parts) be
+//! inspected and cross-validated with external tooling.
+//!
+//! The encoding maps each alphabet symbol to one atomic proposition and
+//! labels a transition on symbol `i` with the conjunction
+//! `ap_i ∧ ⋀_{j≠i} ¬ap_j` — the standard embedding of a
+//! symbol-alphabet automaton into HOA's AP-based edge labels.
+
+use crate::automaton::Buchi;
+use std::fmt::Write as _;
+
+/// Renders the automaton in HOA v1 syntax with state-based Büchi
+/// acceptance.
+///
+/// # Examples
+///
+/// ```
+/// use sl_buchi::{hoa::to_hoa, Buchi};
+/// use sl_omega::Alphabet;
+///
+/// let text = to_hoa(&Buchi::universal(Alphabet::ab()), "universal");
+/// assert!(text.starts_with("HOA: v1"));
+/// assert!(text.contains("acc-name: Buchi"));
+/// ```
+#[must_use]
+pub fn to_hoa(b: &Buchi, name: &str) -> String {
+    let sigma = b.alphabet();
+    let mut out = String::new();
+    let _ = writeln!(out, "HOA: v1");
+    let _ = writeln!(out, "name: \"{name}\"");
+    let _ = writeln!(out, "States: {}", b.num_states());
+    let _ = writeln!(out, "Start: {}", b.initial());
+    let aps: Vec<String> = sigma
+        .symbols()
+        .map(|s| format!("\"{}\"", sigma.name(s)))
+        .collect();
+    let _ = writeln!(out, "AP: {} {}", sigma.len(), aps.join(" "));
+    let _ = writeln!(out, "acc-name: Buchi");
+    let _ = writeln!(out, "Acceptance: 1 Inf(0)");
+    let _ = writeln!(out, "properties: trans-labels explicit-labels state-acc");
+    let _ = writeln!(out, "--BODY--");
+    for q in 0..b.num_states() {
+        if b.is_accepting(q) {
+            let _ = writeln!(out, "State: {q} {{0}}");
+        } else {
+            let _ = writeln!(out, "State: {q}");
+        }
+        for sym in sigma.symbols() {
+            // One-hot label: this symbol true, all others false.
+            let label: Vec<String> = sigma
+                .symbols()
+                .map(|s| {
+                    if s == sym {
+                        format!("{}", s.index())
+                    } else {
+                        format!("!{}", s.index())
+                    }
+                })
+                .collect();
+            for &succ in b.successors(q, sym) {
+                let _ = writeln!(out, "[{}] {succ}", label.join("&"));
+            }
+        }
+    }
+    let _ = writeln!(out, "--END--");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use sl_omega::Alphabet;
+
+    fn gfa() -> Buchi {
+        let sigma = Alphabet::ab();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(sigma);
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn header_fields() {
+        let text = to_hoa(&gfa(), "GF a");
+        assert!(text.starts_with("HOA: v1\n"));
+        assert!(text.contains("name: \"GF a\""));
+        assert!(text.contains("States: 2"));
+        assert!(text.contains("Start: 0"));
+        assert!(text.contains("AP: 2 \"a\" \"b\""));
+        assert!(text.contains("Acceptance: 1 Inf(0)"));
+    }
+
+    #[test]
+    fn body_structure() {
+        let text = to_hoa(&gfa(), "GF a");
+        // Accepting state carries the {0} marker.
+        assert!(text.contains("State: 1 {0}"));
+        assert!(text.contains("State: 0\n"));
+        // One-hot labels for both symbols appear.
+        assert!(text.contains("[0&!1] 1")); // q0 --a--> qa
+        assert!(text.contains("[!0&1] 0")); // q0 --b--> q0
+        assert!(text.ends_with("--END--\n"));
+    }
+
+    #[test]
+    fn transition_count_matches() {
+        let m = gfa();
+        let text = to_hoa(&m, "m");
+        let edges = text.lines().filter(|l| l.starts_with('[')).count();
+        assert_eq!(edges, m.num_transitions());
+    }
+
+    #[test]
+    fn empty_language_automaton_exports() {
+        let sigma = Alphabet::ab();
+        let text = to_hoa(&Buchi::empty_language(sigma), "empty");
+        assert!(text.contains("States: 1"));
+        assert!(!text.contains('['), "no transitions expected");
+    }
+}

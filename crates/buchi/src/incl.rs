@@ -1,0 +1,178 @@
+//! Language inclusion, equivalence, and universality.
+//!
+//! All three reduce to emptiness through complementation:
+//! `L(A) ⊆ L(B)` iff `L(A) ∩ ¬L(B) = ∅`. When `B` is all-accepting the
+//! cheap subset-construction complement is used automatically.
+
+use crate::automaton::Buchi;
+use crate::complement::{complement, ComplementBudgetExceeded};
+use crate::empty::{find_accepted_word, is_empty};
+use crate::ops::intersection;
+use sl_omega::LassoWord;
+
+/// The outcome of an inclusion check: either inclusion holds, or a
+/// counterexample word in `L(A) \ L(B)` is produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inclusion {
+    /// `L(A) ⊆ L(B)`.
+    Holds,
+    /// A word accepted by `A` but not by `B`.
+    CounterExample(LassoWord),
+}
+
+impl Inclusion {
+    /// Whether inclusion holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, Inclusion::Holds)
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)`.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`] if complementing `b` blows
+/// up. When a complement of `b` is available by other means — e.g. `b`
+/// came from an LTL formula, whose negation translates directly — use
+/// [`included_with_complement`] instead.
+pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
+    let not_b = complement(b)?;
+    Ok(included_with_complement(a, &not_b))
+}
+
+/// Decides `L(a) ⊆ L(b)` given an automaton `not_b` for the complement
+/// of `b`: inclusion holds iff `L(a) ∩ L(not_b) = ∅`. This sidesteps
+/// the exponential complementation when the caller has a cheap
+/// complement (negated formula, subset-construction complement of a
+/// safety automaton, ...).
+#[must_use]
+pub fn included_with_complement(a: &Buchi, not_b: &Buchi) -> Inclusion {
+    match find_accepted_word(&intersection(a, not_b)) {
+        None => Inclusion::Holds,
+        Some(w) => Inclusion::CounterExample(w),
+    }
+}
+
+/// Decides `L(a) = L(b)`, returning a word on which they differ if not.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn equivalent(a: &Buchi, b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    if let Inclusion::CounterExample(w) = included(a, b)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included(b, a)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
+}
+
+/// Decides `L(b) = Σ^ω`, returning a rejected word if not.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    let not_b = complement(b)?;
+    Ok(match find_accepted_word(&not_b) {
+        None => Ok(()),
+        Some(w) => Err(w),
+    })
+}
+
+/// Convenience: emptiness re-exported next to its siblings.
+#[must_use]
+pub fn empty(b: &Buchi) -> bool {
+    is_empty(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use sl_omega::Alphabet;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn inf_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    /// Accepts a^ω only.
+    fn only_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(true);
+        builder.add_transition(q0, a, q0);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn inclusion_holds_for_subset() {
+        let s = sigma();
+        // a^ω ⊆ GF a.
+        let inc = included(&only_a(&s), &inf_a(&s)).unwrap();
+        assert!(inc.holds());
+    }
+
+    #[test]
+    fn inclusion_counterexample_is_genuine() {
+        let s = sigma();
+        // GF a ⊄ {a^ω}: counterexample must be accepted by GF a, not a^ω.
+        let inc = included(&inf_a(&s), &only_a(&s)).unwrap();
+        match inc {
+            Inclusion::CounterExample(w) => {
+                assert!(inf_a(&s).accepts(&w));
+                assert!(!only_a(&s).accepts(&w));
+            }
+            Inclusion::Holds => panic!("inclusion should fail"),
+        }
+    }
+
+    #[test]
+    fn equivalence_of_identical_machines() {
+        let s = sigma();
+        assert!(equivalent(&inf_a(&s), &inf_a(&s)).unwrap().is_ok());
+    }
+
+    #[test]
+    fn equivalence_failure_produces_separator() {
+        let s = sigma();
+        let w = equivalent(&inf_a(&s), &Buchi::universal(s.clone()))
+            .unwrap()
+            .unwrap_err();
+        // The separator is accepted by exactly one of the two.
+        assert_ne!(
+            inf_a(&s).accepts(&w),
+            Buchi::universal(s.clone()).accepts(&w)
+        );
+    }
+
+    #[test]
+    fn universality() {
+        let s = sigma();
+        assert!(universal(&Buchi::universal(s.clone())).unwrap().is_ok());
+        let rejected = universal(&inf_a(&s)).unwrap().unwrap_err();
+        assert!(!inf_a(&s).accepts(&rejected));
+    }
+
+    #[test]
+    fn empty_helper() {
+        let s = sigma();
+        assert!(empty(&Buchi::empty_language(s.clone())));
+        assert!(!empty(&Buchi::universal(s)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Membership of lasso words.
+//!
+//! To decide `u · v^ω ∈ L(B)`, build the product of `B` with the word's
+//! phase graph and look for a reachable cycle through an accepting
+//! automaton state. The product has `|Q| * (|u| + |v|)` nodes.
+
+use crate::automaton::Buchi;
+use crate::graph::{tarjan, Graph};
+use sl_omega::LassoWord;
+
+/// Whether the automaton accepts the lasso word.
+#[must_use]
+pub fn accepts(b: &Buchi, word: &LassoWord) -> bool {
+    let phases = word.phase_count();
+    let n = b.num_states() * phases;
+    let node = |q: usize, i: usize| q * phases + i;
+
+    // Forward reachability from (initial, phase 0).
+    let succ = |v: usize| -> Vec<usize> {
+        let (q, i) = (v / phases, v % phases);
+        let sym = word.at(i);
+        let j = word.next_phase(i);
+        b.successors(q, sym).iter().map(|&s| node(s, j)).collect()
+    };
+    let mut reach = vec![false; n];
+    let start = node(b.initial(), 0);
+    reach[start] = true;
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        for w in succ(v) {
+            if !reach[w] {
+                reach[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+
+    // A reachable accepting product node on a cycle witnesses acceptance.
+    let graph = Graph {
+        n,
+        succ: Box::new(succ),
+    };
+    let scc = tarjan(&graph);
+    (0..n).any(|v| {
+        let q = v / phases;
+        reach[v] && b.is_accepting(q) && crate::graph::on_cycle(&graph, &scc, v)
+    })
+}
+
+impl Buchi {
+    /// Whether the automaton accepts the lasso word; method form of
+    /// [`accepts`].
+    #[must_use]
+    pub fn accepts(&self, word: &LassoWord) -> bool {
+        accepts(self, word)
+    }
+}
+
+/// A Büchi automaton viewed as a [`sl_omega::LinearProperty`] — the
+/// language it recognizes.
+pub struct BuchiProperty {
+    automaton: Buchi,
+    name: String,
+}
+
+impl BuchiProperty {
+    /// Wraps an automaton as a property.
+    #[must_use]
+    pub fn new(automaton: Buchi, name: impl Into<String>) -> Self {
+        BuchiProperty {
+            automaton,
+            name: name.into(),
+        }
+    }
+
+    /// The wrapped automaton.
+    #[must_use]
+    pub fn automaton(&self) -> &Buchi {
+        &self.automaton
+    }
+}
+
+impl sl_omega::LinearProperty for BuchiProperty {
+    fn contains(&self, word: &LassoWord) -> bool {
+        accepts(&self.automaton, word)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use sl_omega::{all_lassos, Alphabet};
+
+    fn gfa() -> (Alphabet, Buchi) {
+        let sigma = Alphabet::ab();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(sigma.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        (sigma, builder.build(q0))
+    }
+
+    #[test]
+    fn gfa_membership_matches_semantics() {
+        let (sigma, m) = gfa();
+        let a = sigma.symbol("a").unwrap();
+        for w in all_lassos(&sigma, 3, 3) {
+            assert_eq!(m.accepts(&w), w.infinitely_often(a), "{w}");
+        }
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let sigma = Alphabet::ab();
+        let m = Buchi::universal(sigma.clone());
+        for w in all_lassos(&sigma, 2, 2) {
+            assert!(m.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn empty_accepts_nothing() {
+        let sigma = Alphabet::ab();
+        let m = Buchi::empty_language(sigma.clone());
+        for w in all_lassos(&sigma, 2, 2) {
+            assert!(!m.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn finite_visits_to_accepting_do_not_accept() {
+        // Accepting state visited exactly once: a b^ω should be rejected
+        // by an automaton whose only accepting state has no cycle.
+        let sigma = Alphabet::ab();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(sigma.clone());
+        let q0 = builder.add_state(false);
+        let qf = builder.add_state(true);
+        let qs = builder.add_state(false);
+        builder.add_transition(q0, a, qf);
+        builder.add_transition(qf, b, qs);
+        builder.add_transition(qs, b, qs);
+        let m = builder.build(q0);
+        assert!(!m.accepts(&sl_omega::LassoWord::parse(&sigma, "a", "b")));
+    }
+
+    #[test]
+    fn property_adapter() {
+        use sl_omega::LinearProperty;
+        let (sigma, m) = gfa();
+        let p = BuchiProperty::new(m, "GF a");
+        assert_eq!(p.name(), "GF a");
+        assert!(p.contains(&sl_omega::LassoWord::parse(&sigma, "", "a")));
+        assert_eq!(p.automaton().num_states(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Deterministic safety monitors and Schneider security automata.
+//!
+//! The paper notes (Section 1) Schneider's result that *enforceable*
+//! security policies are exactly safety properties, and that the
+//! enforcement mechanisms — security automata — are Büchi automata
+//! recognizing safe languages. This module makes that executable: a
+//! [`Monitor`] is the determinized closure automaton of a property, run
+//! incrementally over a finite trace; the moment the trace leaves the
+//! safety property's closure, the monitor reports an irrecoverable
+//! [`Verdict::Violation`] (a "bad thing" has happened, and by the
+//! definition of safety no extension can fix it).
+
+use crate::automaton::{Buchi, StateId};
+use crate::closure::{closure, live_states};
+use sl_omega::{Symbol, Word};
+use std::collections::HashMap;
+
+/// The state of a monitored trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// All extensions within the closure remain possible so far.
+    Ok,
+    /// The trace has irrecoverably left the safety property.
+    Violation,
+}
+
+/// A deterministic monitor for the safety closure of an ω-regular
+/// property, built by subset construction over live states.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    /// `table[state][symbol]` = successor; `usize::MAX` = dead.
+    table: Vec<Vec<usize>>,
+    initial: usize,
+    /// Current state while running (`usize::MAX` once dead).
+    current: usize,
+}
+
+const DEAD: usize = usize::MAX;
+
+impl Monitor {
+    /// Builds the monitor for `lcl(L(b))` — the strongest safety
+    /// property implied by `b` (Theorem 6's machine closure is exactly
+    /// why this is the right monitor).
+    #[must_use]
+    pub fn new(b: &Buchi) -> Self {
+        let safety = closure(b);
+        // Subset construction over the (already all-live) closure.
+        let live = live_states(&safety);
+        let sigma = safety.alphabet().clone();
+        let mut ids: HashMap<Vec<StateId>, usize> = HashMap::new();
+        let mut table: Vec<Vec<usize>> = Vec::new();
+        let start: Vec<StateId> =
+            if safety.num_states() > 0 && live.get(safety.initial()) == Some(&true) {
+                vec![safety.initial()]
+            } else {
+                Vec::new()
+            };
+        if start.is_empty() {
+            // The property's closure is empty: everything violates.
+            return Monitor {
+                table: Vec::new(),
+                initial: DEAD,
+                current: DEAD,
+            };
+        }
+        ids.insert(start.clone(), 0);
+        table.push(vec![DEAD; sigma.len()]);
+        let mut work = vec![start];
+        while let Some(subset) = work.pop() {
+            let from = ids[&subset];
+            for sym in sigma.symbols() {
+                let mut next: Vec<StateId> = subset
+                    .iter()
+                    .flat_map(|&q| safety.successors(q, sym).iter().copied())
+                    .filter(|&q| live[q])
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    continue; // leave as DEAD
+                }
+                let to = *ids.entry(next.clone()).or_insert_with(|| {
+                    table.push(vec![DEAD; sigma.len()]);
+                    work.push(next);
+                    table.len() - 1
+                });
+                table[from][sym.index()] = to;
+            }
+        }
+        Monitor {
+            table,
+            initial: 0,
+            current: 0,
+        }
+    }
+
+    /// Number of monitor states (excluding the implicit dead state).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Resets the monitor to its initial state.
+    pub fn reset(&mut self) {
+        self.current = self.initial;
+    }
+
+    /// Feeds one symbol; returns the verdict after the step. Once
+    /// violated, the verdict stays [`Verdict::Violation`] (safety is
+    /// irremediable).
+    pub fn step(&mut self, sym: Symbol) -> Verdict {
+        if self.current == DEAD {
+            return Verdict::Violation;
+        }
+        self.current = self.table[self.current][sym.index()];
+        self.verdict()
+    }
+
+    /// The current verdict.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if self.current == DEAD {
+            Verdict::Violation
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    /// Runs a whole finite trace from the initial state, returning the
+    /// final verdict and the number of symbols consumed before a
+    /// violation (or the trace length if none).
+    pub fn run(&mut self, trace: &Word) -> (Verdict, usize) {
+        self.reset();
+        for i in 0..trace.len() {
+            let sym = trace.at(i).expect("index in range");
+            if self.step(sym) == Verdict::Violation {
+                return (Verdict::Violation, i + 1);
+            }
+        }
+        (Verdict::Ok, trace.len())
+    }
+}
+
+/// A Schneider-style enforcement monitor: wraps a [`Monitor`] and
+/// *truncates* the trace at the first violation, which is exactly the
+/// power of an enforcement mechanism for a safety policy.
+#[derive(Debug, Clone)]
+pub struct SecurityAutomaton {
+    monitor: Monitor,
+    halted: bool,
+}
+
+impl SecurityAutomaton {
+    /// Builds the enforcement automaton for the safety closure of the
+    /// policy automaton.
+    #[must_use]
+    pub fn new(policy: &Buchi) -> Self {
+        SecurityAutomaton {
+            monitor: Monitor::new(policy),
+            halted: false,
+        }
+    }
+
+    /// Attempts to execute one action: returns `true` (action allowed)
+    /// or `false` (action suppressed and the subject halted).
+    pub fn submit(&mut self, action: Symbol) -> bool {
+        if self.halted {
+            return false;
+        }
+        // Peek: would the action violate?
+        let mut probe = self.monitor.clone();
+        if probe.step(action) == Verdict::Violation {
+            self.halted = true;
+            return false;
+        }
+        self.monitor = probe;
+        true
+    }
+
+    /// Whether the automaton has halted the subject.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The longest prefix of `trace` the policy allows.
+    pub fn enforce(&mut self, trace: &Word) -> Word {
+        let mut allowed = Word::empty();
+        for i in 0..trace.len() {
+            let sym = trace.at(i).expect("index in range");
+            if !self.submit(sym) {
+                break;
+            }
+            allowed = allowed.push(sym);
+        }
+        allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use sl_omega::Alphabet;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    /// "No b before the first a" style policy: G(b -> false) until a ...
+    /// concretely: the safety automaton for "first symbol is a".
+    fn first_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(true);
+        let q1 = builder.add_state(true);
+        builder.add_transition(q0, a, q1);
+        builder.add_transition(q1, a, q1);
+        builder.add_transition(q1, b, q1);
+        builder.build(q0)
+    }
+
+    /// GF a — a pure liveness property; its closure is Σ^ω so the
+    /// monitor never fires.
+    fn inf_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn monitor_accepts_good_traces() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        let (v, consumed) = m.run(&Word::parse(&s, "a b a b"));
+        assert_eq!(v, Verdict::Ok);
+        assert_eq!(consumed, 4);
+    }
+
+    #[test]
+    fn monitor_flags_bad_prefix_at_first_step() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        let (v, consumed) = m.run(&Word::parse(&s, "b a a"));
+        assert_eq!(v, Verdict::Violation);
+        assert_eq!(consumed, 1);
+    }
+
+    #[test]
+    fn violations_are_irremediable() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        m.run(&Word::parse(&s, "b"));
+        // Feeding more symbols never recovers.
+        assert_eq!(m.step(s.symbol("a").unwrap()), Verdict::Violation);
+        // But a reset does.
+        m.reset();
+        assert_eq!(m.verdict(), Verdict::Ok);
+    }
+
+    #[test]
+    fn liveness_policies_never_fire() {
+        // Monitoring can only enforce safety: the monitor of GF a is the
+        // monitor of its closure Σ^ω and never rejects — precisely
+        // Schneider's point that liveness is unenforceable.
+        let s = sigma();
+        let mut m = Monitor::new(&inf_a(&s));
+        let (v, _) = m.run(&Word::parse(&s, "b b b b b b"));
+        assert_eq!(v, Verdict::Ok);
+    }
+
+    #[test]
+    fn empty_policy_rejects_everything() {
+        let s = sigma();
+        let mut m = Monitor::new(&Buchi::empty_language(s.clone()));
+        assert_eq!(m.verdict(), Verdict::Violation);
+        let (v, consumed) = m.run(&Word::parse(&s, "a"));
+        assert_eq!(v, Verdict::Violation);
+        assert_eq!(consumed, 1);
+    }
+
+    #[test]
+    fn security_automaton_truncates() {
+        let s = sigma();
+        let mut sa = SecurityAutomaton::new(&first_a(&s));
+        let allowed = sa.enforce(&Word::parse(&s, "a a b a"));
+        assert_eq!(allowed, Word::parse(&s, "a a b a"));
+        assert!(!sa.halted());
+
+        let mut sa = SecurityAutomaton::new(&first_a(&s));
+        let allowed = sa.enforce(&Word::parse(&s, "b a a"));
+        assert_eq!(allowed, Word::empty());
+        assert!(sa.halted());
+        // Once halted, everything is suppressed.
+        assert!(!sa.submit(s.symbol("a").unwrap()));
+    }
+
+    #[test]
+    fn monitor_is_deterministic_and_small() {
+        let s = sigma();
+        let m = Monitor::new(&first_a(&s));
+        // Subset construction of a 2-state safety automaton stays small.
+        assert!(m.num_states() <= 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! Boolean operations: union and intersection.
+//!
+//! The paper (Section 3) relies on the languages definable by Büchi
+//! automata being closed under union, intersection, and complementation
+//! to form a Boolean algebra. Union is a fresh initial state mimicking
+//! both originals; intersection is the standard two-track product that
+//! alternates between waiting for each operand's acceptance.
+
+use crate::automaton::{Buchi, BuchiBuilder, StateId};
+use std::collections::HashMap;
+
+/// An automaton for `L(left) ∪ L(right)`.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+#[must_use]
+pub fn union(left: &Buchi, right: &Buchi) -> Buchi {
+    assert_eq!(left.alphabet(), right.alphabet(), "alphabet mismatch");
+    let sigma = left.alphabet().clone();
+    let mut builder = BuchiBuilder::new(sigma.clone());
+    // Fresh initial, then disjoint copies of both automata.
+    let fresh = builder.add_state(false);
+    let left_base = 1;
+    for q in 0..left.num_states() {
+        builder.add_state(left.is_accepting(q));
+        let _ = q;
+    }
+    let right_base = 1 + left.num_states();
+    for q in 0..right.num_states() {
+        builder.add_state(right.is_accepting(q));
+        let _ = q;
+    }
+    for q in 0..left.num_states() {
+        for sym in sigma.symbols() {
+            for &succ in left.successors(q, sym) {
+                builder.add_transition(left_base + q, sym, left_base + succ);
+            }
+        }
+    }
+    for q in 0..right.num_states() {
+        for sym in sigma.symbols() {
+            for &succ in right.successors(q, sym) {
+                builder.add_transition(right_base + q, sym, right_base + succ);
+            }
+        }
+    }
+    // The fresh initial copies the outgoing transitions of both initials.
+    for sym in sigma.symbols() {
+        for &succ in left.successors(left.initial(), sym) {
+            builder.add_transition(fresh, sym, left_base + succ);
+        }
+        for &succ in right.successors(right.initial(), sym) {
+            builder.add_transition(fresh, sym, right_base + succ);
+        }
+    }
+    builder.build(fresh)
+}
+
+/// An automaton for `L(left) ∩ L(right)` via the two-track product.
+///
+/// Track 0 waits for a left-accepting state, track 1 for a
+/// right-accepting one; the accepting set is "right-accepting while on
+/// track 1", which is visited infinitely often iff both operands accept.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+#[must_use]
+pub fn intersection(left: &Buchi, right: &Buchi) -> Buchi {
+    assert_eq!(left.alphabet(), right.alphabet(), "alphabet mismatch");
+    let sigma = left.alphabet().clone();
+    let mut builder = BuchiBuilder::new(sigma.clone());
+    let mut ids: HashMap<(StateId, StateId, u8), StateId> = HashMap::new();
+    let mut work: Vec<(StateId, StateId, u8)> = Vec::new();
+
+    let start = (left.initial(), right.initial(), 0u8);
+    let accepting = |(_l, r, track): (StateId, StateId, u8)| track == 1 && right.is_accepting(r);
+    let start_id = builder.add_state(accepting(start));
+    ids.insert(start, start_id);
+    work.push(start);
+
+    while let Some(node @ (l, r, track)) = work.pop() {
+        let from = ids[&node];
+        // Track advances when the current state fulfills what the track
+        // is waiting for.
+        let next_track = match track {
+            0 if left.is_accepting(l) => 1,
+            1 if right.is_accepting(r) => 0,
+            t => t,
+        };
+        for sym in sigma.symbols() {
+            for &ls in left.successors(l, sym) {
+                for &rs in right.successors(r, sym) {
+                    let succ = (ls, rs, next_track);
+                    let to = *ids.entry(succ).or_insert_with(|| {
+                        work.push(succ);
+                        builder.add_state(accepting(succ))
+                    });
+                    builder.add_transition(from, sym, to);
+                }
+            }
+        }
+    }
+    builder.build(start_id)
+}
+
+/// The union of a nonempty list of automata.
+///
+/// # Panics
+///
+/// Panics if `automata` is empty.
+#[must_use]
+pub fn union_all(automata: &[Buchi]) -> Buchi {
+    let (first, rest) = automata.split_first().expect("need at least one automaton");
+    rest.iter().fold(first.clone(), |acc, b| union(&acc, b))
+}
+
+/// The intersection of a nonempty list of automata.
+///
+/// # Panics
+///
+/// Panics if `automata` is empty.
+#[must_use]
+pub fn intersection_all(automata: &[Buchi]) -> Buchi {
+    let (first, rest) = automata.split_first().expect("need at least one automaton");
+    rest.iter()
+        .fold(first.clone(), |acc, b| intersection(&acc, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use sl_omega::{all_lassos, Alphabet};
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    /// Automaton for "infinitely many a" (GF a).
+    fn inf_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    /// Automaton for "first symbol is a".
+    fn first_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(true);
+        let q1 = builder.add_state(true);
+        builder.add_transition(q0, a, q1);
+        builder.add_transition(q1, a, q1);
+        builder.add_transition(q1, b, q1);
+        builder.build(q0)
+    }
+
+    /// Automaton for "finitely many a" (FG !a).
+    fn fin_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qb = builder.add_state(true);
+        builder.add_transition(q0, a, q0);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, b, qb);
+        builder.add_transition(qb, b, qb);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn union_semantics() {
+        let s = sigma();
+        let u = union(&inf_a(&s), &fin_a(&s));
+        // GF a ∪ FG !a = everything.
+        for w in all_lassos(&s, 2, 3) {
+            assert!(u.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn union_with_empty_is_identity_on_samples() {
+        let s = sigma();
+        let m = first_a(&s);
+        let u = union(&m, &Buchi::empty_language(s.clone()));
+        for w in all_lassos(&s, 2, 2) {
+            assert_eq!(u.accepts(&w), m.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let i = intersection(&first_a(&s), &inf_a(&s));
+        for w in all_lassos(&s, 2, 3) {
+            let expected = w.first() == a && w.infinitely_often(a);
+            assert_eq!(i.accepts(&w), expected, "{w}");
+        }
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let s = sigma();
+        let i = intersection(&inf_a(&s), &fin_a(&s));
+        for w in all_lassos(&s, 2, 3) {
+            assert!(!i.accepts(&w), "{w}");
+        }
+        assert!(crate::empty::is_empty(&i));
+    }
+
+    #[test]
+    fn intersection_with_universal_is_identity_on_samples() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let i = intersection(&m, &Buchi::universal(s.clone()));
+        for w in all_lassos(&s, 2, 3) {
+            assert_eq!(i.accepts(&w), m.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn n_ary_combinators() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let all = intersection_all(&[first_a(&s), inf_a(&s), Buchi::universal(s.clone())]);
+        let any = union_all(&[Buchi::empty_language(s.clone()), fin_a(&s), inf_a(&s)]);
+        for w in all_lassos(&s, 2, 2) {
+            assert_eq!(all.accepts(&w), w.first() == a && w.infinitely_often(a));
+            assert!(any.accepts(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet mismatch")]
+    fn mismatched_alphabets_rejected() {
+        let s1 = Alphabet::ab();
+        let s2 = Alphabet::new(&["x", "y"]);
+        let _ = union(&Buchi::universal(s1), &Buchi::universal(s2));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one automaton")]
+    fn empty_list_rejected() {
+        let _ = union_all(&[]);
+    }
+}

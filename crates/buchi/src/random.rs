@@ -1,0 +1,164 @@
+//! Seeded pseudo-random automata for property tests and benchmarks.
+//!
+//! Deterministic in the seed (SplitMix64), with a density knob so tests
+//! can sweep from sparse near-deterministic machines to dense tangles.
+
+use crate::automaton::{Buchi, BuchiBuilder};
+use sl_omega::Alphabet;
+
+/// Configuration for [`random_buchi`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Number of states (must be at least 1).
+    pub states: usize,
+    /// Expected transitions per (state, symbol) pair, in percent
+    /// (100 means on average one successor per pair).
+    pub density_percent: u32,
+    /// Probability of each state being accepting, in percent.
+    pub accepting_percent: u32,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            states: 5,
+            density_percent: 80,
+            accepting_percent: 30,
+        }
+    }
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn percent(&mut self) -> u32 {
+        (self.next() % 100) as u32
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Generates a pseudo-random Büchi automaton. Every state gets at least
+/// one outgoing transition so runs do not die trivially; beyond that,
+/// transitions are sampled independently at the configured density.
+///
+/// # Panics
+///
+/// Panics if `config.states == 0`.
+#[must_use]
+pub fn random_buchi(alphabet: &Alphabet, seed: u64, config: RandomConfig) -> Buchi {
+    assert!(config.states > 0, "need at least one state");
+    let mut rng = SplitMix(seed);
+    let mut builder = BuchiBuilder::new(alphabet.clone());
+    for _ in 0..config.states {
+        builder.add_state(rng.percent() < config.accepting_percent);
+    }
+    for q in 0..config.states {
+        let mut has_outgoing = false;
+        for sym in alphabet.symbols() {
+            if rng.percent() < config.density_percent {
+                builder.add_transition(q, sym, rng.below(config.states));
+                has_outgoing = true;
+            }
+        }
+        if !has_outgoing {
+            let sym_index = rng.below(alphabet.len());
+            let sym = alphabet.symbols().nth(sym_index).expect("in range");
+            builder.add_transition(q, sym, rng.below(config.states));
+        }
+    }
+    builder.build(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::closure::closure;
+    use crate::decompose::decompose;
+    use sl_omega::all_lassos;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sigma = Alphabet::ab();
+        let a = random_buchi(&sigma, 7, RandomConfig::default());
+        let b = random_buchi(&sigma, 7, RandomConfig::default());
+        assert_eq!(a, b);
+        let c = random_buchi(&sigma, 8, RandomConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_state_has_outgoing() {
+        let sigma = Alphabet::ab();
+        for seed in 0..20 {
+            let m = random_buchi(
+                &sigma,
+                seed,
+                RandomConfig {
+                    states: 6,
+                    density_percent: 10,
+                    accepting_percent: 50,
+                },
+            );
+            for q in 0..m.num_states() {
+                assert!(!m.all_successors(q).is_empty(), "seed {seed} state {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_decompositions_hold_on_samples() {
+        let sigma = Alphabet::ab();
+        for seed in 0..25 {
+            let m = random_buchi(&sigma, seed, RandomConfig::default());
+            let d = decompose(&m);
+            assert_eq!(
+                d.check_sampled(&m, 2, 3),
+                None,
+                "decomposition failed for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_extensive_on_random_machines() {
+        let sigma = Alphabet::ab();
+        for seed in 0..25 {
+            let m = random_buchi(&sigma, seed, RandomConfig::default());
+            let c = closure(&m);
+            for w in all_lassos(&sigma, 2, 2) {
+                if m.accepts(&w) {
+                    assert!(c.accepts(&w), "seed {seed}, word {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_total_on_random_machines() {
+        let sigma = Alphabet::ab();
+        for seed in 0..10 {
+            let m = random_buchi(
+                &sigma,
+                seed,
+                RandomConfig {
+                    states: 4,
+                    ..RandomConfig::default()
+                },
+            );
+            // Should not error within budget for 4-state machines.
+            let _ = classify(&m).unwrap();
+        }
+    }
+}

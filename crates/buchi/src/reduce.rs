@@ -1,0 +1,212 @@
+//! State-space reduction by direct simulation.
+//!
+//! Direct simulation for Büchi automata: `q ≤ r` iff (`q` accepting
+//! implies `r` accepting) and every `σ`-successor of `q` is simulated by
+//! some `σ`-successor of `r`. Quotienting by mutual direct simulation
+//! (`q ≤ r ≤ q`) preserves the language, and pruning transitions to
+//! simulation-dominated successors preserves it too. Reduction keeps
+//! the closure/complement constructions downstream small — which
+//! matters, since their costs are exponential in the state count.
+
+use crate::automaton::{Buchi, BuchiBuilder, StateId};
+
+/// The direct-simulation preorder as a boolean matrix:
+/// `result[q * n + r]` iff `q` is (direct-)simulated by `r`.
+#[must_use]
+pub fn direct_simulation(b: &Buchi) -> Vec<bool> {
+    let n = b.num_states();
+    // Start from the acceptance-consistent complete relation and refine
+    // (greatest fixpoint).
+    let mut sim = vec![true; n * n];
+    for q in 0..n {
+        for r in 0..n {
+            if b.is_accepting(q) && !b.is_accepting(r) {
+                sim[q * n + r] = false;
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            for r in 0..n {
+                if !sim[q * n + r] {
+                    continue;
+                }
+                let ok = b.alphabet().symbols().all(|sym| {
+                    b.successors(q, sym)
+                        .iter()
+                        .all(|&qs| b.successors(r, sym).iter().any(|&rs| sim[qs * n + rs]))
+                });
+                if !ok {
+                    sim[q * n + r] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sim;
+        }
+    }
+}
+
+/// Quotients the automaton by mutual direct simulation and prunes
+/// transitions whose target is strictly dominated by a sibling target.
+/// The result recognizes the same language with at most as many states.
+#[must_use]
+pub fn reduce(b: &Buchi) -> Buchi {
+    let n = b.num_states();
+    let sim = direct_simulation(b);
+    let le = |q: usize, r: usize| sim[q * n + r];
+    // Representative of each mutual-simulation class: smallest index.
+    let rep: Vec<usize> = (0..n)
+        .map(|q| {
+            (0..=q)
+                .find(|&r| le(q, r) && le(r, q))
+                .expect("q is equivalent to itself")
+        })
+        .collect();
+    let mut builder = BuchiBuilder::new(b.alphabet().clone());
+    let mut new_id = vec![usize::MAX; n];
+    for q in 0..n {
+        if rep[q] == q {
+            new_id[q] = builder.add_state(b.is_accepting(q));
+        }
+    }
+    for q in 0..n {
+        if rep[q] != q {
+            continue;
+        }
+        for sym in b.alphabet().symbols() {
+            // Keep only simulation-maximal successors (by class rep).
+            let succs: Vec<StateId> = b.successors(q, sym).to_vec();
+            for &t in &succs {
+                let dominated = succs.iter().any(|&u| rep[u] != rep[t] && le(t, u));
+                if !dominated {
+                    builder.add_transition(new_id[q], sym, new_id[rep[t]]);
+                }
+            }
+        }
+    }
+    builder.build(new_id[rep[b.initial()]]).trim_unreachable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use crate::random::{random_buchi, RandomConfig};
+    use sl_omega::{all_lassos, Alphabet};
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn simulation_is_reflexive_and_respects_acceptance() {
+        let s = sigma();
+        let m = random_buchi(&s, 3, RandomConfig::default());
+        let n = m.num_states();
+        let sim = direct_simulation(&m);
+        for q in 0..n {
+            assert!(sim[q * n + q], "reflexivity at {q}");
+            for r in 0..n {
+                if sim[q * n + r] && m.is_accepting(q) {
+                    assert!(m.is_accepting(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_transitive() {
+        let s = sigma();
+        for seed in 0..10 {
+            let m = random_buchi(&s, seed, RandomConfig::default());
+            let n = m.num_states();
+            let sim = direct_simulation(&m);
+            for a in 0..n {
+                for b in 0..n {
+                    for c in 0..n {
+                        if sim[a * n + b] && sim[b * n + c] {
+                            assert!(sim[a * n + c], "seed {seed}: {a} <= {b} <= {c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_states_collapse() {
+        // Two identical accepting states looping on a.
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = BuchiBuilder::new(s.clone());
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        let q2 = b.add_state(true);
+        b.add_transition(q0, a, q1);
+        b.add_transition(q0, a, q2);
+        b.add_transition(q1, a, q1);
+        b.add_transition(q2, a, q2);
+        let m = b.build(q0);
+        let r = reduce(&m);
+        assert!(r.num_states() < m.num_states());
+        for w in all_lassos(&s, 2, 2) {
+            assert_eq!(m.accepts(&w), r.accepts(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_language_on_random_corpus() {
+        let s = sigma();
+        for seed in 0..60 {
+            let m = random_buchi(
+                &s,
+                seed,
+                RandomConfig {
+                    states: 6,
+                    density_percent: 70,
+                    accepting_percent: 40,
+                },
+            );
+            let r = reduce(&m);
+            assert!(r.num_states() <= m.num_states());
+            for w in all_lassos(&s, 2, 3) {
+                assert_eq!(m.accepts(&w), r.accepts(&w), "seed {seed} on {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_idempotent_on_language() {
+        let s = sigma();
+        let m = random_buchi(&s, 11, RandomConfig::default());
+        let r1 = reduce(&m);
+        let r2 = reduce(&r1);
+        assert!(r2.num_states() <= r1.num_states());
+        for w in all_lassos(&s, 2, 2) {
+            assert_eq!(r1.accepts(&w), r2.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn universal_reduces_to_one_state() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let b_sym = s.symbol("b").unwrap();
+        // A bloated universal automaton.
+        let mut b = BuchiBuilder::new(s.clone());
+        let q0 = b.add_state(true);
+        let q1 = b.add_state(true);
+        for sym in [a, b_sym] {
+            b.add_transition(q0, sym, q1);
+            b.add_transition(q1, sym, q0);
+            b.add_transition(q0, sym, q0);
+            b.add_transition(q1, sym, q1);
+        }
+        let m = b.build(q0);
+        let r = reduce(&m);
+        assert_eq!(r.num_states(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Birkhoff's representation theorem for finite distributive lattices.
+//!
+//! Every finite distributive lattice is isomorphic to the lattice of
+//! down-sets of its poset of join-irreducible elements. This module
+//! computes join-irreducibles, builds the representation, and verifies
+//! the isomorphism — rounding out the structure theory the paper's
+//! Section 3 leans on (distributivity is the extra hypothesis of
+//! Theorem 7, and Birkhoff explains exactly how much structure it buys).
+
+use crate::generators::downset_lattice;
+use crate::lattice::FiniteLattice;
+use crate::poset::Poset;
+
+/// The join-irreducible elements: non-bottom elements that are not the
+/// join of two strictly smaller elements. In a finite lattice these are
+/// exactly the elements with a unique lower cover.
+#[must_use]
+pub fn join_irreducibles(lattice: &FiniteLattice) -> Vec<usize> {
+    let n = lattice.len();
+    (0..n)
+        .filter(|&x| {
+            if x == lattice.bottom() {
+                return false;
+            }
+            let lower_covers = (0..n).filter(|&y| lattice.poset().covers(y, x)).count();
+            lower_covers == 1
+        })
+        .collect()
+}
+
+/// The meet-irreducible elements (dual notion: unique upper cover).
+#[must_use]
+pub fn meet_irreducibles(lattice: &FiniteLattice) -> Vec<usize> {
+    let n = lattice.len();
+    (0..n)
+        .filter(|&x| {
+            if x == lattice.top() {
+                return false;
+            }
+            let upper_covers = (0..n).filter(|&y| lattice.poset().covers(x, y)).count();
+            upper_covers == 1
+        })
+        .collect()
+}
+
+/// The poset of join-irreducibles, with elements reindexed densely;
+/// returns the poset and the original lattice indices in order.
+///
+/// # Panics
+///
+/// Panics only if the lattice is malformed (cannot happen for validated
+/// lattices).
+#[must_use]
+pub fn irreducible_poset(lattice: &FiniteLattice) -> (Poset, Vec<usize>) {
+    let irr = join_irreducibles(lattice);
+    let poset = Poset::from_leq(irr.len().max(1), |a, b| {
+        if irr.is_empty() {
+            a == b
+        } else {
+            lattice.leq(irr[a], irr[b])
+        }
+    })
+    .expect("restriction of a partial order");
+    (poset, irr)
+}
+
+/// The outcome of checking Birkhoff's theorem on a lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BirkhoffOutcome {
+    /// The lattice is distributive and isomorphic to the down-set
+    /// lattice of its join-irreducibles (sizes and structure verified).
+    Isomorphic,
+    /// The lattice is not distributive; the representation cannot apply.
+    NotDistributive,
+    /// The down-set lattice has a different size — impossible for a
+    /// distributive lattice; indicates a bug if ever returned.
+    SizeMismatch {
+        /// Number of elements in the lattice.
+        lattice: usize,
+        /// Number of down-sets of the irreducible poset.
+        downsets: usize,
+    },
+}
+
+/// Checks Birkhoff's theorem: builds the down-set lattice of the
+/// join-irreducible poset and verifies the canonical map
+/// `a ↦ { j irreducible : j ≤ a }` is a lattice isomorphism.
+#[must_use]
+pub fn birkhoff_check(lattice: &FiniteLattice) -> BirkhoffOutcome {
+    if !lattice.is_distributive() {
+        return BirkhoffOutcome::NotDistributive;
+    }
+    let (poset, irr) = irreducible_poset(lattice);
+    if irr.is_empty() {
+        // The one-element lattice: trivially isomorphic to downsets of
+        // the empty poset — but our posets are nonempty, so handle the
+        // singleton specially.
+        return if lattice.len() == 1 {
+            BirkhoffOutcome::Isomorphic
+        } else {
+            BirkhoffOutcome::SizeMismatch {
+                lattice: lattice.len(),
+                downsets: 0,
+            }
+        };
+    }
+    let (downs, masks) = downset_lattice(&poset).expect("valid poset");
+    if downs.len() != lattice.len() {
+        return BirkhoffOutcome::SizeMismatch {
+            lattice: lattice.len(),
+            downsets: downs.len(),
+        };
+    }
+    // Canonical map: a ↦ bitmask of irreducibles below a.
+    let encode = |a: usize| -> u32 {
+        let mut mask = 0u32;
+        for (i, &j) in irr.iter().enumerate() {
+            if lattice.leq(j, a) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+    let index_of = |mask: u32| masks.binary_search(&mask);
+    for a in 0..lattice.len() {
+        let Ok(ia) = index_of(encode(a)) else {
+            return BirkhoffOutcome::SizeMismatch {
+                lattice: lattice.len(),
+                downsets: downs.len(),
+            };
+        };
+        for b in 0..lattice.len() {
+            let ib = index_of(encode(b)).expect("image is a down-set");
+            let meet_image = index_of(encode(lattice.meet(a, b))).expect("down-set");
+            let join_image = index_of(encode(lattice.join(a, b))).expect("down-set");
+            if downs.meet(ia, ib) != meet_image || downs.join(ia, ib) != join_image {
+                return BirkhoffOutcome::SizeMismatch {
+                    lattice: lattice.len(),
+                    downsets: downs.len(),
+                };
+            }
+        }
+    }
+    BirkhoffOutcome::Isomorphic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn irreducibles_of_boolean_are_atoms() {
+        let l = generators::boolean(3);
+        assert_eq!(join_irreducibles(&l), l.atoms());
+        assert_eq!(meet_irreducibles(&l), l.coatoms());
+    }
+
+    #[test]
+    fn irreducibles_of_chain_are_all_but_bottom() {
+        let l = generators::chain(5);
+        assert_eq!(join_irreducibles(&l), vec![1, 2, 3, 4]);
+        assert_eq!(meet_irreducibles(&l), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn birkhoff_on_distributive_corpus() {
+        for (name, l) in generators::distributive_corpus() {
+            assert_eq!(birkhoff_check(&l), BirkhoffOutcome::Isomorphic, "{name}");
+        }
+    }
+
+    #[test]
+    fn birkhoff_rejects_m3() {
+        assert_eq!(
+            birkhoff_check(&generators::m3()),
+            BirkhoffOutcome::NotDistributive
+        );
+        assert_eq!(
+            birkhoff_check(&generators::n5()),
+            BirkhoffOutcome::NotDistributive
+        );
+    }
+
+    #[test]
+    fn singleton_lattice() {
+        let l = generators::chain(1);
+        assert!(join_irreducibles(&l).is_empty());
+        assert_eq!(birkhoff_check(&l), BirkhoffOutcome::Isomorphic);
+    }
+
+    #[test]
+    fn m3_irreducibles_exceed_representation() {
+        // M3 has 3 join-irreducibles (the atoms); its "representation"
+        // would have 2^3 = 8 > 5 elements... the antichain poset of the
+        // atoms yields all subsets. The size check would catch it even
+        // without the distributivity guard.
+        let l = generators::m3();
+        assert_eq!(join_irreducibles(&l).len(), 3);
+    }
+
+    #[test]
+    fn divisor_lattice_irreducibles_are_prime_powers() {
+        let (l, divisors) = generators::divisor_lattice(12);
+        let irr: Vec<u64> = join_irreducibles(&l)
+            .into_iter()
+            .map(|i| divisors[i])
+            .collect();
+        assert_eq!(irr, vec![2, 3, 4]); // 2, 3, 4 = prime powers dividing 12
+    }
+}

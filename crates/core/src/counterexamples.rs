@@ -1,0 +1,170 @@
+//! The paper's two counterexample lattices, Figures 1 and 2, with their
+//! closures, packaged for reuse by tests and the experiment harness.
+
+use crate::closure::Closure;
+use crate::lattice::FiniteLattice;
+
+/// Figure 1 of the paper: the pentagon N5 together with the closure that
+/// witnesses why *modularity* is needed in Theorem 3.
+///
+/// Elements (indices): `0 = 0`, `1 = a`, `2 = b`, `3 = c`, `4 = 1`, with
+/// `0 < a < b < 1` and `0 < c < 1`. The closure maps `a` to `b` and is
+/// the identity otherwise. Lemma 6: `a` cannot be expressed as the meet
+/// of a cl-safety and a cl-liveness element.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The pentagon lattice.
+    pub lattice: FiniteLattice,
+    /// The closure `cl.a = b`, identity elsewhere.
+    pub closure: Closure,
+    /// Index of the element `a`.
+    pub a: usize,
+    /// Index of the element `b = cl.a`.
+    pub b: usize,
+    /// Index of the incomparable element `c`.
+    pub c: usize,
+}
+
+/// Builds the Figure 1 counterexample.
+#[must_use]
+pub fn figure1() -> Figure1 {
+    let lattice = FiniteLattice::from_covers(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)])
+        .expect("N5 is a lattice");
+    let closure = Closure::new(&lattice, vec![0, 2, 2, 3, 4]).expect("Figure 1 closure is valid");
+    Figure1 {
+        lattice,
+        closure,
+        a: 1,
+        b: 2,
+        c: 3,
+    }
+}
+
+/// Figure 2 of the paper: the diamond M3 (relabeled) together with the
+/// closure that witnesses why *distributivity* is needed in Theorem 7.
+///
+/// Elements (indices): `0 = a` (bottom), `1 = s`, `2 = b`, `3 = z`,
+/// `4 = 1` (top); `s`, `b`, `z` are the three pairwise-incomparable
+/// atoms. The closure maps `a` to `s` (forcing `b` and `z` to the top by
+/// monotonicity) and fixes `s` and the top. Then `s` is a safety
+/// element, `a = s /\ z`, and `b` is a complement of `cl.a`, but
+/// `z <= a \/ b` fails.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The M3 lattice with bottom labeled `a`.
+    pub lattice: FiniteLattice,
+    /// The (unique) lattice closure with `cl.a = s`.
+    pub closure: Closure,
+    /// Index of the bottom element `a`.
+    pub a: usize,
+    /// Index of the atom `s = cl.a`.
+    pub s: usize,
+    /// Index of the atom `b` (a complement of `cl.a`).
+    pub b: usize,
+    /// Index of the atom `z` (with `a = s /\ z`).
+    pub z: usize,
+}
+
+/// Builds the Figure 2 counterexample.
+#[must_use]
+pub fn figure2() -> Figure2 {
+    let lattice = FiniteLattice::from_covers(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+        .expect("M3 is a lattice");
+    let closure = Closure::new(&lattice, vec![1, 1, 4, 4, 4]).expect("Figure 2 closure is valid");
+    Figure2 {
+        lattice,
+        closure,
+        a: 0,
+        s: 1,
+        b: 2,
+        z: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{all_decompositions, decompose};
+
+    #[test]
+    fn figure1_is_the_papers_lattice() {
+        let fig = figure1();
+        // Not modular (pentagon).
+        assert!(!fig.lattice.is_modular());
+        // cl.a = b, identity elsewhere.
+        assert_eq!(fig.closure.apply(fig.a), fig.b);
+        for x in [0, fig.b, fig.c, fig.lattice.top()] {
+            assert_eq!(fig.closure.apply(x), x);
+        }
+        // The non-modular instance from the caption: a <= b but
+        // a \/ (c /\ b) = a while (a \/ c) /\ b = b.
+        let (a, b, c) = (fig.a, fig.b, fig.c);
+        let l = &fig.lattice;
+        assert!(l.leq(a, b));
+        assert_eq!(l.join(a, l.meet(c, b)), a);
+        assert_eq!(l.meet(l.join(a, c), b), b);
+    }
+
+    #[test]
+    fn figure1_lemma6() {
+        let fig = figure1();
+        // Only liveness element is the top ...
+        assert_eq!(
+            fig.closure.liveness_elements(&fig.lattice),
+            vec![fig.lattice.top()]
+        );
+        // ... so a has no decomposition, exhaustively and constructively.
+        assert!(all_decompositions(&fig.lattice, &fig.closure, &fig.closure, fig.a).is_empty());
+        assert!(decompose(&fig.lattice, &fig.closure, fig.a).is_err());
+    }
+
+    #[test]
+    fn figure2_is_the_papers_lattice() {
+        let fig = figure2();
+        assert!(fig.lattice.is_modular());
+        assert!(!fig.lattice.is_distributive());
+        // The caption's non-distributive instance:
+        // s /\ (b \/ z) = s but (s /\ b) \/ (s /\ z) = a.
+        let l = &fig.lattice;
+        assert_eq!(l.meet(fig.s, l.join(fig.b, fig.z)), fig.s);
+        assert_eq!(l.join(l.meet(fig.s, fig.b), l.meet(fig.s, fig.z)), fig.a);
+    }
+
+    #[test]
+    fn figure2_closure_is_forced() {
+        // Any lattice closure with cl.a = s must map b and z to the top:
+        // monotonicity forces cl.b >= s and the only elements above both
+        // b and s is the top.
+        let fig = figure2();
+        assert_eq!(fig.closure.apply(fig.a), fig.s);
+        assert_eq!(fig.closure.apply(fig.b), fig.lattice.top());
+        assert_eq!(fig.closure.apply(fig.z), fig.lattice.top());
+    }
+
+    #[test]
+    fn figure2_theorem7_fails_without_distributivity() {
+        let fig = figure2();
+        let l = &fig.lattice;
+        // s is a safety element and a = s /\ z.
+        assert!(fig.closure.is_safety(fig.s));
+        assert_eq!(l.meet(fig.s, fig.z), fig.a);
+        // b is a complement of cl.a = s.
+        assert!(l.complements(fig.closure.apply(fig.a)).contains(&fig.b));
+        // The Theorem 7 conclusion fails: z is not below a \/ b.
+        assert!(!l.leq(fig.z, l.join(fig.a, fig.b)));
+    }
+
+    #[test]
+    fn figure2_decomposition_still_works() {
+        // Theorem 2 needs only modularity, which M3 has: the canonical
+        // decomposition of a is valid even though Theorem 7's extremality
+        // fails.
+        let fig = figure2();
+        let d = decompose(&fig.lattice, &fig.closure, fig.a).unwrap();
+        assert_eq!(
+            fig.lattice.meet(d.safety, d.liveness),
+            fig.a,
+            "Theorem 2 holds in modular lattices"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types for lattice construction and validation.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating posets, lattices, and
+/// closure operators.
+///
+/// Every constructor in this crate validates its input (posets must be
+/// partial orders, lattices must have all binary meets and joins, closures
+/// must satisfy the closure laws) and reports the first violation it finds
+/// with enough context to locate the offending elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// The relation is not reflexive at the given element.
+    NotReflexive(usize),
+    /// The relation is not antisymmetric: both `a <= b` and `b <= a` hold
+    /// for distinct `a`, `b`.
+    NotAntisymmetric(usize, usize),
+    /// The relation is not transitive: `a <= b` and `b <= c` but not
+    /// `a <= c`.
+    NotTransitive(usize, usize, usize),
+    /// The pair has no meet (greatest lower bound).
+    NoMeet(usize, usize),
+    /// The pair has no join (least upper bound).
+    NoJoin(usize, usize),
+    /// The poset is empty; lattices in this crate are nonempty.
+    Empty,
+    /// An element index is out of range for the structure.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The size of the structure.
+        size: usize,
+    },
+    /// A closure table is not extensive at the element: `cl.a < a` or
+    /// incomparable.
+    NotExtensive(usize),
+    /// A closure table is not idempotent at the element.
+    NotIdempotent(usize),
+    /// A closure table is not monotone on the pair.
+    NotMonotone(usize, usize),
+    /// A base set for a closure is not closed under meets, so it does not
+    /// induce a closure operator.
+    BaseNotMeetClosed(usize, usize),
+    /// A base set for a closure does not contain the top element.
+    BaseMissingTop,
+    /// The element has no complement in a context that requires one.
+    NoComplement(usize),
+    /// The two structures have different sizes where equal sizes are
+    /// required (e.g. comparing closures on the same lattice).
+    SizeMismatch {
+        /// Size of the left-hand structure.
+        left: usize,
+        /// Size of the right-hand structure.
+        right: usize,
+    },
+    /// The hypotheses of a theorem are not met (with a human-readable
+    /// description of which one).
+    HypothesisViolated(&'static str),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::NotReflexive(a) => {
+                write!(f, "relation is not reflexive at element {a}")
+            }
+            LatticeError::NotAntisymmetric(a, b) => {
+                write!(f, "relation is not antisymmetric on ({a}, {b})")
+            }
+            LatticeError::NotTransitive(a, b, c) => {
+                write!(f, "relation is not transitive on ({a}, {b}, {c})")
+            }
+            LatticeError::NoMeet(a, b) => {
+                write!(f, "elements {a} and {b} have no greatest lower bound")
+            }
+            LatticeError::NoJoin(a, b) => {
+                write!(f, "elements {a} and {b} have no least upper bound")
+            }
+            LatticeError::Empty => write!(f, "structure must be nonempty"),
+            LatticeError::OutOfRange { index, size } => {
+                write!(f, "element index {index} out of range for size {size}")
+            }
+            LatticeError::NotExtensive(a) => {
+                write!(f, "closure is not extensive at element {a}")
+            }
+            LatticeError::NotIdempotent(a) => {
+                write!(f, "closure is not idempotent at element {a}")
+            }
+            LatticeError::NotMonotone(a, b) => {
+                write!(f, "closure is not monotone on ({a}, {b})")
+            }
+            LatticeError::BaseNotMeetClosed(a, b) => {
+                write!(
+                    f,
+                    "closure base is not meet-closed: meet of {a} and {b} missing"
+                )
+            }
+            LatticeError::BaseMissingTop => {
+                write!(f, "closure base must contain the top element")
+            }
+            LatticeError::NoComplement(a) => {
+                write!(f, "element {a} has no complement")
+            }
+            LatticeError::SizeMismatch { left, right } => {
+                write!(f, "size mismatch: {left} vs {right}")
+            }
+            LatticeError::HypothesisViolated(what) => {
+                write!(f, "theorem hypothesis violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LatticeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples: Vec<LatticeError> = vec![
+            LatticeError::NotReflexive(3),
+            LatticeError::NotAntisymmetric(1, 2),
+            LatticeError::NotTransitive(0, 1, 2),
+            LatticeError::NoMeet(4, 5),
+            LatticeError::NoJoin(4, 5),
+            LatticeError::Empty,
+            LatticeError::OutOfRange { index: 9, size: 4 },
+            LatticeError::NotExtensive(0),
+            LatticeError::NotIdempotent(1),
+            LatticeError::NotMonotone(1, 2),
+            LatticeError::BaseNotMeetClosed(2, 3),
+            LatticeError::BaseMissingTop,
+            LatticeError::NoComplement(7),
+            LatticeError::SizeMismatch { left: 3, right: 4 },
+            LatticeError::HypothesisViolated("modularity"),
+        ];
+        for err in samples {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LatticeError::Empty, LatticeError::Empty);
+        assert_ne!(LatticeError::NoMeet(0, 1), LatticeError::NoJoin(0, 1));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(LatticeError::Empty);
+        assert_eq!(err.to_string(), "structure must be nonempty");
+    }
+}

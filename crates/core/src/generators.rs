@@ -1,0 +1,285 @@
+//! Standard finite lattices and lattice corpora.
+//!
+//! Everything here is built through the validated [`FiniteLattice`]
+//! constructors, so each generator doubles as a test of the construction
+//! machinery.
+
+use crate::error::Result;
+use crate::lattice::FiniteLattice;
+use crate::ops::product;
+use crate::poset::Poset;
+
+/// The chain `0 < 1 < ... < n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn chain(n: usize) -> FiniteLattice {
+    FiniteLattice::from_poset(Poset::chain(n).expect("n > 0")).expect("chains are lattices")
+}
+
+/// The Boolean algebra `P({0..atoms})`, with elements encoded as bitmasks
+/// ordered by inclusion. `boolean(n)` has `2^n` elements.
+///
+/// # Panics
+///
+/// Panics if `atoms > 16` (the table representation would be huge).
+#[must_use]
+pub fn boolean(atoms: usize) -> FiniteLattice {
+    assert!(atoms <= 16, "boolean lattice limited to 16 atoms");
+    let n = 1usize << atoms;
+    let p = Poset::from_leq(n, |a, b| a & b == a).expect("inclusion is a partial order");
+    FiniteLattice::from_poset(p).expect("powersets are lattices")
+}
+
+/// The diamond M3: bottom, three pairwise-incomparable atoms, top. The
+/// smallest modular non-distributive lattice.
+#[must_use]
+pub fn m3() -> FiniteLattice {
+    FiniteLattice::from_covers(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+        .expect("M3 is a lattice")
+}
+
+/// The pentagon N5: `0 < a < b < 1` and `0 < c < 1`. The smallest
+/// non-modular lattice.
+#[must_use]
+pub fn n5() -> FiniteLattice {
+    FiniteLattice::from_covers(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)])
+        .expect("N5 is a lattice")
+}
+
+/// The lattice of down-sets (order ideals) of a poset, ordered by
+/// inclusion — Birkhoff's representation of finite distributive lattices.
+/// Returns the lattice together with the down-set masks in element order.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid posets, but the
+/// signature stays honest).
+///
+/// # Panics
+///
+/// Panics if the poset has more than 20 elements.
+pub fn downset_lattice(poset: &Poset) -> Result<(FiniteLattice, Vec<u32>)> {
+    let masks = poset.down_sets();
+    let index_of = |m: u32| masks.binary_search(&m).expect("closed under ops");
+    let n = masks.len();
+    let p = Poset::from_leq(n, |a, b| masks[a] & masks[b] == masks[a])?;
+    let lattice = FiniteLattice::from_poset(p)?;
+    // Sanity: meets/joins of down-sets are intersection/union.
+    debug_assert!({
+        (0..n).all(|a| {
+            (0..n).all(|b| {
+                lattice.meet(a, b) == index_of(masks[a] & masks[b])
+                    && lattice.join(a, b) == index_of(masks[a] | masks[b])
+            })
+        })
+    });
+    Ok((lattice, masks))
+}
+
+/// The divisors of `n` ordered by divisibility; meet is gcd, join is lcm.
+/// Distributive; Boolean iff `n` is squarefree. Returns the lattice and
+/// the divisor values in element order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn divisor_lattice(n: u64) -> (FiniteLattice, Vec<u64>) {
+    assert!(n > 0, "divisor lattice needs n > 0");
+    let divisors: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+    let p = Poset::from_leq(divisors.len(), |a, b| {
+        divisors[b].is_multiple_of(divisors[a])
+    })
+    .expect("divisibility is a partial order");
+    let lattice = FiniteLattice::from_poset(p).expect("divisor posets are lattices");
+    (lattice, divisors)
+}
+
+/// The lattice of set partitions of `{0..n}` ordered by refinement
+/// (finer below coarser). Meet is common refinement, join the transitive
+/// closure. Geometric, not modular for `n >= 4`. Returns the lattice and
+/// the partitions as restricted-growth strings.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 7` (Bell numbers grow fast).
+#[must_use]
+pub fn partition_lattice(n: usize) -> (FiniteLattice, Vec<Vec<usize>>) {
+    assert!(n > 0 && n <= 7, "partition lattice supported for 1..=7");
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    // Enumerate restricted growth strings: rgs[0] = 0 and
+    // rgs[i] <= max(rgs[..i]) + 1.
+    fn extend(prefix: &mut Vec<usize>, n: usize, out: &mut Vec<Vec<usize>>) {
+        if prefix.len() == n {
+            out.push(prefix.clone());
+            return;
+        }
+        let max = prefix.iter().copied().max().unwrap_or(0);
+        for next in 0..=(max + 1) {
+            prefix.push(next);
+            extend(prefix, n, out);
+            prefix.pop();
+        }
+    }
+    extend(&mut vec![0], n, &mut partitions);
+    // x refines y (x <= y) iff blocks of x are contained in blocks of y.
+    let refines =
+        |x: &[usize], y: &[usize]| (0..n).all(|i| (0..n).all(|j| x[i] != x[j] || y[i] == y[j]));
+    let p = Poset::from_leq(partitions.len(), |a, b| {
+        refines(&partitions[a], &partitions[b])
+    })
+    .expect("refinement is a partial order");
+    let lattice = FiniteLattice::from_poset(p).expect("partition posets are lattices");
+    (lattice, partitions)
+}
+
+/// A corpus of *modular complemented* lattices — the paper's ambient
+/// structures — built from Boolean algebras, M3, and their products
+/// (modularity and complementedness are preserved by products).
+#[must_use]
+pub fn modular_complemented_corpus() -> Vec<(String, FiniteLattice)> {
+    let mut corpus: Vec<(String, FiniteLattice)> = vec![
+        ("B1 (two-element)".into(), boolean(1)),
+        ("B2 (diamond)".into(), boolean(2)),
+        ("B3".into(), boolean(3)),
+        ("M3".into(), m3()),
+    ];
+    let m3_x_b1 = product(&m3(), &boolean(1));
+    corpus.push(("M3 x B1".into(), m3_x_b1));
+    let m3_x_m3 = product(&m3(), &m3());
+    corpus.push(("M3 x M3".into(), m3_x_m3));
+    corpus
+}
+
+/// A corpus of *distributive* lattices for Theorem 7 experiments:
+/// Boolean algebras, chains, divisor lattices, and down-set lattices.
+#[must_use]
+pub fn distributive_corpus() -> Vec<(String, FiniteLattice)> {
+    let diamond_poset = Poset::from_covers(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    vec![
+        ("chain(5)".into(), chain(5)),
+        ("B3".into(), boolean(3)),
+        ("divisors(60)".into(), divisor_lattice(60).0),
+        (
+            "downsets(diamond)".into(),
+            downset_lattice(&diamond_poset).unwrap().0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_properties() {
+        let l = chain(6);
+        assert_eq!(l.len(), 6);
+        assert!(l.is_chain());
+        assert!(l.is_distributive());
+    }
+
+    #[test]
+    fn boolean_properties() {
+        for atoms in 1..=4 {
+            let l = boolean(atoms);
+            assert_eq!(l.len(), 1 << atoms);
+            assert!(l.is_boolean());
+            assert_eq!(l.atoms().len(), atoms);
+            // Complements are unique in a Boolean algebra.
+            for a in 0..l.len() {
+                assert_eq!(l.complements(a).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_meets_are_bitand() {
+        let l = boolean(3);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(l.meet(a, b), a & b);
+                assert_eq!(l.join(a, b), a | b);
+            }
+        }
+    }
+
+    #[test]
+    fn m3_n5_shapes() {
+        assert!(m3().is_modular() && !m3().is_distributive());
+        assert!(!n5().is_modular());
+        assert!(m3().is_complemented());
+        assert!(n5().is_complemented()); // N5 happens to be complemented
+    }
+
+    #[test]
+    fn downset_lattice_is_distributive() {
+        // Down-sets of the "V" poset: 0 < 1, 0 < 2.
+        let p = Poset::from_covers(3, &[(0, 1), (0, 2)]).unwrap();
+        let (l, masks) = downset_lattice(&p).unwrap();
+        assert!(l.is_distributive());
+        assert_eq!(masks.len(), l.len());
+        // Down-sets: {}, {0}, {0,1}, {0,2}, {0,1,2} -> 5 elements.
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn downsets_of_antichain_are_boolean() {
+        let p = Poset::antichain(3).unwrap();
+        let (l, _) = downset_lattice(&p).unwrap();
+        assert!(l.is_boolean());
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn divisor_lattice_gcd_lcm() {
+        let (l, divs) = divisor_lattice(12);
+        assert_eq!(divs, vec![1, 2, 3, 4, 6, 12]);
+        let idx = |v: u64| divs.iter().position(|&d| d == v).unwrap();
+        assert_eq!(l.meet(idx(4), idx(6)), idx(2));
+        assert_eq!(l.join(idx(4), idx(6)), idx(12));
+        assert!(l.is_distributive());
+        assert!(!l.is_complemented()); // 12 is not squarefree
+    }
+
+    #[test]
+    fn squarefree_divisor_lattice_is_boolean() {
+        let (l, _) = divisor_lattice(30);
+        assert!(l.is_boolean());
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn partition_lattice_shape() {
+        let (l, parts) = partition_lattice(3);
+        // Bell(3) = 5.
+        assert_eq!(l.len(), 5);
+        assert_eq!(parts.len(), 5);
+        // Bottom: all singletons (0,1,2); top: one block (0,0,0).
+        assert_eq!(parts[l.bottom()], vec![0, 1, 2]);
+        assert_eq!(parts[l.top()], vec![0, 0, 0]);
+        assert!(l.is_modular());
+    }
+
+    #[test]
+    fn partition_lattice_4_not_modular() {
+        let (l, _) = partition_lattice(4);
+        assert_eq!(l.len(), 15); // Bell(4)
+        assert!(!l.is_modular());
+        assert!(l.is_complemented());
+    }
+
+    #[test]
+    fn corpus_lattices_have_advertised_properties() {
+        for (name, l) in modular_complemented_corpus() {
+            assert!(l.is_modular(), "{name} should be modular");
+            assert!(l.is_complemented(), "{name} should be complemented");
+        }
+        for (name, l) in distributive_corpus() {
+            assert!(l.is_distributive(), "{name} should be distributive");
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Table-based finite lattices.
+//!
+//! A [`FiniteLattice`] is a validated finite lattice: a [`Poset`] in which
+//! every pair of elements has a meet and a join, with both operation
+//! tables precomputed. All structural predicates from the paper's Section 3
+//! are decidable here and implemented exactly: modularity, distributivity,
+//! complementation, and being a Boolean algebra.
+
+use crate::error::{LatticeError, Result};
+use crate::poset::Poset;
+use crate::traits::{BoundedLattice, Lattice};
+
+/// A finite lattice on elements `0..len()` with precomputed meet and join
+/// tables.
+///
+/// # Examples
+///
+/// ```
+/// use sl_lattice::{FiniteLattice, Poset};
+///
+/// // The diamond M2 = 2x2 Boolean algebra.
+/// let p = Poset::from_covers(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])?;
+/// let l = FiniteLattice::from_poset(p)?;
+/// assert_eq!(l.meet(1, 2), 0);
+/// assert_eq!(l.join(1, 2), 3);
+/// assert!(l.is_distributive());
+/// assert!(l.is_boolean());
+/// # Ok::<(), sl_lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteLattice {
+    poset: Poset,
+    meet: Vec<u32>,
+    join: Vec<u32>,
+    bottom: usize,
+    top: usize,
+}
+
+/// A witness that the modular law fails: `a <= c` but
+/// `a \/ (b /\ c) != (a \/ b) /\ c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModularityViolation {
+    /// The element `a` (with `a <= c`).
+    pub a: usize,
+    /// The element `b`.
+    pub b: usize,
+    /// The element `c`.
+    pub c: usize,
+    /// `a \/ (b /\ c)`.
+    pub left: usize,
+    /// `(a \/ b) /\ c`.
+    pub right: usize,
+}
+
+/// A witness that distributivity fails:
+/// `a /\ (b \/ c) != (a /\ b) \/ (a /\ c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributivityViolation {
+    /// The element `a`.
+    pub a: usize,
+    /// The element `b`.
+    pub b: usize,
+    /// The element `c`.
+    pub c: usize,
+    /// `a /\ (b \/ c)`.
+    pub left: usize,
+    /// `(a /\ b) \/ (a /\ c)`.
+    pub right: usize,
+}
+
+impl FiniteLattice {
+    /// Builds a lattice from a poset, computing the meet and join tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::NoMeet`] or [`LatticeError::NoJoin`] if some
+    /// pair of elements lacks a greatest lower or least upper bound.
+    pub fn from_poset(poset: Poset) -> Result<Self> {
+        let n = poset.len();
+        let mut meet = vec![0u32; n * n];
+        let mut join = vec![0u32; n * n];
+        for a in 0..n {
+            for b in a..n {
+                let m = poset.meet(a, b).ok_or(LatticeError::NoMeet(a, b))?;
+                let j = poset.join(a, b).ok_or(LatticeError::NoJoin(a, b))?;
+                meet[a * n + b] = m as u32;
+                meet[b * n + a] = m as u32;
+                join[a * n + b] = j as u32;
+                join[b * n + a] = j as u32;
+            }
+        }
+        // A finite lattice always has a bottom (meet of everything) and a
+        // top (join of everything); fold the tables to find them.
+        let bottom = (0..n).fold(0usize, |acc, x| meet[acc * n + x] as usize);
+        let top = (0..n).fold(0usize, |acc, x| join[acc * n + x] as usize);
+        Ok(FiniteLattice {
+            poset,
+            meet,
+            join,
+            bottom,
+            top,
+        })
+    }
+
+    /// Builds a lattice from a cover relation; convenience over
+    /// [`Poset::from_covers`] + [`FiniteLattice::from_poset`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates poset validation errors and missing meet/join errors.
+    pub fn from_covers(n: usize, covers: &[(usize, usize)]) -> Result<Self> {
+        Self::from_poset(Poset::from_covers(n, covers)?)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.poset.len()
+    }
+
+    /// Always false; lattices are nonempty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying poset.
+    #[must_use]
+    pub fn poset(&self) -> &Poset {
+        &self.poset
+    }
+
+    /// Whether `a <= b` in the lattice order.
+    #[must_use]
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        self.poset.leq(a, b)
+    }
+
+    /// Whether `a < b` strictly.
+    #[must_use]
+    pub fn lt(&self, a: usize, b: usize) -> bool {
+        self.poset.lt(a, b)
+    }
+
+    /// Greatest lower bound (from the precomputed table).
+    #[must_use]
+    pub fn meet(&self, a: usize, b: usize) -> usize {
+        self.meet[a * self.len() + b] as usize
+    }
+
+    /// Least upper bound (from the precomputed table).
+    #[must_use]
+    pub fn join(&self, a: usize, b: usize) -> usize {
+        self.join[a * self.len() + b] as usize
+    }
+
+    /// The least element `0`.
+    #[must_use]
+    pub fn bottom(&self) -> usize {
+        self.bottom
+    }
+
+    /// The greatest element `1`.
+    #[must_use]
+    pub fn top(&self) -> usize {
+        self.top
+    }
+
+    /// Meet of an arbitrary collection (empty meet is the top element).
+    pub fn meet_all<I: IntoIterator<Item = usize>>(&self, elems: I) -> usize {
+        elems.into_iter().fold(self.top, |acc, x| self.meet(acc, x))
+    }
+
+    /// Join of an arbitrary collection (empty join is the bottom element).
+    pub fn join_all<I: IntoIterator<Item = usize>>(&self, elems: I) -> usize {
+        elems
+            .into_iter()
+            .fold(self.bottom, |acc, x| self.join(acc, x))
+    }
+
+    /// All complements of `a`: elements `b` with `a /\ b = 0` and
+    /// `a \/ b = 1`. The paper writes this set `cmp.a`.
+    #[must_use]
+    pub fn complements(&self, a: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&b| self.meet(a, b) == self.bottom && self.join(a, b) == self.top)
+            .collect()
+    }
+
+    /// Some complement of `a`, if one exists.
+    #[must_use]
+    pub fn complement(&self, a: usize) -> Option<usize> {
+        let n = self.len();
+        (0..n).find(|&b| self.meet(a, b) == self.bottom && self.join(a, b) == self.top)
+    }
+
+    /// Whether every element has at least one complement.
+    #[must_use]
+    pub fn is_complemented(&self) -> bool {
+        (0..self.len()).all(|a| self.complement(a).is_some())
+    }
+
+    /// Searches for a violation of the modular law
+    /// `a <= c  =>  a \/ (b /\ c) = (a \/ b) /\ c`.
+    #[must_use]
+    pub fn modularity_violation(&self) -> Option<ModularityViolation> {
+        let n = self.len();
+        for a in 0..n {
+            for c in 0..n {
+                if !self.leq(a, c) {
+                    continue;
+                }
+                for b in 0..n {
+                    let left = self.join(a, self.meet(b, c));
+                    let right = self.meet(self.join(a, b), c);
+                    if left != right {
+                        return Some(ModularityViolation {
+                            a,
+                            b,
+                            c,
+                            left,
+                            right,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the lattice is modular.
+    #[must_use]
+    pub fn is_modular(&self) -> bool {
+        self.modularity_violation().is_none()
+    }
+
+    /// Searches for a violation of distributivity
+    /// `a /\ (b \/ c) = (a /\ b) \/ (a /\ c)`.
+    #[must_use]
+    pub fn distributivity_violation(&self) -> Option<DistributivityViolation> {
+        let n = self.len();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let left = self.meet(a, self.join(b, c));
+                    let right = self.join(self.meet(a, b), self.meet(a, c));
+                    if left != right {
+                        return Some(DistributivityViolation {
+                            a,
+                            b,
+                            c,
+                            left,
+                            right,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the lattice is distributive.
+    ///
+    /// As the paper notes after Theorem 6, `/\` distributes over `\/` iff
+    /// `\/` distributes over `/\`; checking one direction suffices.
+    #[must_use]
+    pub fn is_distributive(&self) -> bool {
+        self.distributivity_violation().is_none()
+    }
+
+    /// Whether the lattice is a Boolean algebra (distributive and
+    /// complemented; complements are then unique).
+    #[must_use]
+    pub fn is_boolean(&self) -> bool {
+        self.is_distributive() && self.is_complemented()
+    }
+
+    /// The atoms: elements covering the bottom.
+    #[must_use]
+    pub fn atoms(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&a| self.poset.covers(self.bottom, a))
+            .collect()
+    }
+
+    /// The coatoms: elements covered by the top.
+    #[must_use]
+    pub fn coatoms(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&a| self.poset.covers(a, self.top))
+            .collect()
+    }
+
+    /// Whether the lattice is a chain (total order).
+    #[must_use]
+    pub fn is_chain(&self) -> bool {
+        let n = self.len();
+        (0..n).all(|a| (0..n).all(|b| self.leq(a, b) || self.leq(b, a)))
+    }
+
+    /// Searches for a pentagon N5 sublattice, returned as
+    /// `(zero, x, y, c, one)` with `zero < x < y < one`, `zero < c < one`,
+    /// `c` incomparable to `x` and `y`, and meets/joins internal to the
+    /// pattern (`x /\ c = y /\ c = zero`, `x \/ c = y \/ c = one`).
+    ///
+    /// By Dedekind's theorem a lattice is modular iff it has no N5
+    /// sublattice; [`FiniteLattice::is_modular`] cross-checks against this.
+    #[must_use]
+    pub fn find_n5(&self) -> Option<(usize, usize, usize, usize, usize)> {
+        let n = self.len();
+        for x in 0..n {
+            for y in 0..n {
+                if !self.lt(x, y) {
+                    continue;
+                }
+                for c in 0..n {
+                    if !self.poset.incomparable(c, x) || !self.poset.incomparable(c, y) {
+                        continue;
+                    }
+                    let zero = self.meet(x, c);
+                    let one = self.join(x, c);
+                    if self.meet(y, c) == zero && self.join(y, c) == one {
+                        return Some((zero, x, y, c, one));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Searches for a diamond M3 sublattice, returned as
+    /// `(zero, x, y, z, one)` with `x`, `y`, `z` pairwise incomparable,
+    /// pairwise meets `zero`, and pairwise joins `one`.
+    ///
+    /// Birkhoff's theorem: a lattice is distributive iff it contains
+    /// neither N5 nor M3 as a sublattice.
+    #[must_use]
+    pub fn find_m3(&self) -> Option<(usize, usize, usize, usize, usize)> {
+        let n = self.len();
+        for x in 0..n {
+            for y in (x + 1)..n {
+                if !self.poset.incomparable(x, y) {
+                    continue;
+                }
+                let zero = self.meet(x, y);
+                let one = self.join(x, y);
+                for z in (y + 1)..n {
+                    if !self.poset.incomparable(x, z) || !self.poset.incomparable(y, z) {
+                        continue;
+                    }
+                    if self.meet(x, z) == zero
+                        && self.meet(y, z) == zero
+                        && self.join(x, z) == one
+                        && self.join(y, z) == one
+                    {
+                        return Some((zero, x, y, z, one));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The smallest sublattice containing `seed` (closed under meet and
+    /// join), as a sorted list of elements.
+    #[must_use]
+    pub fn sublattice_closure(&self, seed: &[usize]) -> Vec<usize> {
+        let n = self.len();
+        let mut inside = vec![false; n];
+        let mut work: Vec<usize> = Vec::new();
+        for &s in seed {
+            if !inside[s] {
+                inside[s] = true;
+                work.push(s);
+            }
+        }
+        while let Some(a) = work.pop() {
+            for b in 0..n {
+                if !inside[b] {
+                    continue;
+                }
+                for op in [self.meet(a, b), self.join(a, b)] {
+                    if !inside[op] {
+                        inside[op] = true;
+                        work.push(op);
+                    }
+                }
+            }
+        }
+        (0..n).filter(|&a| inside[a]).collect()
+    }
+}
+
+impl Lattice for FiniteLattice {
+    type Elem = usize;
+
+    fn meet(&self, a: &usize, b: &usize) -> usize {
+        FiniteLattice::meet(self, *a, *b)
+    }
+
+    fn join(&self, a: &usize, b: &usize) -> usize {
+        FiniteLattice::join(self, *a, *b)
+    }
+
+    fn leq(&self, a: &usize, b: &usize) -> bool {
+        FiniteLattice::leq(self, *a, *b)
+    }
+}
+
+impl BoundedLattice for FiniteLattice {
+    fn bottom(&self) -> usize {
+        self.bottom
+    }
+
+    fn top(&self) -> usize {
+        self.top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check;
+
+    fn diamond() -> FiniteLattice {
+        FiniteLattice::from_covers(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    fn n5() -> FiniteLattice {
+        // 0 < a(1) < b(2) < 1(4), 0 < c(3) < 1(4).
+        FiniteLattice::from_covers(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)]).unwrap()
+    }
+
+    fn m3() -> FiniteLattice {
+        FiniteLattice::from_covers(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn chain_is_a_lattice() {
+        let l = FiniteLattice::from_poset(Poset::chain(4).unwrap()).unwrap();
+        assert_eq!(l.meet(1, 3), 1);
+        assert_eq!(l.join(1, 3), 3);
+        assert_eq!(l.bottom(), 0);
+        assert_eq!(l.top(), 3);
+        assert!(l.is_chain());
+        assert!(l.is_distributive());
+        assert!(l.is_modular());
+        // Chains of length > 2 are not complemented.
+        assert!(!l.is_complemented());
+    }
+
+    #[test]
+    fn two_element_chain_is_boolean() {
+        let l = FiniteLattice::from_poset(Poset::chain(2).unwrap()).unwrap();
+        assert!(l.is_boolean());
+        assert_eq!(l.complements(0), vec![1]);
+        assert_eq!(l.complements(1), vec![0]);
+    }
+
+    #[test]
+    fn antichain_is_not_a_lattice() {
+        let err = FiniteLattice::from_poset(Poset::antichain(2).unwrap()).unwrap_err();
+        assert!(matches!(err, LatticeError::NoMeet(_, _)));
+    }
+
+    #[test]
+    fn missing_join_detected() {
+        // Two minimal, two maximal elements: meets of maximals missing.
+        let p = Poset::from_covers(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let err = FiniteLattice::from_poset(p).unwrap_err();
+        assert!(matches!(
+            err,
+            LatticeError::NoMeet(_, _) | LatticeError::NoJoin(_, _)
+        ));
+    }
+
+    #[test]
+    fn diamond_is_boolean() {
+        let l = diamond();
+        assert!(l.is_boolean());
+        assert!(l.is_modular());
+        assert_eq!(l.atoms(), vec![1, 2]);
+        assert_eq!(l.coatoms(), vec![1, 2]);
+        assert_eq!(l.complements(1), vec![2]);
+    }
+
+    #[test]
+    fn n5_is_not_modular_and_witness_is_valid() {
+        let l = n5();
+        assert!(!l.is_modular());
+        let w = l.modularity_violation().unwrap();
+        assert!(l.leq(w.a, w.c));
+        assert_eq!(l.join(w.a, l.meet(w.b, w.c)), w.left);
+        assert_eq!(l.meet(l.join(w.a, w.b), w.c), w.right);
+        assert_ne!(w.left, w.right);
+    }
+
+    #[test]
+    fn n5_contains_n5_pattern() {
+        let l = n5();
+        let (zero, x, y, c, one) = l.find_n5().unwrap();
+        assert!(l.lt(zero, x) && l.lt(x, y) && l.lt(y, one));
+        assert!(l.poset().incomparable(c, x));
+        assert_eq!(l.meet(x, c), zero);
+        assert_eq!(l.join(y, c), one);
+    }
+
+    #[test]
+    fn m3_is_modular_not_distributive() {
+        let l = m3();
+        assert!(l.is_modular());
+        assert!(!l.is_distributive());
+        let w = l.distributivity_violation().unwrap();
+        assert_ne!(w.left, w.right);
+        assert!(l.find_m3().is_some());
+        assert!(l.find_n5().is_none());
+    }
+
+    #[test]
+    fn m3_complements_are_not_unique() {
+        let l = m3();
+        // Every atom has the other two atoms as complements.
+        assert_eq!(l.complements(1), vec![2, 3]);
+        assert!(l.is_complemented());
+        assert!(!l.is_boolean());
+    }
+
+    #[test]
+    fn dedekind_birkhoff_cross_check() {
+        for l in [diamond(), n5(), m3()] {
+            assert_eq!(l.is_modular(), l.find_n5().is_none());
+            assert_eq!(
+                l.is_distributive(),
+                l.find_n5().is_none() && l.find_m3().is_none()
+            );
+        }
+    }
+
+    #[test]
+    fn meet_join_all() {
+        let l = diamond();
+        assert_eq!(l.meet_all([1, 2]), 0);
+        assert_eq!(l.join_all([1, 2]), 3);
+        assert_eq!(l.meet_all([]), l.top());
+        assert_eq!(l.join_all([]), l.bottom());
+    }
+
+    #[test]
+    fn sublattice_closure_of_incomparables() {
+        let l = m3();
+        let sub = l.sublattice_closure(&[1, 2]);
+        assert_eq!(sub, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn trait_impl_agrees_with_inherent() {
+        let l = diamond();
+        let sample: Vec<usize> = (0..l.len()).collect();
+        check::lattice_laws(&l, &sample).unwrap();
+        check::bound_laws(&l, &sample).unwrap();
+        check::distributive_law(&l, &sample).unwrap();
+        assert!(Lattice::leq(&l, &1, &3));
+        assert_eq!(BoundedLattice::top(&l), 3);
+    }
+
+    #[test]
+    fn modular_law_checker_flags_n5() {
+        let l = n5();
+        let sample: Vec<usize> = (0..l.len()).collect();
+        assert!(check::modular_law(&l, &sample).is_err());
+    }
+}

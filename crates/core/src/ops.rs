@@ -1,0 +1,157 @@
+//! Lattice-building operations: products, duals, and intervals.
+
+use crate::lattice::FiniteLattice;
+use crate::poset::Poset;
+
+/// The direct product of two lattices. Element `(a, b)` is encoded as
+/// `a * right.len() + b`; the order, meet, and join are componentwise.
+///
+/// Products preserve modularity, distributivity, and complementedness —
+/// which is how the corpus in [`crate::generators`] manufactures larger
+/// modular complemented lattices.
+#[must_use]
+pub fn product(left: &FiniteLattice, right: &FiniteLattice) -> FiniteLattice {
+    let nr = right.len();
+    let n = left.len() * nr;
+    let p = Poset::from_leq(n, |x, y| {
+        left.leq(x / nr, y / nr) && right.leq(x % nr, y % nr)
+    })
+    .expect("product of partial orders is a partial order");
+    FiniteLattice::from_poset(p).expect("product of lattices is a lattice")
+}
+
+/// Encodes a pair of element indices into the product lattice index.
+#[must_use]
+pub fn pair_index(right: &FiniteLattice, a: usize, b: usize) -> usize {
+    a * right.len() + b
+}
+
+/// Decodes a product lattice index into the pair of component indices.
+#[must_use]
+pub fn unpair_index(right: &FiniteLattice, x: usize) -> (usize, usize) {
+    (x / right.len(), x % right.len())
+}
+
+/// The order dual: all comparabilities reversed, meets and joins swapped.
+/// Dualizing twice yields the original lattice.
+#[must_use]
+pub fn dual(lattice: &FiniteLattice) -> FiniteLattice {
+    FiniteLattice::from_poset(lattice.poset().dual()).expect("dual of a lattice is a lattice")
+}
+
+/// The interval sublattice `[lo, hi] = { x : lo <= x <= hi }`, reindexed
+/// densely. Returns the interval lattice and the map from new indices to
+/// original element indices.
+///
+/// # Panics
+///
+/// Panics if `lo <= hi` fails.
+#[must_use]
+pub fn interval(lattice: &FiniteLattice, lo: usize, hi: usize) -> (FiniteLattice, Vec<usize>) {
+    assert!(lattice.leq(lo, hi), "interval requires lo <= hi");
+    let members: Vec<usize> = (0..lattice.len())
+        .filter(|&x| lattice.leq(lo, x) && lattice.leq(x, hi))
+        .collect();
+    let p = Poset::from_leq(members.len(), |a, b| lattice.leq(members[a], members[b]))
+        .expect("restriction of a partial order");
+    let sub = FiniteLattice::from_poset(p).expect("intervals of lattices are lattices");
+    (sub, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{boolean, chain, m3, n5};
+
+    #[test]
+    fn product_of_chains_is_grid() {
+        let l = product(&chain(2), &chain(3));
+        assert_eq!(l.len(), 6);
+        assert!(l.is_distributive());
+        // (1,0) /\ (0,2) = (0,0); (1,0) \/ (0,2) = (1,2).
+        let r = chain(3);
+        assert_eq!(
+            l.meet(pair_index(&r, 1, 0), pair_index(&r, 0, 2)),
+            pair_index(&r, 0, 0)
+        );
+        assert_eq!(
+            l.join(pair_index(&r, 1, 0), pair_index(&r, 0, 2)),
+            pair_index(&r, 1, 2)
+        );
+    }
+
+    #[test]
+    fn product_of_booleans_is_boolean() {
+        let l = product(&boolean(1), &boolean(2));
+        assert!(l.is_boolean());
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn product_preserves_modularity_not_distributivity() {
+        let l = product(&m3(), &chain(2));
+        assert!(l.is_modular());
+        assert!(!l.is_distributive());
+    }
+
+    #[test]
+    fn product_with_n5_is_not_modular() {
+        let l = product(&n5(), &chain(2));
+        assert!(!l.is_modular());
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let r = chain(3);
+        for a in 0..2 {
+            for b in 0..3 {
+                assert_eq!(unpair_index(&r, pair_index(&r, a, b)), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dual_swaps_meet_join() {
+        let l = boolean(2);
+        let d = dual(&l);
+        assert_eq!(d.bottom(), l.top());
+        assert_eq!(d.top(), l.bottom());
+        for a in 0..l.len() {
+            for b in 0..l.len() {
+                assert_eq!(d.meet(a, b), l.join(a, b));
+                assert_eq!(d.join(a, b), l.meet(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        let l = m3();
+        assert_eq!(dual(&dual(&l)), l);
+    }
+
+    #[test]
+    fn interval_of_boolean_is_boolean() {
+        let l = boolean(3);
+        // Interval [atom, top] in B3 is a B2.
+        let (sub, members) = interval(&l, 1, 7);
+        assert_eq!(sub.len(), 4);
+        assert!(sub.is_boolean());
+        assert!(members.contains(&1) && members.contains(&7));
+    }
+
+    #[test]
+    fn full_interval_is_whole_lattice() {
+        let l = m3();
+        let (sub, members) = interval(&l, l.bottom(), l.top());
+        assert_eq!(sub.len(), l.len());
+        assert_eq!(members, (0..l.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval requires lo <= hi")]
+    fn interval_rejects_unordered_bounds() {
+        let l = m3();
+        let _ = interval(&l, 1, 2); // atoms are incomparable
+    }
+}

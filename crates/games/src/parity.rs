@@ -1,0 +1,260 @@
+//! Parity games on finite arenas.
+//!
+//! A parity game is a two-player infinite-duration game on a directed
+//! graph: each vertex is owned by [`Player::Even`] or [`Player::Odd`]
+//! and carries a priority; the owner of the current vertex picks the
+//! next edge; Even wins a play iff the maximum priority occurring
+//! infinitely often is even. Parity games are the algorithmic engine for
+//! tree-automata emptiness and membership in `sl-rabin`.
+
+use std::fmt;
+
+/// The two players.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Player {
+    /// Wins when the maximal infinitely-recurring priority is even.
+    Even,
+    /// Wins when it is odd.
+    Odd,
+}
+
+impl Player {
+    /// The opponent.
+    #[must_use]
+    pub fn opponent(self) -> Player {
+        match self {
+            Player::Even => Player::Odd,
+            Player::Odd => Player::Even,
+        }
+    }
+
+    /// The player who likes the given priority.
+    #[must_use]
+    pub fn of_priority(priority: u32) -> Player {
+        if priority.is_multiple_of(2) {
+            Player::Even
+        } else {
+            Player::Odd
+        }
+    }
+}
+
+impl fmt::Display for Player {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Player::Even => f.write_str("Even"),
+            Player::Odd => f.write_str("Odd"),
+        }
+    }
+}
+
+/// A parity game arena. Every vertex must have at least one successor
+/// (total arenas; the standard normalization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityGame {
+    owner: Vec<Player>,
+    priority: Vec<u32>,
+    succ: Vec<Vec<usize>>,
+}
+
+impl ParityGame {
+    /// Builds a game from parallel vertex arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length, a successor is out of
+    /// range, or some vertex has no successor.
+    #[must_use]
+    pub fn new(owner: Vec<Player>, priority: Vec<u32>, succ: Vec<Vec<usize>>) -> Self {
+        let n = owner.len();
+        assert_eq!(priority.len(), n, "priority array length mismatch");
+        assert_eq!(succ.len(), n, "successor array length mismatch");
+        for (v, outs) in succ.iter().enumerate() {
+            assert!(!outs.is_empty(), "vertex {v} has no successors");
+            for &w in outs {
+                assert!(w < n, "successor {w} of vertex {v} out of range");
+            }
+        }
+        ParityGame {
+            owner,
+            priority,
+            succ,
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the arena has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Owner of vertex `v`.
+    #[must_use]
+    pub fn owner(&self, v: usize) -> Player {
+        self.owner[v]
+    }
+
+    /// Priority of vertex `v`.
+    #[must_use]
+    pub fn priority(&self, v: usize) -> u32 {
+        self.priority[v]
+    }
+
+    /// Successors of vertex `v`.
+    #[must_use]
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.succ[v]
+    }
+
+    /// The attractor of `target` for `player` within the sub-arena
+    /// `alive`: all vertices from which `player` can force the play into
+    /// `target`. Also returns an attractor strategy: for each
+    /// player-owned vertex added, an edge moving one step closer.
+    ///
+    /// `alive[v]` marks the vertices of the sub-arena; `target` must be
+    /// a subset of it.
+    #[must_use]
+    pub fn attractor(
+        &self,
+        alive: &[bool],
+        target: &[usize],
+        player: Player,
+    ) -> (Vec<bool>, Vec<Option<usize>>) {
+        let n = self.len();
+        let mut inside = vec![false; n];
+        let mut strategy: Vec<Option<usize>> = vec![None; n];
+        // Count of alive successors not yet attracted, for opponent
+        // vertices.
+        let mut pending: Vec<usize> = (0..n)
+            .map(|v| self.succ[v].iter().filter(|&&w| alive[w]).count())
+            .collect();
+        let mut work: Vec<usize> = Vec::new();
+        for &t in target {
+            debug_assert!(alive[t], "target must lie in the sub-arena");
+            if !inside[t] {
+                inside[t] = true;
+                work.push(t);
+            }
+        }
+        // Predecessor scan: arenas here are small and dense; an explicit
+        // reverse adjacency list is built on demand.
+        let mut pred = vec![Vec::new(); n];
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            for &w in &self.succ[v] {
+                if alive[w] {
+                    pred[w].push(v);
+                }
+            }
+        }
+        while let Some(v) = work.pop() {
+            for &u in &pred[v] {
+                if inside[u] || !alive[u] {
+                    continue;
+                }
+                if self.owner[u] == player {
+                    inside[u] = true;
+                    strategy[u] = Some(v);
+                    work.push(u);
+                } else {
+                    pending[u] -= 1;
+                    if pending[u] == 0 {
+                        inside[u] = true;
+                        work.push(u);
+                    }
+                }
+            }
+        }
+        (inside, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two vertices, Even owns both; 0 -> 1 -> 1.
+    fn chain() -> ParityGame {
+        ParityGame::new(
+            vec![Player::Even, Player::Even],
+            vec![1, 2],
+            vec![vec![1], vec![1]],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let g = chain();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.owner(0), Player::Even);
+        assert_eq!(g.priority(1), 2);
+        assert_eq!(g.successors(0), &[1]);
+    }
+
+    #[test]
+    fn player_helpers() {
+        assert_eq!(Player::Even.opponent(), Player::Odd);
+        assert_eq!(Player::of_priority(4), Player::Even);
+        assert_eq!(Player::of_priority(3), Player::Odd);
+        assert_eq!(Player::Even.to_string(), "Even");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no successors")]
+    fn totality_enforced() {
+        let _ = ParityGame::new(vec![Player::Even], vec![0], vec![vec![]]);
+    }
+
+    #[test]
+    fn attractor_pulls_own_vertices() {
+        // 0 (Even) -> {1, 2}; 1,2 sinks with self loops. Attractor of
+        // {1} for Even contains 0 (Even chooses to go there).
+        let g = ParityGame::new(
+            vec![Player::Even, Player::Odd, Player::Odd],
+            vec![0, 0, 0],
+            vec![vec![1, 2], vec![1], vec![2]],
+        );
+        let alive = vec![true; 3];
+        let (inside, strategy) = g.attractor(&alive, &[1], Player::Even);
+        assert_eq!(inside, vec![true, true, false]);
+        assert_eq!(strategy[0], Some(1));
+    }
+
+    #[test]
+    fn attractor_requires_all_edges_for_opponent() {
+        // 0 (Odd) -> {1, 2}: Odd can dodge into 2, so 0 is not in the
+        // Even-attractor of {1}.
+        let g = ParityGame::new(
+            vec![Player::Odd, Player::Odd, Player::Odd],
+            vec![0, 0, 0],
+            vec![vec![1, 2], vec![1], vec![2]],
+        );
+        let alive = vec![true; 3];
+        let (inside, _) = g.attractor(&alive, &[1], Player::Even);
+        assert_eq!(inside, vec![false, true, false]);
+        // But if both exits lead to the target, 0 is attracted.
+        let (inside, _) = g.attractor(&alive, &[1, 2], Player::Even);
+        assert!(inside[0]);
+    }
+
+    #[test]
+    fn attractor_respects_sub_arena() {
+        // With vertex 1 dead, Odd's only alive exit from 0 is 2.
+        let g = ParityGame::new(
+            vec![Player::Odd, Player::Odd, Player::Odd],
+            vec![0, 0, 0],
+            vec![vec![1, 2], vec![1], vec![2]],
+        );
+        let alive = vec![true, false, true];
+        let (inside, _) = g.attractor(&alive, &[2], Player::Even);
+        assert!(inside[0], "only alive exit leads to target");
+    }
+}

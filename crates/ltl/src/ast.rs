@@ -1,0 +1,289 @@
+//! Linear Temporal Logic syntax.
+//!
+//! Formulas are interpreted over ω-words whose positions carry exactly
+//! one alphabet symbol, so the atomic propositions are the symbols
+//! themselves: `Ap(a)` holds at position `i` of word `t` iff `t.i = a`.
+//! This matches the paper's examples (Section 2.3), where properties
+//! like `a ∧ F ¬a` talk about which symbol occupies each position.
+
+use sl_omega::{Alphabet, Symbol};
+use std::fmt;
+
+/// An LTL formula over alphabet-symbol atoms.
+///
+/// The derived `Ord` is structural; it exists so formulas can live in
+/// `BTreeSet`s during the tableau translation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ltl {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// "The current symbol is `a`".
+    Ap(Symbol),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication (sugar; eliminated by NNF).
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// Next-time `X φ`.
+    Next(Box<Ltl>),
+    /// Eventually `F φ`.
+    Finally(Box<Ltl>),
+    /// Always `G φ`.
+    Globally(Box<Ltl>),
+    /// Until `φ U ψ`.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release `φ R ψ` (the dual of until).
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atomic proposition.
+    #[must_use]
+    pub fn ap(sym: Symbol) -> Ltl {
+        Ltl::Ap(sym)
+    }
+
+    /// Negation. Also available as the `!` operator via [`std::ops::Not`].
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn and(self, other: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn or(self, other: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    #[must_use]
+    pub fn implies(self, other: Ltl) -> Ltl {
+        Ltl::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Next-time.
+    #[must_use]
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Box::new(self))
+    }
+
+    /// Eventually.
+    #[must_use]
+    pub fn finally(self) -> Ltl {
+        Ltl::Finally(Box::new(self))
+    }
+
+    /// Always.
+    #[must_use]
+    pub fn globally(self) -> Ltl {
+        Ltl::Globally(Box::new(self))
+    }
+
+    /// Until.
+    #[must_use]
+    pub fn until(self, other: Ltl) -> Ltl {
+        Ltl::Until(Box::new(self), Box::new(other))
+    }
+
+    /// Release.
+    #[must_use]
+    pub fn release(self, other: Ltl) -> Ltl {
+        Ltl::Release(Box::new(self), Box::new(other))
+    }
+
+    /// All subformulas including `self`, children before parents.
+    #[must_use]
+    pub fn subformulas(&self) -> Vec<&Ltl> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a Ltl>) {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Ap(_) => {}
+            Ltl::Not(p) | Ltl::Next(p) | Ltl::Finally(p) | Ltl::Globally(p) => {
+                p.collect(out);
+            }
+            Ltl::And(p, q)
+            | Ltl::Or(p, q)
+            | Ltl::Implies(p, q)
+            | Ltl::Until(p, q)
+            | Ltl::Release(p, q) => {
+                p.collect(out);
+                q.collect(out);
+            }
+        }
+        if !out.contains(&self) {
+            out.push(self);
+        }
+    }
+
+    /// Number of AST nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Ap(_) => 1,
+            Ltl::Not(p) | Ltl::Next(p) | Ltl::Finally(p) | Ltl::Globally(p) => 1 + p.size(),
+            Ltl::And(p, q)
+            | Ltl::Or(p, q)
+            | Ltl::Implies(p, q)
+            | Ltl::Until(p, q)
+            | Ltl::Release(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+
+    /// Renders with symbol names from the alphabet.
+    #[must_use]
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        fn go(f: &Ltl, alphabet: &Alphabet, out: &mut String) {
+            match f {
+                Ltl::True => out.push_str("true"),
+                Ltl::False => out.push_str("false"),
+                Ltl::Ap(sym) => out.push_str(alphabet.name(*sym)),
+                Ltl::Not(p) => {
+                    out.push('!');
+                    paren(p, alphabet, out);
+                }
+                Ltl::Next(p) => {
+                    out.push_str("X ");
+                    paren(p, alphabet, out);
+                }
+                Ltl::Finally(p) => {
+                    out.push_str("F ");
+                    paren(p, alphabet, out);
+                }
+                Ltl::Globally(p) => {
+                    out.push_str("G ");
+                    paren(p, alphabet, out);
+                }
+                Ltl::And(p, q) => binop(p, "&", q, alphabet, out),
+                Ltl::Or(p, q) => binop(p, "|", q, alphabet, out),
+                Ltl::Implies(p, q) => binop(p, "->", q, alphabet, out),
+                Ltl::Until(p, q) => binop(p, "U", q, alphabet, out),
+                Ltl::Release(p, q) => binop(p, "R", q, alphabet, out),
+            }
+        }
+        fn paren(f: &Ltl, alphabet: &Alphabet, out: &mut String) {
+            let atomic = matches!(f, Ltl::True | Ltl::False | Ltl::Ap(_));
+            if atomic {
+                go(f, alphabet, out);
+            } else {
+                out.push('(');
+                go(f, alphabet, out);
+                out.push(')');
+            }
+        }
+        fn binop(p: &Ltl, op: &str, q: &Ltl, alphabet: &Alphabet, out: &mut String) {
+            paren(p, alphabet, out);
+            out.push(' ');
+            out.push_str(op);
+            out.push(' ');
+            paren(q, alphabet, out);
+        }
+        let mut out = String::new();
+        go(self, alphabet, &mut out);
+        out
+    }
+}
+
+impl std::ops::Not for Ltl {
+    type Output = Ltl;
+
+    fn not(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render with raw symbol indices when no alphabet is at hand.
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Ap(sym) => write!(f, "p{}", sym.0),
+            Ltl::Not(p) => write!(f, "!({p})"),
+            Ltl::Next(p) => write!(f, "X ({p})"),
+            Ltl::Finally(p) => write!(f, "F ({p})"),
+            Ltl::Globally(p) => write!(f, "G ({p})"),
+            Ltl::And(p, q) => write!(f, "({p}) & ({q})"),
+            Ltl::Or(p, q) => write!(f, "({p}) | ({q})"),
+            Ltl::Implies(p, q) => write!(f, "({p}) -> ({q})"),
+            Ltl::Until(p, q) => write!(f, "({p}) U ({q})"),
+            Ltl::Release(p, q) => write!(f, "({p}) R ({q})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = ab();
+        let a = s.symbol("a").unwrap();
+        let f = Ltl::ap(a).and(Ltl::ap(a).not().finally());
+        assert_eq!(f.display(&s), "a & (F (!a))");
+        assert_eq!(f.size(), 5); // a, a, !a, F !a, and the conjunction
+    }
+
+    #[test]
+    fn subformulas_children_first() {
+        let s = ab();
+        let a = s.symbol("a").unwrap();
+        let f = Ltl::ap(a).until(Ltl::ap(a).not());
+        let subs = f.subformulas();
+        assert_eq!(subs.len(), 3);
+        // Children appear before the parent.
+        let pos = |g: &Ltl| subs.iter().position(|x| *x == g).unwrap();
+        assert!(pos(&Ltl::ap(a)) < pos(&f));
+        assert!(pos(&Ltl::ap(a).not()) < pos(&f));
+    }
+
+    #[test]
+    fn subformulas_deduplicate() {
+        let s = ab();
+        let a = s.symbol("a").unwrap();
+        let f = Ltl::ap(a).and(Ltl::ap(a));
+        assert_eq!(f.subformulas().len(), 2); // a and (a & a)
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let s = ab();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let f = Ltl::ap(a).globally().or(Ltl::ap(b).next());
+        assert_eq!(f.display(&s), "(G a) | (X b)");
+        // The alphabet-free Display also renders something sensible.
+        assert_eq!(f.to_string(), "(G (p0)) | (X (p1))");
+    }
+
+    #[test]
+    fn ord_is_usable_in_sets() {
+        let s = ab();
+        let a = s.symbol("a").unwrap();
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(Ltl::ap(a));
+        set.insert(Ltl::ap(a));
+        set.insert(Ltl::True);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Exact LTL evaluation on ultimately periodic words.
+//!
+//! A lasso word has only `stem_len + period` distinct suffixes (its
+//! *phases*), so every LTL formula has a well-defined truth value at each
+//! phase computable by dynamic programming: propositional and `X` cases
+//! are local, `U` is the least fixpoint and `R` the greatest fixpoint of
+//! their expansion laws over the finite phase graph.
+//!
+//! This evaluator is the semantic ground truth for the LTL→Büchi
+//! translation: `sl-buchi` cross-checks automaton membership against
+//! [`eval`] on whole lasso corpora.
+
+use crate::ast::Ltl;
+use sl_omega::LassoWord;
+use std::collections::HashMap;
+
+/// Truth values of one formula at every phase of a lasso word.
+type PhaseVector = Vec<bool>;
+
+/// Evaluates `formula` on the ω-word `word` (truth at position 0).
+///
+/// # Examples
+///
+/// ```
+/// use sl_ltl::{eval, parse};
+/// use sl_omega::{Alphabet, LassoWord};
+///
+/// let sigma = Alphabet::ab();
+/// let gfa = parse(&sigma, "G F a")?;
+/// assert!(eval(&gfa, &LassoWord::parse(&sigma, "b", "a b")));
+/// assert!(!eval(&gfa, &LassoWord::parse(&sigma, "a a", "b")));
+/// # Ok::<(), sl_ltl::ParseError>(())
+/// ```
+#[must_use]
+pub fn eval(formula: &Ltl, word: &LassoWord) -> bool {
+    eval_at(formula, word)[0]
+}
+
+/// Evaluates `formula` at every phase of `word`; entry `i` is the truth
+/// value on the suffix starting at position `i` (for
+/// `i < word.phase_count()`).
+#[must_use]
+pub fn eval_at(formula: &Ltl, word: &LassoWord) -> PhaseVector {
+    let mut memo: HashMap<&Ltl, PhaseVector> = HashMap::new();
+    go(formula, word, &mut memo)
+}
+
+fn go<'f>(f: &'f Ltl, w: &LassoWord, memo: &mut HashMap<&'f Ltl, PhaseVector>) -> PhaseVector {
+    if let Some(v) = memo.get(f) {
+        return v.clone();
+    }
+    let n = w.phase_count();
+    let vec: PhaseVector = match f {
+        Ltl::True => vec![true; n],
+        Ltl::False => vec![false; n],
+        Ltl::Ap(sym) => (0..n).map(|i| w.at(i) == *sym).collect(),
+        Ltl::Not(p) => go(p, w, memo).into_iter().map(|b| !b).collect(),
+        Ltl::And(p, q) => {
+            let vp = go(p, w, memo);
+            let vq = go(q, w, memo);
+            vp.into_iter().zip(vq).map(|(a, b)| a && b).collect()
+        }
+        Ltl::Or(p, q) => {
+            let vp = go(p, w, memo);
+            let vq = go(q, w, memo);
+            vp.into_iter().zip(vq).map(|(a, b)| a || b).collect()
+        }
+        Ltl::Implies(p, q) => {
+            let vp = go(p, w, memo);
+            let vq = go(q, w, memo);
+            vp.into_iter().zip(vq).map(|(a, b)| !a || b).collect()
+        }
+        Ltl::Next(p) => {
+            let vp = go(p, w, memo);
+            (0..n).map(|i| vp[w.next_phase(i)]).collect()
+        }
+        Ltl::Finally(p) => {
+            let vp = go(p, w, memo);
+            lfp(w, |u, i| vp[i] || u[w.next_phase(i)])
+        }
+        Ltl::Globally(p) => {
+            let vp = go(p, w, memo);
+            gfp(w, |u, i| vp[i] && u[w.next_phase(i)])
+        }
+        Ltl::Until(p, q) => {
+            let vp = go(p, w, memo);
+            let vq = go(q, w, memo);
+            lfp(w, |u, i| vq[i] || (vp[i] && u[w.next_phase(i)]))
+        }
+        Ltl::Release(p, q) => {
+            let vp = go(p, w, memo);
+            let vq = go(q, w, memo);
+            gfp(w, |u, i| vq[i] && (vp[i] || u[w.next_phase(i)]))
+        }
+    };
+    memo.insert(f, vec.clone());
+    vec
+}
+
+/// Least fixpoint of a monotone step function over the phase graph,
+/// starting from all-false.
+fn lfp<F: Fn(&[bool], usize) -> bool>(w: &LassoWord, step: F) -> PhaseVector {
+    let n = w.phase_count();
+    let mut current = vec![false; n];
+    loop {
+        let next: PhaseVector = (0..n).map(|i| step(&current, i)).collect();
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// Greatest fixpoint of a monotone step function, starting from all-true.
+fn gfp<F: Fn(&[bool], usize) -> bool>(w: &LassoWord, step: F) -> PhaseVector {
+    let n = w.phase_count();
+    let mut current = vec![true; n];
+    loop {
+        let next: PhaseVector = (0..n).map(|i| step(&current, i)).collect();
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// An LTL formula viewed as a [`sl_omega::LinearProperty`], so formulas
+/// can be compared directly against semantic oracles and automata.
+pub struct LtlProperty {
+    formula: Ltl,
+    name: String,
+}
+
+impl LtlProperty {
+    /// Wraps a formula, naming it by its alphabet-free rendering.
+    #[must_use]
+    pub fn new(formula: Ltl) -> Self {
+        let name = formula.to_string();
+        LtlProperty { formula, name }
+    }
+
+    /// Wraps a formula with an explicit display name.
+    #[must_use]
+    pub fn named(formula: Ltl, name: impl Into<String>) -> Self {
+        LtlProperty {
+            formula,
+            name: name.into(),
+        }
+    }
+
+    /// The wrapped formula.
+    #[must_use]
+    pub fn formula(&self) -> &Ltl {
+        &self.formula
+    }
+}
+
+impl sl_omega::LinearProperty for LtlProperty {
+    fn contains(&self, word: &LassoWord) -> bool {
+        eval(&self.formula, word)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnf::nnf;
+    use crate::parse::parse;
+    use sl_omega::{all_lassos, Alphabet};
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn atoms_inspect_first_symbol() {
+        let s = ab();
+        let a = parse(&s, "a").unwrap();
+        assert!(eval(&a, &LassoWord::parse(&s, "a", "b")));
+        assert!(!eval(&a, &LassoWord::parse(&s, "b", "a")));
+    }
+
+    #[test]
+    fn next_shifts() {
+        let s = ab();
+        let f = parse(&s, "X a").unwrap();
+        assert!(eval(&f, &LassoWord::parse(&s, "b a", "b")));
+        assert!(!eval(&f, &LassoWord::parse(&s, "a b", "a")));
+    }
+
+    #[test]
+    fn finally_and_globally() {
+        let s = ab();
+        let fa = parse(&s, "F a").unwrap();
+        let ga = parse(&s, "G a").unwrap();
+        assert!(eval(&fa, &LassoWord::parse(&s, "b b b", "a")));
+        assert!(!eval(&fa, &LassoWord::parse(&s, "", "b")));
+        assert!(eval(&ga, &LassoWord::parse(&s, "", "a")));
+        assert!(!eval(&ga, &LassoWord::parse(&s, "a a", "b")));
+    }
+
+    #[test]
+    fn until_requires_eventual_fulfillment() {
+        let s = ab();
+        let f = parse(&s, "a U b").unwrap();
+        assert!(eval(&f, &LassoWord::parse(&s, "a a b", "a")));
+        assert!(eval(&f, &LassoWord::parse(&s, "b", "a")));
+        // a U b fails on a^ω: never fulfilled (least fixpoint matters).
+        assert!(!eval(&f, &LassoWord::parse(&s, "", "a")));
+    }
+
+    #[test]
+    fn release_is_greatest_fixpoint() {
+        let s = ab();
+        let f = parse(&s, "b R a").unwrap();
+        // a^ω satisfies b R a (a holds forever, never released).
+        assert!(eval(&f, &LassoWord::parse(&s, "", "a")));
+        // a b ... : a holds up to and including the release point? b R a
+        // requires a holds until (and including) a position where b & a?
+        // b R a: a must hold up to and including the first b-position...
+        // here symbols are exclusive so a & b is impossible; the only way
+        // to satisfy is G a.
+        assert!(!eval(&f, &LassoWord::parse(&s, "a", "b")));
+    }
+
+    #[test]
+    fn rem_formulas_match_semantic_oracles() {
+        use sl_omega::{rem, LinearProperty};
+        let s = ab();
+        let pairs: Vec<(&str, rem::BoxedProperty)> = vec![
+            ("false", rem::p0(&s)),
+            ("a", rem::p1(&s)),
+            ("!a", rem::p2(&s)),
+            ("a & F !a", rem::p3(&s)),
+            ("F G !a", rem::p4(&s)),
+            ("G F a", rem::p5(&s)),
+            ("true", rem::p6(&s)),
+        ];
+        for (text, oracle) in pairs {
+            let f = parse(&s, text).unwrap();
+            for w in all_lassos(&s, 3, 3) {
+                assert_eq!(
+                    eval(&f, &w),
+                    oracle.contains(&w),
+                    "{text} disagrees with {} on {w}",
+                    oracle.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let s = ab();
+        let formulas = [
+            "!(a U b)",
+            "!(G F a)",
+            "a -> (b U a)",
+            "!(a <-> X b)",
+            "!(a R (b | X a))",
+            "F G (a -> X b)",
+        ];
+        for text in formulas {
+            let f = parse(&s, text).unwrap();
+            let g = nnf(&f);
+            for w in all_lassos(&s, 2, 3) {
+                assert_eq!(eval(&f, &w), eval(&g, &w), "{text} vs nnf on {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        use crate::nnf::simplify;
+        let s = ab();
+        for text in [
+            "(a & true) U (b | false)",
+            "!!(F F a)",
+            "X (true & (a | a))",
+            "(false U b) R a",
+        ] {
+            let f = parse(&s, text).unwrap();
+            let g = simplify(&f);
+            for w in all_lassos(&s, 2, 2) {
+                assert_eq!(eval(&f, &w), eval(&g, &w), "{text} vs simplified on {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_at_is_consistent_with_suffixes() {
+        let s = ab();
+        let f = parse(&s, "a U b").unwrap();
+        let w = LassoWord::parse(&s, "a b", "a b b");
+        let phases = eval_at(&f, &w);
+        for (i, &truth) in phases.iter().enumerate() {
+            assert_eq!(truth, eval(&f, &w.suffix(i)), "phase {i}");
+        }
+    }
+
+    #[test]
+    fn expansion_laws_hold() {
+        let s = ab();
+        // p U q = q | (p & X(p U q)); p R q = q & (p | X(p R q)).
+        let pu = parse(&s, "a U b").unwrap();
+        let pu_expanded = parse(&s, "b | (a & X (a U b))").unwrap();
+        let pr = parse(&s, "a R b").unwrap();
+        let pr_expanded = parse(&s, "b & (a | X (a R b))").unwrap();
+        for w in all_lassos(&s, 2, 3) {
+            assert_eq!(eval(&pu, &w), eval(&pu_expanded, &w));
+            assert_eq!(eval(&pr, &w), eval(&pr_expanded, &w));
+        }
+    }
+
+    #[test]
+    fn ltl_property_adapter() {
+        use sl_omega::LinearProperty;
+        let s = ab();
+        let p = LtlProperty::named(parse(&s, "G F a").unwrap(), "inf-a");
+        assert_eq!(p.name(), "inf-a");
+        assert!(p.contains(&LassoWord::parse(&s, "", "a b")));
+        assert!(!p.contains(&LassoWord::parse(&s, "a", "b")));
+        assert_eq!(p.formula().size(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Syntactic safety and co-safety fragments of LTL.
+//!
+//! A classic sufficient condition (Sistla): an NNF formula with no
+//! `U`/`F` defines a safety property, and one with no `R`/`G` defines a
+//! co-safety (guarantee) property. These checks are *syntactic* — sound
+//! but not complete. The exact semantic deciders live in
+//! `sl_buchi::classify`; the test suite confirms the syntactic fragment
+//! always agrees with the semantic decision where it claims membership.
+
+use crate::ast::Ltl;
+use crate::nnf::nnf;
+
+/// Whether the NNF of the formula avoids `U` (a syntactic safety
+/// witness; `F` desugars to `U`, `X`/`R`/`G` are allowed).
+#[must_use]
+pub fn is_syntactic_safety(formula: &Ltl) -> bool {
+    fn no_until(f: &Ltl) -> bool {
+        match f {
+            Ltl::True | Ltl::False | Ltl::Ap(_) => true,
+            Ltl::Not(p) | Ltl::Next(p) => no_until(p),
+            Ltl::And(p, q) | Ltl::Or(p, q) | Ltl::Release(p, q) => no_until(p) && no_until(q),
+            Ltl::Until(_, _) => false,
+            // nnf output contains none of these:
+            Ltl::Implies(_, _) | Ltl::Finally(_) | Ltl::Globally(_) => false,
+        }
+    }
+    no_until(&nnf(formula))
+}
+
+/// Whether the NNF of the formula avoids `R` (a syntactic co-safety /
+/// guarantee witness; `G` desugars to `R`).
+#[must_use]
+pub fn is_syntactic_cosafety(formula: &Ltl) -> bool {
+    fn no_release(f: &Ltl) -> bool {
+        match f {
+            Ltl::True | Ltl::False | Ltl::Ap(_) => true,
+            Ltl::Not(p) | Ltl::Next(p) => no_release(p),
+            Ltl::And(p, q) | Ltl::Or(p, q) | Ltl::Until(p, q) => no_release(p) && no_release(q),
+            Ltl::Release(_, _) => false,
+            Ltl::Implies(_, _) | Ltl::Finally(_) | Ltl::Globally(_) => false,
+        }
+    }
+    no_release(&nnf(formula))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::translate::translate;
+    use sl_buchi::classify::{is_safety, Classification};
+    use sl_omega::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn syntactic_safety_examples() {
+        let s = ab();
+        for text in ["a", "!a", "G a", "G (a -> X b)", "a R b", "X X a", "false"] {
+            assert!(
+                is_syntactic_safety(&parse(&s, text).unwrap()),
+                "{text} should be syntactic safety"
+            );
+        }
+        for text in ["F a", "a U b", "G F a"] {
+            assert!(
+                !is_syntactic_safety(&parse(&s, text).unwrap()),
+                "{text} should not be syntactic safety"
+            );
+        }
+    }
+
+    #[test]
+    fn syntactic_cosafety_examples() {
+        let s = ab();
+        for text in ["a", "F a", "a U b", "F (a & X b)", "true"] {
+            assert!(
+                is_syntactic_cosafety(&parse(&s, text).unwrap()),
+                "{text} should be syntactic co-safety"
+            );
+        }
+        for text in ["G a", "G F a", "a R b"] {
+            assert!(
+                !is_syntactic_cosafety(&parse(&s, text).unwrap()),
+                "{text} should not be syntactic co-safety"
+            );
+        }
+    }
+
+    #[test]
+    fn negation_swaps_fragments() {
+        let s = ab();
+        for text in ["G a", "a R b", "G (a -> X b)"] {
+            let f = parse(&s, text).unwrap();
+            assert!(is_syntactic_safety(&f));
+            assert!(is_syntactic_cosafety(&f.not()));
+        }
+    }
+
+    #[test]
+    fn syntactic_safety_is_semantically_safe() {
+        // Soundness: every syntactic-safety formula's language is a
+        // semantic safety property per the exact automaton decider.
+        let s = ab();
+        for text in ["a", "!a", "G a", "a R b", "X a", "G (a -> X b)", "false"] {
+            let f = parse(&s, text).unwrap();
+            assert!(is_syntactic_safety(&f));
+            let m = translate(&s, &f);
+            assert!(is_safety(&m).unwrap(), "{text} not semantically safe");
+        }
+    }
+
+    #[test]
+    fn fragment_is_incomplete_by_design() {
+        // "a | (!a)" is Σ^ω (safe) but syntactically harmless anyway;
+        // construct a semantically safe formula outside the fragment:
+        // F false is ∅, which is safe, but contains F.
+        let s = ab();
+        let f = parse(&s, "F false").unwrap();
+        assert!(!is_syntactic_safety(&f));
+        let m = translate(&s, &f);
+        assert_eq!(
+            sl_buchi::classify::classify(&m).unwrap(),
+            Classification::Safety
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # sl-ltl
+//!
+//! Linear Temporal Logic over alphabet-symbol atoms: syntax, parser,
+//! negation normal form, exact evaluation on lasso words, syntactic
+//! safety/co-safety fragments, and a tableau translation to Büchi
+//! automata — the property front-end for the linear-time half of
+//! Manolios & Trefler's *A Lattice-Theoretic Characterization of Safety
+//! and Liveness* (PODC 2003).
+//!
+//! ```
+//! use sl_ltl::{eval, parse, translate};
+//! use sl_omega::{all_lassos, Alphabet};
+//!
+//! let sigma = Alphabet::ab();
+//! let p3 = parse(&sigma, "a & F !a")?; // Rem's p3
+//! let automaton = translate(&sigma, &p3);
+//! // The automaton and the evaluator agree on every lasso word.
+//! for w in all_lassos(&sigma, 2, 2) {
+//!     assert_eq!(automaton.accepts(&w), eval(&p3, &w));
+//! }
+//! # Ok::<(), sl_ltl::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod classify;
+pub mod eval;
+pub mod fragments;
+pub mod nnf;
+pub mod parse;
+pub mod rem;
+pub mod translate;
+
+pub use ast::Ltl;
+pub use classify::{
+    classify_formula, decompose_formula, is_liveness_formula, is_safety_formula,
+    FormulaDecomposition,
+};
+pub use eval::{eval, eval_at, LtlProperty};
+pub use fragments::{is_syntactic_cosafety, is_syntactic_safety};
+pub use nnf::{is_nnf, nnf, simplify};
+pub use parse::{parse, ParseError};
+pub use rem::{examples as rem_examples, RemExample};
+pub use translate::translate;

@@ -1,0 +1,257 @@
+//! Negation normal form and simplification.
+//!
+//! [`nnf`] pushes negations down to atoms using the temporal dualities
+//! (`¬X = X¬`, `¬(p U q) = ¬p R ¬q`, `¬(p R q) = ¬p U ¬q`), eliminates
+//! implications, and desugars `F`/`G` into `U`/`R`. The result uses only
+//! the connectives the tableau translation understands: literals, `∧`,
+//! `∨`, `X`, `U`, `R`.
+//!
+//! [`simplify`] applies standard validity-preserving rewrites, useful for
+//! keeping translated automata small.
+
+use crate::ast::Ltl;
+
+/// Converts to negation normal form with `F`/`G`/`->`/`!` eliminated
+/// (negations remain only directly on atoms).
+#[must_use]
+pub fn nnf(formula: &Ltl) -> Ltl {
+    pos(formula)
+}
+
+fn pos(f: &Ltl) -> Ltl {
+    match f {
+        Ltl::True | Ltl::False | Ltl::Ap(_) => f.clone(),
+        Ltl::Not(p) => neg(p),
+        Ltl::And(p, q) => pos(p).and(pos(q)),
+        Ltl::Or(p, q) => pos(p).or(pos(q)),
+        Ltl::Implies(p, q) => neg(p).or(pos(q)),
+        Ltl::Next(p) => pos(p).next(),
+        Ltl::Finally(p) => Ltl::True.until(pos(p)),
+        Ltl::Globally(p) => Ltl::False.release(pos(p)),
+        Ltl::Until(p, q) => pos(p).until(pos(q)),
+        Ltl::Release(p, q) => pos(p).release(pos(q)),
+    }
+}
+
+fn neg(f: &Ltl) -> Ltl {
+    match f {
+        Ltl::True => Ltl::False,
+        Ltl::False => Ltl::True,
+        Ltl::Ap(sym) => Ltl::Ap(*sym).not(),
+        Ltl::Not(p) => pos(p),
+        Ltl::And(p, q) => neg(p).or(neg(q)),
+        Ltl::Or(p, q) => neg(p).and(neg(q)),
+        Ltl::Implies(p, q) => pos(p).and(neg(q)),
+        Ltl::Next(p) => neg(p).next(),
+        Ltl::Finally(p) => Ltl::False.release(neg(p)),
+        Ltl::Globally(p) => Ltl::True.until(neg(p)),
+        Ltl::Until(p, q) => neg(p).release(neg(q)),
+        Ltl::Release(p, q) => neg(p).until(neg(q)),
+    }
+}
+
+/// Whether a formula is in negation normal form (negations only on
+/// atoms; no `F`, `G`, or `->`).
+#[must_use]
+pub fn is_nnf(f: &Ltl) -> bool {
+    match f {
+        Ltl::True | Ltl::False | Ltl::Ap(_) => true,
+        Ltl::Not(p) => matches!(**p, Ltl::Ap(_)),
+        Ltl::And(p, q) | Ltl::Or(p, q) | Ltl::Until(p, q) | Ltl::Release(p, q) => {
+            is_nnf(p) && is_nnf(q)
+        }
+        Ltl::Next(p) => is_nnf(p),
+        Ltl::Implies(_, _) | Ltl::Finally(_) | Ltl::Globally(_) => false,
+    }
+}
+
+/// Applies validity-preserving simplifications bottom-up:
+/// constant folding, idempotence, absorption of temporal operators
+/// (`true U p ∨ ...` is left intact, but `p U true = true`,
+/// `false R p = false R p`, `p U false = false`, `X true = true`, etc.).
+#[must_use]
+pub fn simplify(f: &Ltl) -> Ltl {
+    match f {
+        Ltl::True | Ltl::False | Ltl::Ap(_) => f.clone(),
+        Ltl::Not(p) => match simplify(p) {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Not(inner) => *inner,
+            sp => sp.not(),
+        },
+        Ltl::And(p, q) => {
+            let (sp, sq) = (simplify(p), simplify(q));
+            if sp == Ltl::False || sq == Ltl::False {
+                Ltl::False
+            } else if sp == Ltl::True {
+                sq
+            } else if sq == Ltl::True || sp == sq {
+                sp
+            } else {
+                sp.and(sq)
+            }
+        }
+        Ltl::Or(p, q) => {
+            let (sp, sq) = (simplify(p), simplify(q));
+            if sp == Ltl::True || sq == Ltl::True {
+                Ltl::True
+            } else if sp == Ltl::False {
+                sq
+            } else if sq == Ltl::False || sp == sq {
+                sp
+            } else {
+                sp.or(sq)
+            }
+        }
+        Ltl::Implies(p, q) => simplify(&Ltl::Not(p.clone()).or((**q).clone())),
+        Ltl::Next(p) => match simplify(p) {
+            Ltl::True => Ltl::True,
+            Ltl::False => Ltl::False,
+            sp => sp.next(),
+        },
+        Ltl::Finally(p) => match simplify(p) {
+            Ltl::True => Ltl::True,
+            Ltl::False => Ltl::False,
+            Ltl::Finally(inner) => Ltl::Finally(inner),
+            sp => sp.finally(),
+        },
+        Ltl::Globally(p) => match simplify(p) {
+            Ltl::True => Ltl::True,
+            Ltl::False => Ltl::False,
+            Ltl::Globally(inner) => Ltl::Globally(inner),
+            sp => sp.globally(),
+        },
+        Ltl::Until(p, q) => {
+            let (sp, sq) = (simplify(p), simplify(q));
+            if sq == Ltl::True {
+                Ltl::True
+            } else if sq == Ltl::False {
+                Ltl::False
+            } else if sp == Ltl::False {
+                // false U q = q.
+                sq
+            } else if sp == sq {
+                sp
+            } else {
+                sp.until(sq)
+            }
+        }
+        Ltl::Release(p, q) => {
+            let (sp, sq) = (simplify(p), simplify(q));
+            if sq == Ltl::True {
+                Ltl::True
+            } else if sq == Ltl::False {
+                Ltl::False
+            } else if sp == Ltl::True {
+                // true R q = q.
+                sq
+            } else if sp == sq {
+                sp
+            } else {
+                sp.release(sq)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use sl_omega::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn nnf_pushes_negation_through_temporal() {
+        let s = ab();
+        let f = parse(&s, "!(a U b)").unwrap();
+        let g = parse(&s, "!a R !b").unwrap();
+        assert_eq!(nnf(&f), nnf(&g));
+        let f = parse(&s, "!(a R b)").unwrap();
+        let g = parse(&s, "!a U !b").unwrap();
+        assert_eq!(nnf(&f), nnf(&g));
+    }
+
+    #[test]
+    fn nnf_dualizes_fg() {
+        let s = ab();
+        // !F a = G !a; both should normalize to false R !a.
+        let f = nnf(&parse(&s, "!F a").unwrap());
+        let g = nnf(&parse(&s, "G !a").unwrap());
+        assert_eq!(f, g);
+        assert!(is_nnf(&f));
+    }
+
+    #[test]
+    fn nnf_eliminates_implication() {
+        let s = ab();
+        let f = nnf(&parse(&s, "a -> b").unwrap());
+        assert_eq!(f, parse(&s, "!a | b").unwrap());
+    }
+
+    #[test]
+    fn nnf_handles_double_negation() {
+        let s = ab();
+        let f = nnf(&parse(&s, "!!a").unwrap());
+        assert_eq!(f, parse(&s, "a").unwrap());
+    }
+
+    #[test]
+    fn nnf_output_is_nnf() {
+        let s = ab();
+        for text in [
+            "!(a & X b)",
+            "!(G F a)",
+            "!(a -> (b U a))",
+            "!(a <-> b)",
+            "F G !a",
+        ] {
+            let f = nnf(&parse(&s, text).unwrap());
+            assert!(is_nnf(&f), "{text} -> {f}");
+        }
+    }
+
+    #[test]
+    fn simplify_constant_folds() {
+        let s = ab();
+        assert_eq!(
+            simplify(&parse(&s, "a & true").unwrap()),
+            parse(&s, "a").unwrap()
+        );
+        assert_eq!(simplify(&parse(&s, "a & false").unwrap()), Ltl::False);
+        assert_eq!(simplify(&parse(&s, "a | true").unwrap()), Ltl::True);
+        assert_eq!(simplify(&parse(&s, "X true").unwrap()), Ltl::True);
+        assert_eq!(simplify(&parse(&s, "F false").unwrap()), Ltl::False);
+        assert_eq!(simplify(&parse(&s, "a U true").unwrap()), Ltl::True);
+        assert_eq!(
+            simplify(&parse(&s, "a & a").unwrap()),
+            parse(&s, "a").unwrap()
+        );
+        assert_eq!(
+            simplify(&parse(&s, "!!a").unwrap()),
+            parse(&s, "a").unwrap()
+        );
+        assert_eq!(
+            simplify(&parse(&s, "F F a").unwrap()),
+            parse(&s, "F a").unwrap()
+        );
+    }
+
+    #[test]
+    fn simplify_false_until() {
+        let s = ab();
+        // false U q = q.
+        assert_eq!(
+            simplify(&Ltl::False.until(parse(&s, "a").unwrap())),
+            parse(&s, "a").unwrap()
+        );
+        // true R q = q.
+        assert_eq!(
+            simplify(&Ltl::True.release(parse(&s, "a").unwrap())),
+            parse(&s, "a").unwrap()
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! A recursive-descent parser for LTL formulas.
+//!
+//! Grammar (loosest to tightest binding, matching the paper's
+//! conventions in Section 2.1):
+//!
+//! ```text
+//! iff     := implies ('<->' implies)*
+//! implies := or ('->' or)*          (right associative)
+//! or      := and ('|' and)*
+//! and     := until ('&' until)*
+//! until   := unary (('U' | 'R' | 'W') until)?   (right associative)
+//! unary   := ('!' | 'X' | 'F' | 'G') unary | atom
+//! atom    := 'true' | 'false' | ident | '(' iff ')'
+//! ```
+//!
+//! `W` (weak until) is sugar: `p W q = (p U q) | G p`. `<->` is sugar for
+//! conjoined implications. Identifiers are looked up in the alphabet.
+
+use crate::ast::Ltl;
+use sl_omega::Alphabet;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub position: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Next,
+    Finally,
+    Globally,
+    Until,
+    Release,
+    WeakUntil,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let token = match c {
+            '(' => {
+                i += 1;
+                Token::LParen
+            }
+            ')' => {
+                i += 1;
+                Token::RParen
+            }
+            '!' => {
+                i += 1;
+                Token::Not
+            }
+            '&' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1;
+                }
+                Token::And
+            }
+            '|' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+                Token::Or
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    i += 2;
+                    Token::Implies
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '->'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if input[i..].starts_with("<->") {
+                    i += 3;
+                    Token::Iff
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected '<->'".into(),
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && {
+                    let c = bytes[j] as char;
+                    c.is_alphanumeric() || c == '_'
+                } {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                i = j;
+                match word {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "X" => Token::Next,
+                    "F" => Token::Finally,
+                    "G" => Token::Globally,
+                    "U" => Token::Until,
+                    "R" => Token::Release,
+                    "W" => Token::WeakUntil,
+                    _ => Token::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        tokens.push((start, token));
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(p, _)| *p)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Token::Iff) {
+            self.bump();
+            let rhs = self.implies()?;
+            lhs = lhs.clone().implies(rhs.clone()).and(rhs.implies(lhs));
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Token::Implies) {
+            self.bump();
+            let rhs = self.implies()?; // right associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.bump();
+            lhs = lhs.or(self.and()?);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.until()?;
+        while self.peek() == Some(&Token::And) {
+            self.bump();
+            lhs = lhs.and(self.until()?);
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Some(Token::Until) => {
+                self.bump();
+                let rhs = self.until()?;
+                Ok(lhs.until(rhs))
+            }
+            Some(Token::Release) => {
+                self.bump();
+                let rhs = self.until()?;
+                Ok(lhs.release(rhs))
+            }
+            Some(Token::WeakUntil) => {
+                self.bump();
+                let rhs = self.until()?;
+                // p W q = (p U q) | G p.
+                Ok(lhs.clone().until(rhs).or(lhs.globally()))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ltl, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(Token::Next) => {
+                self.bump();
+                Ok(self.unary()?.next())
+            }
+            Some(Token::Finally) => {
+                self.bump();
+                Ok(self.unary()?.finally())
+            }
+            Some(Token::Globally) => {
+                self.bump();
+                Ok(self.unary()?.globally())
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ltl, ParseError> {
+        match self.bump() {
+            Some(Token::True) => Ok(Ltl::True),
+            Some(Token::False) => Ok(Ltl::False),
+            Some(Token::Ident(name)) => self
+                .alphabet
+                .symbol(&name)
+                .map(Ltl::Ap)
+                .ok_or_else(|| self.error(format!("unknown symbol {name:?}"))),
+            Some(Token::LParen) => {
+                let inner = self.iff()?;
+                if self.bump() != Some(Token::RParen) {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            other => Err(self.error(format!("expected a formula, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses an LTL formula over the given alphabet.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or unknown symbols.
+///
+/// # Examples
+///
+/// ```
+/// use sl_ltl::parse;
+/// use sl_omega::Alphabet;
+///
+/// let sigma = Alphabet::ab();
+/// let f = parse(&sigma, "a & F !a")?;
+/// assert_eq!(f.display(&sigma), "a & (F (!a))");
+/// # Ok::<(), sl_ltl::ParseError>(())
+/// ```
+pub fn parse(alphabet: &Alphabet, input: &str) -> Result<Ltl, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        alphabet,
+        input_len: input.len(),
+    };
+    let formula = parser.iff()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing input"));
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn parses_rem_examples() {
+        let s = ab();
+        for text in ["false", "a", "!a", "a & F !a", "F G !a", "G F a", "true"] {
+            let f = parse(&s, text).unwrap();
+            assert!(f.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let s = ab();
+        let f = parse(&s, "a | b & a").unwrap();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        assert_eq!(f, Ltl::ap(a).or(Ltl::ap(b).and(Ltl::ap(a))));
+    }
+
+    #[test]
+    fn until_binds_tighter_than_and() {
+        let s = ab();
+        let f = parse(&s, "a U b & b U a").unwrap();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        assert_eq!(
+            f,
+            Ltl::ap(a)
+                .until(Ltl::ap(b))
+                .and(Ltl::ap(b).until(Ltl::ap(a)))
+        );
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let s = ab();
+        let f = parse(&s, "a U b U a").unwrap();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        assert_eq!(f, Ltl::ap(a).until(Ltl::ap(b).until(Ltl::ap(a))));
+    }
+
+    #[test]
+    fn unary_operators_stack() {
+        let s = ab();
+        let f = parse(&s, "G F !a").unwrap();
+        let a = s.symbol("a").unwrap();
+        assert_eq!(f, Ltl::ap(a).not().finally().globally());
+    }
+
+    #[test]
+    fn weak_until_desugars() {
+        let s = ab();
+        let f = parse(&s, "a W b").unwrap();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        assert_eq!(f, Ltl::ap(a).until(Ltl::ap(b)).or(Ltl::ap(a).globally()));
+    }
+
+    #[test]
+    fn iff_desugars() {
+        let s = ab();
+        let f = parse(&s, "a <-> b").unwrap();
+        let a = Ltl::ap(s.symbol("a").unwrap());
+        let b = Ltl::ap(s.symbol("b").unwrap());
+        assert_eq!(f, a.clone().implies(b.clone()).and(b.implies(a)));
+    }
+
+    #[test]
+    fn parens_override() {
+        let s = ab();
+        let f = parse(&s, "(a | b) & a").unwrap();
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        assert_eq!(f, Ltl::ap(a).or(Ltl::ap(b)).and(Ltl::ap(a)));
+    }
+
+    #[test]
+    fn c_style_operators_accepted() {
+        let s = ab();
+        assert_eq!(parse(&s, "a && b").unwrap(), parse(&s, "a & b").unwrap());
+        assert_eq!(parse(&s, "a || b").unwrap(), parse(&s, "a | b").unwrap());
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let s = ab();
+        let err = parse(&s, "a & q").unwrap_err();
+        assert!(err.message.contains("unknown symbol"));
+        let err = parse(&s, "a &").unwrap_err();
+        assert!(err.message.contains("expected a formula"));
+        let err = parse(&s, "(a").unwrap_err();
+        assert!(err.message.contains("expected ')'"));
+        let err = parse(&s, "a b").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+        let err = parse(&s, "a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        let s = ab();
+        for text in ["a & F !a", "G F a", "a U (b R a)", "X X a", "a -> F b"] {
+            let f = parse(&s, text).unwrap();
+            let g = parse(&s, &f.display(&s)).unwrap();
+            assert_eq!(f, g, "{text}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Interned finite alphabets.
+//!
+//! The paper fixes "a nonempty set of symbols Σ" (Section 2.1). An
+//! [`Alphabet`] interns symbol names once and hands out copyable
+//! [`Symbol`] indices, so words and automata store `u16`s instead of
+//! strings.
+
+use std::fmt;
+
+/// An index into an [`Alphabet`].
+///
+/// Symbols are meaningful only relative to the alphabet that created
+/// them; mixing symbols across alphabets of different sizes is caught by
+/// the bounds assertions in this crate's containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// The index as a usize, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite, nonempty alphabet with interned symbol names.
+///
+/// # Examples
+///
+/// ```
+/// use sl_omega::Alphabet;
+///
+/// let sigma = Alphabet::new(&["a", "b"]);
+/// let a = sigma.symbol("a").unwrap();
+/// assert_eq!(sigma.name(a), "a");
+/// assert_eq!(sigma.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+}
+
+impl Alphabet {
+    /// Interns the given symbol names, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty (the paper requires Σ nonempty), has
+    /// more than `u16::MAX` entries, or contains duplicates.
+    #[must_use]
+    pub fn new(names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "alphabet must be nonempty");
+        assert!(names.len() <= u16::MAX as usize, "alphabet too large");
+        let names: Vec<String> = names.iter().map(|s| (*s).to_string()).collect();
+        for (i, name) in names.iter().enumerate() {
+            assert!(!names[..i].contains(name), "duplicate symbol name {name:?}");
+        }
+        Alphabet { names }
+    }
+
+    /// A two-symbol alphabet `{a, b}` — the alphabet of all the paper's
+    /// examples (Section 2.3 needs only "a" and "differs from a").
+    #[must_use]
+    pub fn ab() -> Self {
+        Alphabet::new(&["a", "b"])
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a symbol by name.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Symbol(i as u16))
+    }
+
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is out of range for this alphabet.
+    #[must_use]
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Iterates over all symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len()).map(|i| Symbol(i as u16))
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_roundtrip() {
+        let sigma = Alphabet::new(&["x", "y", "z"]);
+        for name in ["x", "y", "z"] {
+            let sym = sigma.symbol(name).unwrap();
+            assert_eq!(sigma.name(sym), name);
+        }
+        assert_eq!(sigma.symbol("w"), None);
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let sigma = Alphabet::ab();
+        let syms: Vec<Symbol> = sigma.symbols().collect();
+        assert_eq!(syms, vec![Symbol(0), Symbol(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet must be nonempty")]
+    fn empty_alphabet_panics() {
+        let _ = Alphabet::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol name")]
+    fn duplicate_name_panics() {
+        let _ = Alphabet::new(&["a", "a"]);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        assert_eq!(Alphabet::ab().to_string(), "{a, b}");
+    }
+}

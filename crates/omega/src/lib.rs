@@ -1,0 +1,35 @@
+//! # sl-omega
+//!
+//! The linear-time substrate for the safety/liveness workspace: finite
+//! alphabets, finite words with the prefix order, and ultimately periodic
+//! ω-words ("lasso words") in canonical form — the finitely-representable
+//! skeleton of `Σ^ω` from Section 2 of Manolios & Trefler's
+//! *A Lattice-Theoretic Characterization of Safety and Liveness*
+//! (PODC 2003).
+//!
+//! Lasso words matter because two distinct ω-regular languages always
+//! differ on one, so identities like the decomposition theorem
+//! `L(B) = L(B_S) ∩ L(B_L)` can be cross-checked by quantifying over
+//! [`all_lassos`].
+//!
+//! ```
+//! use sl_omega::{Alphabet, LassoWord, Word};
+//!
+//! let sigma = Alphabet::ab();
+//! let w = LassoWord::parse(&sigma, "b", "a b"); // b (ab)^ω
+//! assert_eq!(w.prefix(4), Word::parse(&sigma, "b a b a"));
+//! assert!(w.infinitely_often(sigma.symbol("a").unwrap()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alphabet;
+pub mod lasso;
+pub mod prop;
+pub mod word;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use lasso::{all_lassos, LassoWord};
+pub use prop::{agree_on_lassos, and, not, or, rem, LinearProperty, SemanticProperty};
+pub use word::{all_words, Word};

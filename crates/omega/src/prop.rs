@@ -1,0 +1,316 @@
+//! Semantic linear-time properties and Rem's examples.
+//!
+//! A [`LinearProperty`] is a set of ω-words, represented intensionally by
+//! a membership predicate on lasso words. These are the ground-truth
+//! oracles against which the automata-theoretic machinery in `sl-buchi`
+//! is cross-checked: for ω-regular properties, agreement on all lasso
+//! words implies equality of the languages.
+//!
+//! [`rem`] packages the seven example properties from the paper's
+//! Section 2.3 (due to Martin Rem), which the experiment harness
+//! classifies as safety / liveness / neither.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::lasso::{all_lassos, LassoWord};
+
+/// A linear-time property: a set of ω-words, queried through membership
+/// of ultimately periodic words.
+pub trait LinearProperty {
+    /// Whether the lasso word belongs to the property.
+    fn contains(&self, word: &LassoWord) -> bool;
+
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+}
+
+impl<P: LinearProperty + ?Sized> LinearProperty for Box<P> {
+    fn contains(&self, word: &LassoWord) -> bool {
+        (**self).contains(word)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<P: LinearProperty + ?Sized> LinearProperty for &P {
+    fn contains(&self, word: &LassoWord) -> bool {
+        (**self).contains(word)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A property defined by a closure, with a name.
+pub struct SemanticProperty<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F: Fn(&LassoWord) -> bool> SemanticProperty<F> {
+    /// Wraps a predicate as a named property.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        SemanticProperty {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl<F: Fn(&LassoWord) -> bool> LinearProperty for SemanticProperty<F> {
+    fn contains(&self, word: &LassoWord) -> bool {
+        (self.predicate)(word)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The complement of a property.
+pub struct NotProperty<P>(pub P, String);
+
+/// The intersection of two properties.
+pub struct AndProperty<P, Q>(pub P, pub Q, String);
+
+/// The union of two properties.
+pub struct OrProperty<P, Q>(pub P, pub Q, String);
+
+/// Negates a property.
+pub fn not<P: LinearProperty>(p: P) -> NotProperty<P> {
+    let name = format!("!({})", p.name());
+    NotProperty(p, name)
+}
+
+/// Intersects two properties.
+pub fn and<P: LinearProperty, Q: LinearProperty>(p: P, q: Q) -> AndProperty<P, Q> {
+    let name = format!("({}) & ({})", p.name(), q.name());
+    AndProperty(p, q, name)
+}
+
+/// Unions two properties.
+pub fn or<P: LinearProperty, Q: LinearProperty>(p: P, q: Q) -> OrProperty<P, Q> {
+    let name = format!("({}) | ({})", p.name(), q.name());
+    OrProperty(p, q, name)
+}
+
+impl<P: LinearProperty> LinearProperty for NotProperty<P> {
+    fn contains(&self, word: &LassoWord) -> bool {
+        !self.0.contains(word)
+    }
+    fn name(&self) -> &str {
+        &self.1
+    }
+}
+
+impl<P: LinearProperty, Q: LinearProperty> LinearProperty for AndProperty<P, Q> {
+    fn contains(&self, word: &LassoWord) -> bool {
+        self.0.contains(word) && self.1.contains(word)
+    }
+    fn name(&self) -> &str {
+        &self.2
+    }
+}
+
+impl<P: LinearProperty, Q: LinearProperty> LinearProperty for OrProperty<P, Q> {
+    fn contains(&self, word: &LassoWord) -> bool {
+        self.0.contains(word) || self.1.contains(word)
+    }
+    fn name(&self) -> &str {
+        &self.2
+    }
+}
+
+/// Whether two properties agree on every lasso word with stem length at
+/// most `max_stem` and cycle length at most `max_cycle`. For ω-regular
+/// properties this decides equality once the bounds exceed the automata
+/// sizes involved.
+pub fn agree_on_lassos<P: LinearProperty + ?Sized, Q: LinearProperty + ?Sized>(
+    alphabet: &Alphabet,
+    p: &P,
+    q: &Q,
+    max_stem: usize,
+    max_cycle: usize,
+) -> Result<(), LassoWord> {
+    for w in all_lassos(alphabet, max_stem, max_cycle) {
+        if p.contains(&w) != q.contains(&w) {
+            return Err(w);
+        }
+    }
+    Ok(())
+}
+
+/// Martin Rem's seven example properties (paper Section 2.3) as semantic
+/// oracles over the alphabet `{a, b}` (where `b` stands in for "any
+/// symbol different from a").
+pub mod rem {
+    use super::*;
+
+    /// A boxed property, the convenient form for heterogeneous lists.
+    pub type BoxedProperty = Box<dyn LinearProperty>;
+
+    fn a(alphabet: &Alphabet) -> Symbol {
+        alphabet.symbol("a").expect("alphabet must contain 'a'")
+    }
+
+    /// p0: `false` — the empty property ∅.
+    #[must_use]
+    pub fn p0(_alphabet: &Alphabet) -> BoxedProperty {
+        Box::new(SemanticProperty::new("p0: false", |_| false))
+    }
+
+    /// p1: the first symbol of `t` is `a`.
+    #[must_use]
+    pub fn p1(alphabet: &Alphabet) -> BoxedProperty {
+        let a = a(alphabet);
+        Box::new(SemanticProperty::new("p1: a", move |w: &LassoWord| {
+            w.first() == a
+        }))
+    }
+
+    /// p2: the first symbol of `t` differs from `a`.
+    #[must_use]
+    pub fn p2(alphabet: &Alphabet) -> BoxedProperty {
+        let a = a(alphabet);
+        Box::new(SemanticProperty::new("p2: !a", move |w: &LassoWord| {
+            w.first() != a
+        }))
+    }
+
+    /// p3: the first symbol is `a` and `t` contains a symbol that differs
+    /// from `a` (LTL: `a ∧ F ¬a`).
+    #[must_use]
+    pub fn p3(alphabet: &Alphabet) -> BoxedProperty {
+        let a = a(alphabet);
+        Box::new(SemanticProperty::new(
+            "p3: a & F !a",
+            move |w: &LassoWord| {
+                let has_non_a = (0..w.phase_count()).any(|i| w.at(i) != a);
+                w.first() == a && has_non_a
+            },
+        ))
+    }
+
+    /// p4: the number of `a`s in `t` is finite (LTL: `FG ¬a`).
+    #[must_use]
+    pub fn p4(alphabet: &Alphabet) -> BoxedProperty {
+        let a = a(alphabet);
+        Box::new(SemanticProperty::new("p4: FG !a", move |w: &LassoWord| {
+            w.finitely_often(a)
+        }))
+    }
+
+    /// p5: the number of `a`s in `t` is infinite (LTL: `GF a`).
+    #[must_use]
+    pub fn p5(alphabet: &Alphabet) -> BoxedProperty {
+        let a = a(alphabet);
+        Box::new(SemanticProperty::new("p5: GF a", move |w: &LassoWord| {
+            w.infinitely_often(a)
+        }))
+    }
+
+    /// p6: `true` — the full property `Σ^ω`.
+    #[must_use]
+    pub fn p6(_alphabet: &Alphabet) -> BoxedProperty {
+        Box::new(SemanticProperty::new("p6: true", |_| true))
+    }
+
+    /// All seven properties in order, for table-driven experiments.
+    #[must_use]
+    pub fn all(alphabet: &Alphabet) -> Vec<BoxedProperty> {
+        vec![
+            p0(alphabet),
+            p1(alphabet),
+            p2(alphabet),
+            p3(alphabet),
+            p4(alphabet),
+            p5(alphabet),
+            p6(alphabet),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn rem_p1_p2_partition_nonfirst() {
+        let s = sigma();
+        let p1 = rem::p1(&s);
+        let p2 = rem::p2(&s);
+        for w in all_lassos(&s, 2, 2) {
+            assert_ne!(p1.contains(&w), p2.contains(&w));
+        }
+    }
+
+    #[test]
+    fn rem_p3_examples() {
+        let s = sigma();
+        let p3 = rem::p3(&s);
+        assert!(p3.contains(&LassoWord::parse(&s, "a", "b")));
+        assert!(p3.contains(&LassoWord::parse(&s, "a b", "a")));
+        assert!(!p3.contains(&LassoWord::parse(&s, "", "a"))); // never leaves a
+        assert!(!p3.contains(&LassoWord::parse(&s, "b", "a"))); // starts with b
+    }
+
+    #[test]
+    fn rem_p4_p5_partition() {
+        let s = sigma();
+        let p4 = rem::p4(&s);
+        let p5 = rem::p5(&s);
+        for w in all_lassos(&s, 2, 3) {
+            assert_ne!(p4.contains(&w), p5.contains(&w), "{w}");
+        }
+        assert!(p4.contains(&LassoWord::parse(&s, "a a a", "b")));
+        assert!(p5.contains(&LassoWord::parse(&s, "b b", "a b")));
+    }
+
+    #[test]
+    fn combinators() {
+        let s = sigma();
+        let p1 = rem::p1(&s);
+        let p5 = rem::p5(&s);
+        let both = and(p1, p5);
+        assert!(both.contains(&LassoWord::parse(&s, "", "a")));
+        assert!(!both.contains(&LassoWord::parse(&s, "b", "a")));
+        assert_eq!(both.name(), "(p1: a) & (p5: GF a)");
+
+        let neither = not(or(rem::p1(&s), rem::p5(&s)));
+        assert!(neither.contains(&LassoWord::parse(&s, "b", "b")));
+        assert!(!neither.contains(&LassoWord::parse(&s, "", "a")));
+    }
+
+    #[test]
+    fn agree_on_lassos_finds_differences() {
+        let s = sigma();
+        // p4 and p0 differ, e.g. on b^ω.
+        let diff = agree_on_lassos(&s, &*rem::p4(&s), &*rem::p0(&s), 1, 1);
+        assert!(diff.is_err());
+        // p6 agrees with !p0.
+        let p6 = rem::p6(&s);
+        let not_p0 = not(rem::p0(&s));
+        agree_on_lassos(&s, &*p6, &not_p0, 2, 2).unwrap();
+    }
+
+    #[test]
+    fn de_morgan_on_samples() {
+        let s = sigma();
+        let lhs = not(and(rem::p1(&s), rem::p5(&s)));
+        let rhs = or(not(rem::p1(&s)), not(rem::p5(&s)));
+        agree_on_lassos(&s, &lhs, &rhs, 2, 2).unwrap();
+    }
+
+    #[test]
+    fn all_returns_seven() {
+        let s = sigma();
+        let props = rem::all(&s);
+        assert_eq!(props.len(), 7);
+        assert_eq!(props[0].name(), "p0: false");
+        assert_eq!(props[6].name(), "p6: true");
+    }
+}

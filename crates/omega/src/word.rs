@@ -1,0 +1,243 @@
+//! Finite words over an alphabet, with the prefix order of Section 2.1.
+
+use crate::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// A finite word: a sequence of symbols.
+///
+/// Implements the paper's prefix relations: `s ⊑ t` ([`Word::is_prefix_of`])
+/// and the proper variant `s ⊏ t`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word {
+    symbols: Vec<Symbol>,
+}
+
+impl Word {
+    /// The empty word.
+    #[must_use]
+    pub fn empty() -> Self {
+        Word::default()
+    }
+
+    /// A word from a slice of symbols.
+    #[must_use]
+    pub fn new(symbols: &[Symbol]) -> Self {
+        Word {
+            symbols: symbols.to_vec(),
+        }
+    }
+
+    /// Parses a word from symbol names separated by spaces (or an empty
+    /// string for the empty word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not in the alphabet.
+    #[must_use]
+    pub fn parse(alphabet: &Alphabet, text: &str) -> Self {
+        let symbols = text
+            .split_whitespace()
+            .map(|name| {
+                alphabet
+                    .symbol(name)
+                    .unwrap_or_else(|| panic!("unknown symbol {name:?}"))
+            })
+            .collect();
+        Word { symbols }
+    }
+
+    /// Length of the word (the paper's `|s|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the word is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol at position `i` (the paper's `s.i`).
+    #[must_use]
+    pub fn at(&self, i: usize) -> Option<Symbol> {
+        self.symbols.get(i).copied()
+    }
+
+    /// The symbols as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Appends a symbol, returning a new word.
+    #[must_use]
+    pub fn push(&self, sym: Symbol) -> Word {
+        let mut symbols = self.symbols.clone();
+        symbols.push(sym);
+        Word { symbols }
+    }
+
+    /// Concatenation.
+    #[must_use]
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut symbols = self.symbols.clone();
+        symbols.extend_from_slice(&other.symbols);
+        Word { symbols }
+    }
+
+    /// The prefix relation `self ⊑ other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Word) -> bool {
+        other.symbols.starts_with(&self.symbols)
+    }
+
+    /// The proper prefix relation `self ⊏ other`.
+    #[must_use]
+    pub fn is_proper_prefix_of(&self, other: &Word) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// All prefixes, from empty to the word itself.
+    #[must_use]
+    pub fn prefixes(&self) -> Vec<Word> {
+        (0..=self.len())
+            .map(|k| Word::new(&self.symbols[..k]))
+            .collect()
+    }
+
+    /// Renders the word with names from the alphabet, space-separated.
+    #[must_use]
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        self.symbols
+            .iter()
+            .map(|&s| alphabet.name(s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl FromIterator<Symbol> for Word {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        Word {
+            symbols: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Without an alphabet we render the raw indices.
+        let parts: Vec<String> = self.symbols.iter().map(|s| s.0.to_string()).collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+/// Enumerates all words over the alphabet with length at most `max_len`,
+/// in length-lexicographic order. There are
+/// `(k^(max_len+1) - 1) / (k - 1)` of them for `k` symbols.
+#[must_use]
+pub fn all_words(alphabet: &Alphabet, max_len: usize) -> Vec<Word> {
+    let mut out = vec![Word::empty()];
+    let mut frontier = vec![Word::empty()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for sym in alphabet.symbols() {
+                let extended = w.push(sym);
+                out.push(extended.clone());
+                next.push(extended);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let sigma = ab();
+        let w = Word::parse(&sigma, "a b a");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.display(&sigma), "a b a");
+        assert_eq!(Word::parse(&sigma, "").len(), 0);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let sigma = ab();
+        let s = Word::parse(&sigma, "a b");
+        let t = Word::parse(&sigma, "a b a");
+        assert!(s.is_prefix_of(&t));
+        assert!(s.is_proper_prefix_of(&t));
+        assert!(t.is_prefix_of(&t));
+        assert!(!t.is_proper_prefix_of(&t));
+        assert!(!t.is_prefix_of(&s));
+        assert!(Word::empty().is_prefix_of(&s));
+    }
+
+    #[test]
+    fn prefixes_are_all_prefixes() {
+        let sigma = ab();
+        let w = Word::parse(&sigma, "a b");
+        let ps = w.prefixes();
+        assert_eq!(ps.len(), 3);
+        for p in &ps {
+            assert!(p.is_prefix_of(&w));
+        }
+    }
+
+    #[test]
+    fn concat_and_push() {
+        let sigma = ab();
+        let a = Word::parse(&sigma, "a");
+        let b = Word::parse(&sigma, "b");
+        assert_eq!(a.concat(&b), Word::parse(&sigma, "a b"));
+        assert_eq!(
+            a.push(sigma.symbol("b").unwrap()),
+            Word::parse(&sigma, "a b")
+        );
+    }
+
+    #[test]
+    fn at_is_positional() {
+        let sigma = ab();
+        let w = Word::parse(&sigma, "a b");
+        assert_eq!(w.at(0), sigma.symbol("a"));
+        assert_eq!(w.at(1), sigma.symbol("b"));
+        assert_eq!(w.at(2), None);
+    }
+
+    #[test]
+    fn all_words_counts() {
+        let sigma = ab();
+        // 1 + 2 + 4 + 8 = 15 words of length <= 3.
+        assert_eq!(all_words(&sigma, 3).len(), 15);
+        // All distinct.
+        let mut ws = all_words(&sigma, 3);
+        ws.sort();
+        ws.dedup();
+        assert_eq!(ws.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown symbol")]
+    fn parse_rejects_unknown() {
+        let _ = Word::parse(&ab(), "a q");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let sigma = ab();
+        let w: Word = sigma.symbols().collect();
+        assert_eq!(w, Word::parse(&sigma, "a b"));
+    }
+}

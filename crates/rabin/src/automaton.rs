@@ -1,0 +1,332 @@
+//! Rabin tree automata on k-ary infinite trees (paper, Section 4.4).
+//!
+//! A Rabin tree automaton is `(Σ, Q, q0, δ, Φ)` with
+//! `δ : Q × Σ → P(Q^k)` and `Φ` a list of `(green, red)` pairs; a run
+//! is accepting iff along every infinite path some pair has its green
+//! set visited infinitely often and its red set only finitely often.
+//! Büchi tree automata are the one-pair special case `(F, ∅)`.
+
+use sl_omega::{Alphabet, Symbol};
+
+/// A state of a tree automaton.
+pub type StateId = usize;
+
+/// A Rabin tree automaton over `k`-ary trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RabinTreeAutomaton {
+    alphabet: Alphabet,
+    arity: usize,
+    initial: StateId,
+    /// `delta[state][symbol]` is the list of transition tuples, each of
+    /// length `arity`.
+    delta: Vec<Vec<Vec<Vec<StateId>>>>,
+    /// The pairs `(green, red)` as per-state membership flags.
+    pairs: Vec<(Vec<bool>, Vec<bool>)>,
+}
+
+/// Builder for [`RabinTreeAutomaton`].
+#[derive(Debug, Clone)]
+pub struct RabinTreeBuilder {
+    alphabet: Alphabet,
+    arity: usize,
+    states: usize,
+    delta: Vec<Vec<Vec<Vec<StateId>>>>,
+}
+
+impl RabinTreeBuilder {
+    /// Starts a builder for `k`-ary tree automata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn new(alphabet: Alphabet, arity: usize) -> Self {
+        assert!(arity > 0, "arity must be positive");
+        RabinTreeBuilder {
+            alphabet,
+            arity,
+            states: 0,
+            delta: Vec::new(),
+        }
+    }
+
+    /// Adds a state.
+    pub fn add_state(&mut self) -> StateId {
+        self.states += 1;
+        self.delta.push(vec![Vec::new(); self.alphabet.len()]);
+        self.states - 1
+    }
+
+    /// Adds a transition tuple: in state `from` reading `sym`, send
+    /// `tuple[d]` into direction `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range or the tuple length differs from
+    /// the arity.
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, tuple: &[StateId]) {
+        assert!(from < self.states, "from-state out of range");
+        assert_eq!(tuple.len(), self.arity, "tuple length must equal arity");
+        for &q in tuple {
+            assert!(q < self.states, "tuple state out of range");
+        }
+        assert!(sym.index() < self.alphabet.len(), "symbol out of range");
+        let tuples = &mut self.delta[from][sym.index()];
+        let tuple = tuple.to_vec();
+        if !tuples.contains(&tuple) {
+            tuples.push(tuple);
+        }
+    }
+
+    /// Finishes with a Rabin condition given as `(green, red)` state
+    /// lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` or any pair state is out of range.
+    #[must_use]
+    pub fn build_rabin(
+        self,
+        initial: StateId,
+        pairs: &[(Vec<StateId>, Vec<StateId>)],
+    ) -> RabinTreeAutomaton {
+        assert!(initial < self.states, "initial out of range");
+        let mut flag_pairs = Vec::new();
+        for (green, red) in pairs {
+            let mut gflags = vec![false; self.states];
+            let mut rflags = vec![false; self.states];
+            for &q in green {
+                assert!(q < self.states, "green state out of range");
+                gflags[q] = true;
+            }
+            for &q in red {
+                assert!(q < self.states, "red state out of range");
+                rflags[q] = true;
+            }
+            flag_pairs.push((gflags, rflags));
+        }
+        RabinTreeAutomaton {
+            alphabet: self.alphabet,
+            arity: self.arity,
+            initial,
+            delta: self.delta,
+            pairs: flag_pairs,
+        }
+    }
+
+    /// Finishes with a Büchi condition: the single pair `(accepting, ∅)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` or an accepting state is out of range.
+    #[must_use]
+    pub fn build_buchi(self, initial: StateId, accepting: &[StateId]) -> RabinTreeAutomaton {
+        let pairs = vec![(accepting.to_vec(), Vec::new())];
+        self.build_rabin(initial, &pairs)
+    }
+
+    /// Finishes with a max-parity condition (a run path is accepting iff
+    /// the maximal priority occurring infinitely often on it is even),
+    /// encoded as the Rabin chain: one pair per even priority `d` with
+    /// `green = {pr = d}` and `red = {pr > d}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range or `priorities` has the wrong
+    /// length.
+    #[must_use]
+    pub fn build_parity(self, initial: StateId, priorities: &[u32]) -> RabinTreeAutomaton {
+        assert_eq!(
+            priorities.len(),
+            self.states,
+            "priority list must cover all states"
+        );
+        let top = priorities.iter().copied().max().unwrap_or(0);
+        let mut pairs = Vec::new();
+        for d in (0..=top).filter(|d| d % 2 == 0) {
+            let green: Vec<StateId> = (0..self.states).filter(|&q| priorities[q] == d).collect();
+            let red: Vec<StateId> = (0..self.states).filter(|&q| priorities[q] > d).collect();
+            pairs.push((green, red));
+        }
+        self.build_rabin(initial, &pairs)
+    }
+}
+
+impl RabinTreeAutomaton {
+    /// The alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The tree arity `k`.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The transition tuples for `(state, symbol)`.
+    #[must_use]
+    pub fn transitions(&self, state: StateId, sym: Symbol) -> &[Vec<StateId>] {
+        &self.delta[state][sym.index()]
+    }
+
+    /// The Rabin pairs as per-state flags.
+    #[must_use]
+    pub fn pairs(&self) -> &[(Vec<bool>, Vec<bool>)] {
+        &self.pairs
+    }
+
+    /// Total number of transition tuples.
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.delta
+            .iter()
+            .map(|row| row.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The automaton `B(q)` — same structure rooted at `q` (Section 4.4
+    /// notation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn rooted_at(&self, q: StateId) -> RabinTreeAutomaton {
+        assert!(q < self.num_states(), "state out of range");
+        let mut out = self.clone();
+        out.initial = q;
+        out
+    }
+
+    /// Restricts to the states where `keep` holds (dropping transitions
+    /// touching removed states) and replaces the acceptance with the
+    /// trivial condition `{(Q', ∅)}` — the second half of the `rfcl`
+    /// construction. State ids are preserved (removed states keep their
+    /// slots but lose all transitions and flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask size mismatches.
+    #[must_use]
+    pub fn restrict_and_trivialize(&self, keep: &[bool]) -> RabinTreeAutomaton {
+        assert_eq!(keep.len(), self.num_states(), "mask size mismatch");
+        let mut delta = self.delta.clone();
+        for (q, row) in delta.iter_mut().enumerate() {
+            for tuples in row.iter_mut() {
+                if !keep[q] {
+                    tuples.clear();
+                } else {
+                    tuples.retain(|tuple| tuple.iter().all(|&t| keep[t]));
+                }
+            }
+        }
+        let green: Vec<bool> = keep.to_vec();
+        let red = vec![false; self.num_states()];
+        RabinTreeAutomaton {
+            alphabet: self.alphabet.clone(),
+            arity: self.arity,
+            initial: self.initial,
+            delta,
+            pairs: vec![(green, red)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 2);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_transition(q0, a, &[q1, q1]);
+        b.add_transition(q1, a, &[q1, q1]);
+        let m = b.build_buchi(q0, &[q1]);
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.arity(), 2);
+        assert_eq!(m.initial(), 0);
+        assert_eq!(m.transitions(q0, a), &[vec![1, 1]]);
+        assert_eq!(m.pairs().len(), 1);
+        assert!(m.pairs()[0].0[1]);
+        assert!(!m.pairs()[0].0[0]);
+        assert_eq!(m.num_transitions(), 2);
+    }
+
+    #[test]
+    fn duplicate_tuples_ignored() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        b.add_transition(q0, a, &[q0]);
+        let m = b.build_buchi(q0, &[q0]);
+        assert_eq!(m.num_transitions(), 1);
+    }
+
+    #[test]
+    fn rooted_at_changes_initial() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_transition(q0, a, &[q1]);
+        b.add_transition(q1, a, &[q1]);
+        let m = b.build_buchi(q0, &[q1]);
+        assert_eq!(m.rooted_at(1).initial(), 1);
+    }
+
+    #[test]
+    fn restrict_and_trivialize_prunes() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        b.add_transition(q0, a, &[q1]);
+        b.add_transition(q1, a, &[q1]);
+        let m = b.build_buchi(q0, &[q0]);
+        let r = m.restrict_and_trivialize(&[true, false]);
+        // Tuples into q1 are gone; q1 itself has none left.
+        assert_eq!(r.transitions(0, a), &[vec![0]]);
+        assert!(r.transitions(1, a).is_empty());
+        // Trivial condition: green everywhere kept, no red.
+        assert!(r.pairs()[0].0[0]);
+        assert!(!r.pairs()[0].0[1]);
+        assert!(r.pairs()[0].1.iter().all(|&x| !x));
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple length must equal arity")]
+    fn arity_mismatch_rejected() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 2);
+        let q0 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+    }
+}

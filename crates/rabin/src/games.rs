@@ -1,0 +1,306 @@
+//! Acceptance and emptiness games for Rabin tree automata.
+//!
+//! * **Membership** of a regular tree: the automaton (player Even)
+//!   proposes transition tuples; the pathfinder (player Odd) picks
+//!   directions. The tree is accepted iff Even wins the Rabin game from
+//!   the root — every Odd-chosen path then satisfies the Rabin
+//!   condition, which is exactly the run-acceptance of Section 4.4.
+//! * **Emptiness**: the same game where Even also picks the input
+//!   symbol. Even wins iff some (regular, by finite-memory determinacy)
+//!   tree is accepted.
+//!
+//! Both games are solved through `sl-games` (index appearance records →
+//! parity → Zielonka).
+
+use crate::automaton::RabinTreeAutomaton;
+use sl_games::{solve_rabin, Player, RabinGame};
+use sl_trees::RegularTree;
+
+/// Whether the automaton accepts the regular tree.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ or some tree node's branching width
+/// differs from the automaton's arity.
+#[must_use]
+pub fn accepts(automaton: &RabinTreeAutomaton, tree: &RegularTree) -> bool {
+    assert_eq!(automaton.alphabet(), tree.alphabet(), "alphabet mismatch");
+    for v in 0..tree.num_graph_nodes() {
+        assert_eq!(
+            tree.children(v).len(),
+            automaton.arity(),
+            "tree branching must match automaton arity"
+        );
+    }
+    let nq = automaton.num_states();
+    let nv = tree.num_graph_nodes();
+    let k = automaton.arity();
+
+    // Vertices:
+    //   Eve vertex (v, q): id = v * nq + q              -- pick a tuple
+    //   Adam vertex per (v, q, tuple index): appended    -- pick a branch
+    //   sink: Eve-trap (no tuple available): last vertex
+    let eve = |v: usize, q: usize| v * nq + q;
+    let mut owner = vec![Player::Even; nv * nq];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nv * nq];
+    let mut state_of: Vec<Option<usize>> = vec![None; nv * nq];
+    for v in 0..nv {
+        for q in 0..nq {
+            state_of[eve(v, q)] = Some(q);
+        }
+    }
+    // Materialize Adam vertices.
+    for v in 0..nv {
+        let sym = tree.label_at_node(v);
+        for q in 0..nq {
+            for tuple in automaton.transitions(q, sym) {
+                let adam = owner.len();
+                owner.push(Player::Odd);
+                state_of.push(None);
+                let mut dirs = Vec::with_capacity(k);
+                for (d, &qnext) in tuple.iter().enumerate() {
+                    dirs.push(eve(tree.children(v)[d], qnext));
+                }
+                succ.push(dirs);
+                succ[eve(v, q)].push(adam);
+            }
+        }
+    }
+    // Eve vertices with no tuple go to a losing sink.
+    let sink = owner.len();
+    owner.push(Player::Even);
+    state_of.push(None);
+    succ.push(vec![sink]);
+    for outs in succ.iter_mut().take(nv * nq) {
+        if outs.is_empty() {
+            outs.push(sink);
+        }
+    }
+    // Rabin pairs lifted to the arena: flags live on Eve state vertices;
+    // Adam vertices and the sink are neutral (the sink never satisfies
+    // any pair, so Eve loses there, as intended).
+    let pairs: Vec<(Vec<bool>, Vec<bool>)> = automaton
+        .pairs()
+        .iter()
+        .map(|(green, red)| {
+            let g: Vec<bool> = state_of
+                .iter()
+                .map(|s| s.is_some_and(|q| green[q]))
+                .collect();
+            let r: Vec<bool> = state_of.iter().map(|s| s.is_some_and(|q| red[q])).collect();
+            (g, r)
+        })
+        .collect();
+    let game = RabinGame { owner, succ, pairs };
+    let solution = solve_rabin(&game);
+    solution.winner[eve(tree.root(), automaton.initial())] == Player::Even
+}
+
+/// Per-state emptiness: `result[q]` iff `L(B(q)) ≠ ∅`.
+#[must_use]
+pub fn nonempty_states(automaton: &RabinTreeAutomaton) -> Vec<bool> {
+    let nq = automaton.num_states();
+    // Vertices: Eve (q): pick symbol + tuple; Adam per (q, sym, tuple).
+    let mut owner = vec![Player::Even; nq];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    let mut state_of: Vec<Option<usize>> = (0..nq).map(Some).collect();
+    for q in 0..nq {
+        for sym in automaton.alphabet().symbols() {
+            for tuple in automaton.transitions(q, sym) {
+                let adam = owner.len();
+                owner.push(Player::Odd);
+                state_of.push(None);
+                succ.push(tuple.clone());
+                succ[q].push(adam);
+            }
+        }
+    }
+    let sink = owner.len();
+    owner.push(Player::Even);
+    state_of.push(None);
+    succ.push(vec![sink]);
+    for outs in succ.iter_mut().take(nq) {
+        if outs.is_empty() {
+            outs.push(sink);
+        }
+    }
+    let pairs: Vec<(Vec<bool>, Vec<bool>)> = automaton
+        .pairs()
+        .iter()
+        .map(|(green, red)| {
+            let g: Vec<bool> = state_of
+                .iter()
+                .map(|s| s.is_some_and(|q| green[q]))
+                .collect();
+            let r: Vec<bool> = state_of.iter().map(|s| s.is_some_and(|q| red[q])).collect();
+            (g, r)
+        })
+        .collect();
+    let game = RabinGame { owner, succ, pairs };
+    let solution = solve_rabin(&game);
+    (0..nq)
+        .map(|q| solution.winner[q] == Player::Even)
+        .collect()
+}
+
+/// Whether `L(B) = ∅`.
+#[must_use]
+pub fn is_empty(automaton: &RabinTreeAutomaton) -> bool {
+    !nonempty_states(automaton)[automaton.initial()]
+}
+
+/// Extension trait making the label of a graph node accessible by node
+/// id (the `RegularTree` API exposes labels by path; games need them by
+/// graph node).
+trait LabelAtNode {
+    fn label_at_node(&self, v: usize) -> sl_omega::Symbol;
+}
+
+impl LabelAtNode for RegularTree {
+    fn label_at_node(&self, v: usize) -> sl_omega::Symbol {
+        self.label(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::RabinTreeBuilder;
+    use sl_omega::Alphabet;
+    use sl_trees::RegularTree;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    /// Automaton over unary trees accepting exactly the all-a sequence.
+    fn all_a_unary() -> RabinTreeAutomaton {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        b.build_buchi(q0, &[q0])
+    }
+
+    /// Binary-tree automaton accepting trees where every path eventually
+    /// hits a `b` (AF b): state w = waiting (green only after b).
+    fn af_b_binary() -> RabinTreeAutomaton {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let bb = s.symbol("b").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 2);
+        let wait = b.add_state();
+        let done = b.add_state();
+        b.add_transition(wait, a, &[wait, wait]);
+        b.add_transition(wait, bb, &[done, done]);
+        b.add_transition(done, a, &[done, done]);
+        b.add_transition(done, bb, &[done, done]);
+        b.build_buchi(wait, &[done])
+    }
+
+    fn const_tree(name: &str, width: usize) -> RegularTree {
+        let s = sigma();
+        RegularTree::constant(s.clone(), s.symbol(name).unwrap(), width)
+    }
+
+    #[test]
+    fn unary_membership() {
+        let m = all_a_unary();
+        assert!(accepts(&m, &const_tree("a", 1)));
+        assert!(!accepts(&m, &const_tree("b", 1)));
+    }
+
+    #[test]
+    fn af_b_membership() {
+        let s = sigma();
+        let m = af_b_binary();
+        // Constant-b: accepted immediately.
+        assert!(accepts(&m, &const_tree("b", 2)));
+        // Constant-a: the all-a paths never reach `done`; rejected.
+        assert!(!accepts(&m, &const_tree("a", 2)));
+        // Root a, both children constant-b: accepted.
+        let a = s.symbol("a").unwrap();
+        let bb = s.symbol("b").unwrap();
+        let t = RegularTree::new(s.clone(), vec![a, bb], vec![vec![1, 1], vec![1, 1]], 0);
+        assert!(accepts(&m, &t));
+        // Root a, one branch all-a: rejected (the all-a path dodges b).
+        let t = RegularTree::new(
+            s.clone(),
+            vec![a, a, bb],
+            vec![vec![1, 2], vec![1, 1], vec![2, 2]],
+            0,
+        );
+        assert!(!accepts(&m, &t));
+    }
+
+    #[test]
+    fn membership_matches_ctl_oracle() {
+        // Differential: AF b automaton vs the CTL checker, on all
+        // 2-node binary regular trees.
+        let s = sigma();
+        let m = af_b_binary();
+        let af_b = sl_trees::parse_ctl(&s, "AF b").unwrap();
+        for t in sl_trees::enumerate_regular_trees(&s, 2, 2) {
+            assert_eq!(accepts(&m, &t), t.satisfies(&af_b), "mismatch on {t:?}");
+        }
+    }
+
+    #[test]
+    fn emptiness_basic() {
+        let m = all_a_unary();
+        assert!(!is_empty(&m));
+        // An automaton with no transitions is empty.
+        let s = sigma();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        let m = b.build_buchi(q0, &[q0]);
+        assert!(is_empty(&m));
+    }
+
+    #[test]
+    fn emptiness_needs_green_cycle() {
+        // Transitions exist but the only loop never meets the green set.
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        let m = b.build_buchi(q0, &[q1]);
+        assert!(is_empty(&m));
+    }
+
+    #[test]
+    fn red_states_can_empty_a_language() {
+        // Single loop through a red state: Rabin condition fails.
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        let m = b.build_rabin(q0, &[(vec![q0], vec![q0])]);
+        assert!(is_empty(&m));
+    }
+
+    #[test]
+    fn per_state_emptiness() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut b = RabinTreeBuilder::new(s, 1);
+        let q0 = b.add_state();
+        let dead = b.add_state();
+        b.add_transition(q0, a, &[q0]);
+        // `dead` has no transitions at all.
+        let m = b.build_buchi(q0, &[q0]);
+        assert_eq!(nonempty_states(&m), vec![true, false]);
+        let _ = dead;
+    }
+
+    #[test]
+    #[should_panic(expected = "branching must match")]
+    fn arity_mismatch_rejected() {
+        let m = af_b_binary();
+        let _ = accepts(&m, &const_tree("a", 1));
+    }
+}

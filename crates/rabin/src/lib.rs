@@ -1,0 +1,43 @@
+//! # sl-rabin
+//!
+//! Rabin tree automata on k-ary infinite trees (paper, Section 4.4):
+//! game-based membership of regular trees and emptiness (through
+//! `sl-games`' index-appearance-record reduction and Zielonka), the
+//! finite-depth closure `rfcl`, and the Theorem 9 safety/liveness
+//! decomposition.
+//!
+//! The one deliberate substitution (documented in DESIGN.md): Rabin
+//! tree-automaton *complementation* is Rabin's theorem and out of
+//! scope, so the decomposition's liveness side is realized as a
+//! decidable per-tree predicate `t ∈ L(B) ∪ ¬L(rfcl.B)` instead of an
+//! explicit automaton.
+//!
+//! ```
+//! use sl_omega::Alphabet;
+//! use sl_rabin::{accepts, RabinTreeBuilder};
+//! use sl_trees::RegularTree;
+//!
+//! // Unary-tree automaton accepting exactly a^ω.
+//! let sigma = Alphabet::ab();
+//! let a = sigma.symbol("a").unwrap();
+//! let mut builder = RabinTreeBuilder::new(sigma.clone(), 1);
+//! let q0 = builder.add_state();
+//! builder.add_transition(q0, a, &[q0]);
+//! let automaton = builder.build_buchi(q0, &[q0]);
+//!
+//! let all_a = RegularTree::constant(sigma.clone(), a, 1);
+//! assert!(accepts(&automaton, &all_a));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod automaton;
+pub mod games;
+#[cfg(test)]
+mod parity_tests;
+pub mod rfcl;
+
+pub use automaton::{RabinTreeAutomaton, RabinTreeBuilder, StateId};
+pub use games::{accepts, is_empty, nonempty_states};
+pub use rfcl::{decompose, rfcl, safety_counterexample, Decomposition};

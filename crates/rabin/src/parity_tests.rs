@@ -1,0 +1,118 @@
+//! Tests for the parity (Rabin-chain) acceptance on tree automata,
+//! cross-checked against Büchi encodings and word-level semantics on
+//! lasso-embedded sequence trees.
+
+#![cfg(test)]
+
+use crate::automaton::{RabinTreeAutomaton, RabinTreeBuilder};
+use crate::games::{accepts, is_empty};
+use sl_omega::Alphabet;
+use sl_trees::RegularTree;
+
+fn sigma() -> Alphabet {
+    Alphabet::ab()
+}
+
+/// A deterministic unary parity automaton whose run mirrors the input
+/// word: state `qa` after reading `a`, state `qb` after reading `b`,
+/// with the given priorities. On the sequence tree of a lasso word, the
+/// unique run's acceptance is the parity of the word's tail.
+fn unary_tracker(pa: u32, pb: u32, p0: u32) -> RabinTreeAutomaton {
+    let s = sigma();
+    let a = s.symbol("a").unwrap();
+    let b = s.symbol("b").unwrap();
+    let mut builder = RabinTreeBuilder::new(s, 1);
+    let q0 = builder.add_state();
+    let qa = builder.add_state();
+    let qb = builder.add_state();
+    for from in [q0, qa, qb] {
+        builder.add_transition(from, a, &[qa]);
+        builder.add_transition(from, b, &[qb]);
+    }
+    builder.build_parity(q0, &[p0, pa, pb])
+}
+
+#[test]
+fn parity_on_sequences_matches_word_semantics() {
+    // Priorities: seeing `a` emits 2 (good), seeing `b` emits 1 (bad):
+    // accept iff `a` occurs infinitely often — GF a.
+    let s = sigma();
+    let m = unary_tracker(2, 1, 0);
+    for w in sl_omega::all_lassos(&s, 2, 3) {
+        let tree = RegularTree::from_lasso(&w, s.clone(), 1);
+        let a = s.symbol("a").unwrap();
+        assert_eq!(accepts(&m, &tree), w.infinitely_often(a), "{w}");
+    }
+}
+
+#[test]
+fn parity_dual_accepts_fg() {
+    // Priorities: a -> 1, b -> 2: accept iff b infinitely often.
+    let s = sigma();
+    let m = unary_tracker(1, 2, 0);
+    for w in sl_omega::all_lassos(&s, 2, 3) {
+        let tree = RegularTree::from_lasso(&w, s.clone(), 1);
+        let b = s.symbol("b").unwrap();
+        assert_eq!(accepts(&m, &tree), w.infinitely_often(b), "{w}");
+    }
+}
+
+#[test]
+fn buchi_condition_as_parity() {
+    // priorities 2 on accepting, 1 on others == Büchi. Differential on
+    // the AF b automaton shape.
+    let s = sigma();
+    let a = s.symbol("a").unwrap();
+    let bb = s.symbol("b").unwrap();
+    let build = |parity: bool| {
+        let mut builder = RabinTreeBuilder::new(s.clone(), 2);
+        let wait = builder.add_state();
+        let done = builder.add_state();
+        builder.add_transition(wait, a, &[wait, wait]);
+        builder.add_transition(wait, bb, &[done, done]);
+        builder.add_transition(done, a, &[done, done]);
+        builder.add_transition(done, bb, &[done, done]);
+        if parity {
+            builder.build_parity(wait, &[1, 2])
+        } else {
+            builder.build_buchi(wait, &[done])
+        }
+    };
+    let via_parity = build(true);
+    let via_buchi = build(false);
+    for t in sl_trees::enumerate_regular_trees(&s, 2, 2) {
+        assert_eq!(accepts(&via_parity, &t), accepts(&via_buchi, &t), "{t:?}");
+    }
+}
+
+#[test]
+fn odd_only_parity_is_empty() {
+    let s = sigma();
+    let a = s.symbol("a").unwrap();
+    let mut builder = RabinTreeBuilder::new(s, 1);
+    let q0 = builder.add_state();
+    builder.add_transition(q0, a, &[q0]);
+    let m = builder.build_parity(q0, &[1]);
+    assert!(is_empty(&m));
+}
+
+#[test]
+fn max_parity_dominates() {
+    // Two states alternating with priorities 1 and 2: max inf = 2, even
+    // — the alternating word is accepted; priorities 2 and 3: max inf
+    // = 3 — rejected.
+    let s = sigma();
+    let a = s.symbol("a").unwrap();
+    let b = s.symbol("b").unwrap();
+    let build = |p: [u32; 2]| {
+        let mut builder = RabinTreeBuilder::new(s.clone(), 1);
+        let q0 = builder.add_state();
+        let q1 = builder.add_state();
+        builder.add_transition(q0, a, &[q1]);
+        builder.add_transition(q1, b, &[q0]);
+        builder.build_parity(q0, &p)
+    };
+    let ab_tree = RegularTree::from_lasso(&sl_omega::LassoWord::parse(&s, "", "a b"), s.clone(), 1);
+    assert!(accepts(&build([1, 2]), &ab_tree));
+    assert!(!accepts(&build([2, 3]), &ab_tree));
+}

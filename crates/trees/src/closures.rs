@@ -1,0 +1,315 @@
+//! The branching-time closures `fcl` and `ncl` (Definitions 5 and 6),
+//! with bounded membership checkers and absolute path-based refutations.
+//!
+//! The definitions quantify over all prefixes of a total tree and all
+//! total extensions — neither is finitely enumerable, so the checkers
+//! here are *bounded*: they test prefixes up to a depth, and search for
+//! extensions among completions built from a caller-supplied family of
+//! continuation trees (plus the tree itself). Refutations of `ncl`
+//! membership for *universal path properties* `A φ` are absolute,
+//! though: if a non-total prefix keeps an infinite path violating `φ`,
+//! no extension whatsoever can land in the property (the path survives
+//! into every extension).
+//!
+//! This is the substitution documented in DESIGN.md item 3: the paper's
+//! Section 4.3 table is verified mechanically with the paper's own
+//! witnesses plus exhaustive small-scope search.
+
+use crate::ctl::Ctl;
+use crate::finite::Node;
+use crate::prefix::RegularPrefix;
+use crate::regular::RegularTree;
+use sl_ltl::Ltl;
+
+/// A bounded refutation of closure membership: the prefix that could
+/// not be extended into the property.
+#[derive(Debug, Clone)]
+pub struct Refutation {
+    /// Depth of the unrolling where the stuck prefix lives.
+    pub depth: usize,
+    /// The cut paths defining the stuck prefix (empty = full
+    /// truncation).
+    pub cuts: Vec<Node>,
+}
+
+/// Bounded check of `y ∈ fcl.P`: for every full truncation of `y` up to
+/// `max_depth`, some completion (by a tree from `continuations`, with
+/// `width`-fold branching below the frontier, or `y` itself) satisfies
+/// `property`.
+///
+/// `Ok(())` means membership *as far as the bounds see*; `Err` returns
+/// the depth of a truncation for which no candidate extension worked —
+/// a refutation relative to the candidate family.
+///
+/// # Errors
+///
+/// Returns the stuck truncation as a [`Refutation`].
+pub fn fcl_contains_bounded(
+    y: &RegularTree,
+    property: &Ctl,
+    max_depth: usize,
+    continuations: &[RegularTree],
+    width: usize,
+) -> Result<(), Refutation> {
+    // If y itself is in P, every truncation extends to y: done.
+    if y.satisfies(property) {
+        return Ok(());
+    }
+    for depth in 0..=max_depth {
+        let found = continuations
+            .iter()
+            .any(|cont| y.graft(depth, cont, width).satisfies(property));
+        if !found {
+            return Err(Refutation {
+                depth,
+                cuts: Vec::new(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// All antichain cut-pattern prefixes of `y` up to `max_depth`:
+/// nonempty subsets of unrolling paths with no ancestor pairs. Total
+/// prefixes (no cuts) are excluded — `ncl` quantifies over `A_nt`.
+#[must_use]
+pub fn nontotal_prefixes(y: &RegularTree, max_depth: usize) -> Vec<RegularPrefix> {
+    // Enumerate the unrolling paths up to max_depth.
+    let mut paths: Vec<Node> = vec![Vec::new()];
+    let mut frontier: Vec<Node> = vec![Vec::new()];
+    for _ in 0..max_depth {
+        let mut next = Vec::new();
+        for path in &frontier {
+            let node = y.node_at(path).expect("paths stay in the tree");
+            for i in 0..y.children(node).len() {
+                let mut child = path.clone();
+                child.push(i as u32);
+                paths.push(child.clone());
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    // Subsets that form antichains, nonempty.
+    let n = paths.len();
+    assert!(n <= 16, "too many unrolling paths; lower max_depth");
+    let mut out = Vec::new();
+    'subset: for mask in 1u32..(1u32 << n) {
+        let chosen: Vec<&Node> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| &paths[i])
+            .collect();
+        for (i, a) in chosen.iter().enumerate() {
+            for b in chosen.iter().skip(i + 1) {
+                if crate::finite::is_ancestor(a, b) || crate::finite::is_ancestor(b, a) {
+                    continue 'subset;
+                }
+            }
+        }
+        let cuts: Vec<Node> = chosen.into_iter().cloned().collect();
+        out.push(RegularPrefix::cut(y, max_depth, &cuts));
+    }
+    out
+}
+
+/// Bounded check of `y ∈ ncl.P`: every non-total cut-pattern prefix of
+/// `y` (up to `max_depth`) has a completion in `property`, searching
+/// completions built from `continuations` (plus `y` itself, which
+/// extends every prefix of `y`).
+///
+/// # Errors
+///
+/// Returns the stuck prefix pattern as a [`Refutation`].
+pub fn ncl_contains_bounded(
+    y: &RegularTree,
+    property: &Ctl,
+    max_depth: usize,
+    continuations: &[RegularTree],
+    width: usize,
+) -> Result<(), Refutation> {
+    let y_in_property = y.satisfies(property);
+    // Enumerate paths again to recover cut descriptions for refutations.
+    for (pattern_index, prefix) in nontotal_prefixes(y, max_depth).iter().enumerate() {
+        if y_in_property {
+            continue; // y itself completes every prefix of y
+        }
+        let found = continuations
+            .iter()
+            .any(|cont| prefix.complete(cont, width).satisfies(property));
+        if !found {
+            return Err(Refutation {
+                depth: max_depth,
+                cuts: vec![vec![pattern_index as u32]],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Absolute refutation of `y ∈ ncl.(A φ)` for a universal path property:
+/// exhibits that the given cut pattern yields a non-total prefix of `y`
+/// keeping an infinite path that violates `φ`. Every total extension of
+/// that prefix inherits the violating path, so no extension lies in
+/// `A φ` and `y ∉ ncl.(A φ)` — no bounds involved.
+#[must_use]
+pub fn ncl_refuted_by_path(
+    y: &RegularTree,
+    depth: usize,
+    cuts: &[Node],
+    path_formula: &Ltl,
+) -> bool {
+    let prefix = RegularPrefix::cut(y, depth, cuts);
+    prefix.is_non_total()
+        && prefix.is_prefix_of(y)
+        && prefix.exists_infinite_path(&path_formula.clone().not())
+}
+
+/// The analogous absolute refutation for `fcl`: only *finite-depth*
+/// prefixes count, and a finite-depth prefix keeps no infinite path —
+/// which is exactly why `fcl`-refutations need the bounded search while
+/// `ncl`-refutations can be absolute. Provided for documentation value:
+/// always returns `false` on finite-depth patterns.
+#[must_use]
+pub fn fcl_refuted_by_path(
+    y: &RegularTree,
+    depth: usize,
+    cuts: &[Node],
+    path_formula: &Ltl,
+) -> bool {
+    let prefix = RegularPrefix::cut(y, depth, cuts);
+    prefix.is_finite_depth() && prefix.exists_infinite_path(&path_formula.clone().not())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::parse_ctl;
+    use sl_ltl::parse;
+    use sl_omega::{Alphabet, Symbol};
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn sym(name: &str) -> Symbol {
+        sigma().symbol(name).unwrap()
+    }
+
+    fn const_a() -> RegularTree {
+        RegularTree::constant(sigma(), sym("a"), 1)
+    }
+
+    fn const_b() -> RegularTree {
+        RegularTree::constant(sigma(), sym("b"), 1)
+    }
+
+    /// Root a; left all-a, right all-b (width 2 at the root).
+    fn two_branch() -> RegularTree {
+        RegularTree::new(
+            sigma(),
+            vec![sym("a"), sym("a"), sym("b")],
+            vec![vec![1, 2], vec![1], vec![2]],
+            0,
+        )
+    }
+
+    #[test]
+    fn fcl_trivially_contains_members() {
+        let q1 = parse_ctl(&sigma(), "a").unwrap();
+        fcl_contains_bounded(&two_branch(), &q1, 2, &[], 1).unwrap();
+    }
+
+    #[test]
+    fn fcl_of_q3a_contains_all_a_sequence() {
+        // a^ω ∉ q3a (= a & AF !a) but every finite truncation extends
+        // with b's into q3a: a^ω ∈ fcl.q3a.
+        let q3a = parse_ctl(&sigma(), "a & AF !a").unwrap();
+        let y = const_a();
+        assert!(!y.satisfies(&q3a));
+        fcl_contains_bounded(&y, &q3a, 3, &[const_b()], 1).unwrap();
+    }
+
+    #[test]
+    fn fcl_of_q3a_excludes_b_rooted_trees() {
+        // Trees rooted at b cannot extend into q3a: the depth-0
+        // truncation is already stuck.
+        let q3a = parse_ctl(&sigma(), "a & AF !a").unwrap();
+        let err =
+            fcl_contains_bounded(&const_b(), &q3a, 2, &[const_a(), const_b()], 1).unwrap_err();
+        assert_eq!(err.depth, 0);
+    }
+
+    #[test]
+    fn ncl_refutation_via_surviving_all_a_path() {
+        // The paper's §4.3 argument: the two-branch tree (one all-a
+        // path) is NOT in ncl.q3a, because cutting the other branch
+        // leaves a prefix whose surviving path violates F !a — so no
+        // extension satisfies A(a & F !a).
+        let y = two_branch();
+        let phi = parse(&sigma(), "a & F !a").unwrap();
+        assert!(ncl_refuted_by_path(&y, 1, &[vec![1]], &phi));
+        // The same refutation applies to q4a = A FG !a.
+        let fg_not_a = parse(&sigma(), "F G !a").unwrap();
+        assert!(ncl_refuted_by_path(&y, 1, &[vec![1]], &fg_not_a));
+        // And to q5a = A GF a? The surviving path is all-a, which
+        // SATISFIES GF a, so this cut does not refute q5a...
+        let gf_a = parse(&sigma(), "G F a").unwrap();
+        assert!(!ncl_refuted_by_path(&y, 1, &[vec![1]], &gf_a));
+        // ...but cutting the all-a branch leaves the all-b path, which
+        // violates GF a.
+        assert!(ncl_refuted_by_path(&y, 1, &[vec![0]], &gf_a));
+    }
+
+    #[test]
+    fn fcl_refutation_by_path_is_impossible_on_truncations() {
+        // Finite-depth prefixes keep no infinite path: the path-based
+        // refutation cannot fire.
+        let y = two_branch();
+        let phi = parse(&sigma(), "F G !a").unwrap();
+        assert!(!fcl_refuted_by_path(&y, 1, &[vec![0], vec![1]], &phi));
+    }
+
+    #[test]
+    fn ncl_of_q4b_contains_everything_sampled() {
+        // q4b = E FG !a: any prefix completes with b^ω below a cut
+        // leaf. Check all cut-pattern prefixes of the two-branch tree.
+        let q4b = parse_ctl(&sigma(), "EFG !a").unwrap();
+        ncl_contains_bounded(&two_branch(), &q4b, 2, &[const_b()], 1).unwrap();
+        ncl_contains_bounded(&const_a(), &q4b, 2, &[const_b()], 1).unwrap();
+    }
+
+    #[test]
+    fn ncl_bounded_finds_stuck_prefixes() {
+        // q1' = "root is b": prefixes of an a-rooted tree never
+        // complete into it.
+        let root_b = parse_ctl(&sigma(), "b").unwrap();
+        let err =
+            ncl_contains_bounded(&const_a(), &root_b, 1, &[const_a(), const_b()], 1).unwrap_err();
+        assert_eq!(err.depth, 1);
+    }
+
+    #[test]
+    fn nontotal_prefix_enumeration_counts() {
+        // Unary constant tree, depth 2: paths ε, 0, 00; antichains:
+        // {ε}, {0}, {00} (any two are nested): 3 prefixes.
+        let prefixes = nontotal_prefixes(&const_a(), 2);
+        assert_eq!(prefixes.len(), 3);
+        for p in &prefixes {
+            assert!(p.is_non_total());
+            assert!(p.is_prefix_of(&const_a()));
+        }
+        // Two-branch tree, depth 1: paths ε, 0, 1; antichains: {ε},
+        // {0}, {1}, {0,1}: 4 prefixes.
+        assert_eq!(nontotal_prefixes(&two_branch(), 1).len(), 4);
+    }
+
+    #[test]
+    fn sequences_are_in_ncl_q3a() {
+        // The paper: {a·y : y ∈ Σ^ω} ⊆ ncl.q3a; in particular a^ω,
+        // which is not in q3a itself.
+        let q3a = parse_ctl(&sigma(), "a & AF !a").unwrap();
+        let y = const_a();
+        assert!(!y.satisfies(&q3a));
+        ncl_contains_bounded(&y, &q3a, 3, &[const_b()], 1).unwrap();
+    }
+}

@@ -1,0 +1,473 @@
+//! Finite labeled trees with the paper's concatenation and prefix order
+//! (Section 4.1, Definitions 1–4).
+//!
+//! A tree is a pair `(W, w)` where `W ⊆ ℕ*` is prefix-closed and
+//! `w : W → Σ` labels the nodes. Concatenation `w·x` overlays `x` on
+//! `w`, keeping only the parts of `x` that grow through *leaves* of `w`;
+//! the prefix order is `x ⊑ y` iff `xz = y` for some `z`.
+
+use sl_omega::{Alphabet, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node of a tree: a path from the root, as child indices.
+pub type Node = Vec<u32>;
+
+/// The parent of a nonempty node.
+#[must_use]
+pub fn parent(node: &[u32]) -> Option<Node> {
+    if node.is_empty() {
+        None
+    } else {
+        Some(node[..node.len() - 1].to_vec())
+    }
+}
+
+/// Whether `a` is a (weak) ancestor of `b` (the prefix order on ℕ*).
+#[must_use]
+pub fn is_ancestor(a: &[u32], b: &[u32]) -> bool {
+    b.len() >= a.len() && b[..a.len()] == *a
+}
+
+/// A finite Σ-labeled tree: a prefix-closed finite set of nodes with a
+/// label each. The empty tree (`W = ∅`) is allowed.
+///
+/// # Examples
+///
+/// ```
+/// use sl_omega::Alphabet;
+/// use sl_trees::FiniteTree;
+///
+/// let sigma = Alphabet::ab();
+/// let a = sigma.symbol("a").unwrap();
+/// let b = sigma.symbol("b").unwrap();
+/// // Root labeled a with two children labeled b.
+/// let t = FiniteTree::from_entries(&[
+///     (vec![], a),
+///     (vec![0], b),
+///     (vec![1], b),
+/// ]).unwrap();
+/// assert_eq!(t.len(), 3);
+/// assert!(t.is_leaf(&[0]));
+/// assert!(!t.is_leaf(&[]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FiniteTree {
+    nodes: BTreeMap<Node, Symbol>,
+}
+
+/// Error when a node set is not prefix-closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPrefixClosed {
+    /// A node whose parent is missing.
+    pub node: Node,
+}
+
+impl fmt::Display for NotPrefixClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {:?} present without its parent", self.node)
+    }
+}
+
+impl std::error::Error for NotPrefixClosed {}
+
+impl FiniteTree {
+    /// The empty tree.
+    #[must_use]
+    pub fn empty() -> Self {
+        FiniteTree {
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// A single labeled root.
+    #[must_use]
+    pub fn singleton(label: Symbol) -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(Vec::new(), label);
+        FiniteTree { nodes }
+    }
+
+    /// Builds a tree from `(node, label)` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPrefixClosed`] if some non-root node's parent is
+    /// missing.
+    pub fn from_entries(entries: &[(Node, Symbol)]) -> Result<Self, NotPrefixClosed> {
+        let nodes: BTreeMap<Node, Symbol> = entries.iter().cloned().collect();
+        for node in nodes.keys() {
+            if let Some(p) = parent(node) {
+                if !nodes.contains_key(&p) {
+                    return Err(NotPrefixClosed { node: node.clone() });
+                }
+            }
+        }
+        Ok(FiniteTree { nodes })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label of a node.
+    #[must_use]
+    pub fn label(&self, node: &[u32]) -> Option<Symbol> {
+        self.nodes.get(node).copied()
+    }
+
+    /// Whether the node is present.
+    #[must_use]
+    pub fn contains(&self, node: &[u32]) -> bool {
+        self.nodes.contains_key(node)
+    }
+
+    /// Iterates over `(node, label)` pairs in lexicographic node order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Node, Symbol)> + '_ {
+        self.nodes.iter().map(|(n, &l)| (n, l))
+    }
+
+    /// The children of a node present in the tree.
+    #[must_use]
+    pub fn children(&self, node: &[u32]) -> Vec<Node> {
+        // Children are node ++ [i]; scan the range of extensions.
+        self.nodes
+            .range(node.to_vec()..)
+            .take_while(|(k, _)| is_ancestor(node, k))
+            .filter(|(k, _)| k.len() == node.len() + 1)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Definition 2: whether `node` is a leaf (present, with no proper
+    /// extension in the tree).
+    #[must_use]
+    pub fn is_leaf(&self, node: &[u32]) -> bool {
+        self.contains(node) && self.children(node).is_empty()
+    }
+
+    /// All leaves.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<Node> {
+        self.nodes
+            .keys()
+            .filter(|n| self.children(n).is_empty())
+            .cloned()
+            .collect()
+    }
+
+    /// Depth: length of the longest node (0 for a bare root; `None` for
+    /// the empty tree).
+    #[must_use]
+    pub fn depth(&self) -> Option<usize> {
+        self.nodes.keys().map(Vec::len).max()
+    }
+
+    /// Whether the tree is total in the paper's sense: nonempty and
+    /// every node has a successor. Finite trees always have leaves, so
+    /// only the *empty* tree question matters: a finite tree is never
+    /// total (this method exists for symmetry and documentation).
+    #[must_use]
+    pub fn is_total(&self) -> bool {
+        !self.is_empty() && self.nodes.keys().all(|n| !self.is_leaf(n))
+    }
+
+    /// Definition 1: preliminary concatenation `w ⊙ x` — overlay `x`,
+    /// keeping `w`'s labels on `W` and `x`'s labels on `X \ W`. This
+    /// version can extend `w` at non-leaf nodes, which is why
+    /// Definition 3 refines it.
+    #[must_use]
+    pub fn preliminary_concat(&self, x: &FiniteTree) -> FiniteTree {
+        let mut nodes = self.nodes.clone();
+        for (node, label) in &x.nodes {
+            nodes.entry(node.clone()).or_insert(*label);
+        }
+        FiniteTree { nodes }
+    }
+
+    /// Definition 3: concatenation `w·x` — keep of `x` only the nodes
+    /// already in `w` or growing through a leaf of `w`, then overlay.
+    #[must_use]
+    pub fn concat(&self, x: &FiniteTree) -> FiniteTree {
+        // Note the strict reading of Definition 3 on the empty tree:
+        // it has no nodes and no leaves, so no node of `x` survives the
+        // restriction and `∅·x = ∅`. Consequently the empty tree is a
+        // prefix only of itself — it is maximal-ly unhelpful, not a
+        // least element (the closures in Section 4.2 are unaffected,
+        // since every total tree has nonempty non-total prefixes).
+        let leaves = self.leaves();
+        let filtered: Vec<(Node, Symbol)> = x
+            .nodes
+            .iter()
+            .filter(|(node, _)| {
+                self.contains(node) || leaves.iter().any(|leaf| is_ancestor(leaf, node))
+            })
+            .map(|(n, &l)| (n.clone(), l))
+            .collect();
+        let x_restricted = FiniteTree {
+            nodes: filtered.into_iter().collect(),
+        };
+        self.preliminary_concat(&x_restricted)
+    }
+
+    /// Definition 4: the prefix order `self ⊑ other` — some `z` with
+    /// `self·z = other`. Decided by the characterization: the node sets
+    /// nest, labels agree on the smaller, and every added node grows
+    /// through a leaf of `self`. The empty tree is a prefix only of
+    /// itself (see [`FiniteTree::concat`]).
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &FiniteTree) -> bool {
+        if self.is_empty() {
+            return other.is_empty();
+        }
+        for (node, label) in &self.nodes {
+            if other.label(node) != Some(*label) {
+                return false;
+            }
+        }
+        let leaves = self.leaves();
+        for node in other.nodes.keys() {
+            if self.contains(node) {
+                continue;
+            }
+            if !leaves.iter().any(|leaf| is_ancestor(leaf, node)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Renders with alphabet names, one node per line.
+    #[must_use]
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut out = String::new();
+        for (node, label) in self.iter() {
+            let path: Vec<String> = node.iter().map(u32::to_string).collect();
+            out.push_str(&format!("[{}] {}\n", path.join("."), alphabet.name(label)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn sym(name: &str) -> Symbol {
+        sigma().symbol(name).unwrap()
+    }
+
+    /// root(a) -> [0: b, 1: a].
+    fn small() -> FiniteTree {
+        FiniteTree::from_entries(&[(vec![], sym("a")), (vec![0], sym("b")), (vec![1], sym("a"))])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let t = small();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.label(&[]), Some(sym("a")));
+        assert_eq!(t.label(&[0]), Some(sym("b")));
+        assert_eq!(t.label(&[7]), None);
+        assert_eq!(t.children(&[]), vec![vec![0], vec![1]]);
+        assert!(t.is_leaf(&[0]) && t.is_leaf(&[1]));
+        assert!(!t.is_leaf(&[]));
+        assert_eq!(t.leaves().len(), 2);
+        assert_eq!(t.depth(), Some(1));
+    }
+
+    #[test]
+    fn prefix_closure_enforced() {
+        let err =
+            FiniteTree::from_entries(&[(vec![], sym("a")), (vec![0, 0], sym("b"))]).unwrap_err();
+        assert_eq!(err.node, vec![0, 0]);
+        assert!(err.to_string().contains("without its parent"));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(FiniteTree::empty().is_empty());
+        assert_eq!(FiniteTree::empty().depth(), None);
+        let s = FiniteTree::singleton(sym("a"));
+        assert_eq!(s.len(), 1);
+        assert!(s.is_leaf(&[]));
+        assert!(!s.is_total()); // a finite nonempty tree has leaves
+    }
+
+    #[test]
+    fn preliminary_concat_can_extend_internal_nodes() {
+        // w = root(a)->child 0(b); x has node [1] (attaches at the
+        // *internal* root). Preliminary concat keeps it; Definition 3
+        // drops it.
+        let w = FiniteTree::from_entries(&[(vec![], sym("a")), (vec![0], sym("b"))]).unwrap();
+        let x = FiniteTree::from_entries(&[(vec![], sym("b")), (vec![1], sym("b"))]).unwrap();
+        let pre = w.preliminary_concat(&x);
+        assert!(pre.contains(&[1]));
+        // Label on the shared root stays w's.
+        assert_eq!(pre.label(&[]), Some(sym("a")));
+        let proper = w.concat(&x);
+        assert!(!proper.contains(&[1]), "x may only grow through leaves");
+    }
+
+    #[test]
+    fn concat_grows_through_leaves() {
+        let w = FiniteTree::from_entries(&[(vec![], sym("a")), (vec![0], sym("b"))]).unwrap();
+        // x shares w's spine and adds children below the leaf [0].
+        let x = FiniteTree::from_entries(&[
+            (vec![], sym("b")),
+            (vec![0], sym("a")),
+            (vec![0, 0], sym("a")),
+            (vec![0, 1], sym("b")),
+        ])
+        .unwrap();
+        let wx = w.concat(&x);
+        assert_eq!(wx.len(), 4);
+        // w's labels win on W.
+        assert_eq!(wx.label(&[]), Some(sym("a")));
+        assert_eq!(wx.label(&[0]), Some(sym("b")));
+        // x's labels appear on the new nodes.
+        assert_eq!(wx.label(&[0, 0]), Some(sym("a")));
+        assert_eq!(wx.label(&[0, 1]), Some(sym("b")));
+    }
+
+    #[test]
+    fn concat_with_empty() {
+        let t = small();
+        // z = ∅ contributes nothing: x·∅ = x (reflexivity witness).
+        assert_eq!(t.concat(&FiniteTree::empty()), t);
+        // Strict Definition 3: the empty tree has no leaves, so nothing
+        // of t survives and ∅·t = ∅.
+        assert_eq!(FiniteTree::empty().concat(&t), FiniteTree::empty());
+    }
+
+    #[test]
+    fn prefix_reflexive_and_empty_isolated() {
+        let t = small();
+        assert!(t.is_prefix_of(&t));
+        // ∅ ⊑ y only for y = ∅ under the strict reading.
+        assert!(!FiniteTree::empty().is_prefix_of(&t));
+        assert!(FiniteTree::empty().is_prefix_of(&FiniteTree::empty()));
+        assert!(!t.is_prefix_of(&FiniteTree::empty()));
+    }
+
+    #[test]
+    fn prefix_matches_concat_witness() {
+        // x ⊑ x·z for all sampled x, z; and the result's label set is
+        // consistent.
+        let w = small();
+        let z = FiniteTree::from_entries(&[
+            (vec![], sym("b")),
+            (vec![0], sym("a")),
+            (vec![0, 0], sym("b")),
+            (vec![1], sym("b")),
+            (vec![1, 0], sym("a")),
+        ])
+        .unwrap();
+        let wz = w.concat(&z);
+        assert!(w.is_prefix_of(&wz));
+    }
+
+    #[test]
+    fn prefix_rejects_label_change() {
+        let t = small();
+        let mut relabeled = t.clone();
+        relabeled.nodes.insert(vec![0], sym("a"));
+        assert!(!t.is_prefix_of(&relabeled));
+    }
+
+    #[test]
+    fn prefix_rejects_internal_growth() {
+        // u = root with child 0 and child 1 (so the root is internal);
+        // v = u plus child 2 of the root: attaches at an internal node,
+        // so u is NOT a prefix of v (only leaves may grow).
+        let u = small();
+        let v = FiniteTree::from_entries(&[
+            (vec![], sym("a")),
+            (vec![0], sym("b")),
+            (vec![1], sym("a")),
+            (vec![2], sym("b")),
+        ])
+        .unwrap();
+        assert!(!u.is_prefix_of(&v));
+    }
+
+    #[test]
+    fn prefix_is_antisymmetric_on_samples() {
+        let u = small();
+        let v = u.concat(
+            &FiniteTree::from_entries(&[
+                (vec![], sym("a")),
+                (vec![0], sym("a")),
+                (vec![0, 0], sym("a")),
+            ])
+            .unwrap(),
+        );
+        assert!(u.is_prefix_of(&v));
+        assert!(!v.is_prefix_of(&u));
+        assert_ne!(u, v);
+    }
+
+    #[test]
+    fn prefix_is_transitive_on_samples() {
+        let u = FiniteTree::singleton(sym("a"));
+        let v = small(); // extends u at the root-leaf
+        let w = v.concat(
+            &FiniteTree::from_entries(&[
+                (vec![], sym("a")),
+                (vec![0], sym("b")),
+                (vec![0, 0], sym("b")),
+            ])
+            .unwrap(),
+        );
+        assert!(u.is_prefix_of(&v));
+        assert!(v.is_prefix_of(&w));
+        assert!(u.is_prefix_of(&w));
+    }
+
+    #[test]
+    fn left_compatibility_of_concat() {
+        // Paper: x ⊑ y implies w·x ⊑ w·y.
+        let w = FiniteTree::from_entries(&[(vec![], sym("a")), (vec![0], sym("b"))]).unwrap();
+        let x = FiniteTree::from_entries(&[(vec![], sym("b")), (vec![0], sym("a"))]).unwrap();
+        let y = x.concat(
+            &FiniteTree::from_entries(&[
+                (vec![], sym("b")),
+                (vec![0], sym("a")),
+                (vec![0, 0], sym("b")),
+            ])
+            .unwrap(),
+        );
+        assert!(x.is_prefix_of(&y));
+        assert!(w.concat(&x).is_prefix_of(&w.concat(&y)));
+    }
+
+    #[test]
+    fn ancestor_helpers() {
+        assert!(is_ancestor(&[], &[0, 1]));
+        assert!(is_ancestor(&[0], &[0, 1]));
+        assert!(!is_ancestor(&[1], &[0, 1]));
+        assert_eq!(parent(&[0, 1]), Some(vec![0]));
+        assert_eq!(parent(&[]), None);
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let s = sigma();
+        let text = small().display(&s);
+        assert!(text.contains("[] a"));
+        assert!(text.contains("[0] b"));
+    }
+}

@@ -1,0 +1,432 @@
+//! Regular prefixes: finitely-represented, possibly-infinite non-total
+//! trees, obtained from a regular tree by cutting subtrees.
+//!
+//! The branching-time closures quantify over prefixes: `fcl` over
+//! *finite-depth* prefixes and `ncl` over *non-total* ones (Definitions
+//! 5 and 6). The crucial difference — the reason `ncl` is not a
+//! topological closure — is that a non-total prefix may keep entire
+//! infinite branches while cutting others. [`RegularPrefix`] represents
+//! exactly these: a rooted labeled graph where some nodes have no
+//! children (the cuts).
+
+use crate::finite::Node;
+use crate::kripke::Kripke;
+use crate::regular::RegularTree;
+use sl_ltl::Ltl;
+use sl_omega::{Alphabet, Symbol};
+
+/// A regular prefix: like [`RegularTree`] but nodes may be childless
+/// (cut leaves). Denotes a prefix-closed labeled tree that may mix
+/// finite and infinite branches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegularPrefix {
+    alphabet: Alphabet,
+    labels: Vec<Symbol>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl RegularPrefix {
+    /// Wraps a total regular tree as a (total) prefix.
+    #[must_use]
+    pub fn from_tree(tree: &RegularTree) -> Self {
+        RegularPrefix {
+            alphabet: tree.alphabet().clone(),
+            labels: (0..tree.num_graph_nodes()).map(|v| tree.label(v)).collect(),
+            children: (0..tree.num_graph_nodes())
+                .map(|v| tree.children(v).to_vec())
+                .collect(),
+            root: tree.root(),
+        }
+    }
+
+    /// The prefix of `tree` obtained by unrolling to `depth` and cutting
+    /// the subtrees rooted at `cut_paths`; un-cut nodes at the frontier
+    /// keep their full (regular, possibly infinite) subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cut path does not exist in the tree or is longer than
+    /// `depth`.
+    #[must_use]
+    pub fn cut(tree: &RegularTree, depth: usize, cut_paths: &[Node]) -> Self {
+        for path in cut_paths {
+            assert!(path.len() <= depth, "cut path deeper than the unrolling");
+            assert!(tree.node_at(path).is_some(), "cut path not in the tree");
+        }
+        let is_cut = |path: &[u32]| cut_paths.iter().any(|c| c.as_slice() == path);
+        let under_cut = |path: &[u32]| {
+            cut_paths
+                .iter()
+                .any(|c| crate::finite::is_ancestor(c, path))
+        };
+
+        let mut labels: Vec<Symbol> = Vec::new();
+        let mut children: Vec<Vec<usize>> = Vec::new();
+        // The tail: a full copy of the original graph, appended after the
+        // unrolled part; frontier nodes link into it.
+        // First, unroll.
+        struct Item {
+            id: usize,
+            graph_node: usize,
+            path: Node,
+        }
+        labels.push(tree.label(tree.root()));
+        children.push(Vec::new());
+        let mut stack = vec![Item {
+            id: 0,
+            graph_node: tree.root(),
+            path: Vec::new(),
+        }];
+        let mut frontier_links: Vec<(usize, usize)> = Vec::new(); // (id, graph node)
+        while let Some(item) = stack.pop() {
+            if is_cut(&item.path) {
+                continue; // leaf: no children
+            }
+            debug_assert!(
+                !under_cut(&item.path),
+                "descendants of cuts are not unrolled"
+            );
+            if item.path.len() == depth {
+                frontier_links.push((item.id, item.graph_node));
+                continue;
+            }
+            for (i, &child) in tree.children(item.graph_node).iter().enumerate() {
+                let mut child_path = item.path.clone();
+                child_path.push(i as u32);
+                if under_cut(&child_path) && !is_cut(&child_path) {
+                    continue;
+                }
+                let cid = labels.len();
+                labels.push(tree.label(child));
+                children.push(Vec::new());
+                children[item.id].push(cid);
+                stack.push(Item {
+                    id: cid,
+                    graph_node: child,
+                    path: child_path,
+                });
+            }
+        }
+        // Append the original graph for the frontier to link into.
+        let offset = labels.len();
+        for v in 0..tree.num_graph_nodes() {
+            labels.push(tree.label(v));
+            children.push(tree.children(v).iter().map(|&c| c + offset).collect());
+        }
+        for (id, graph_node) in frontier_links {
+            children[id] = tree
+                .children(graph_node)
+                .iter()
+                .map(|&c| c + offset)
+                .collect();
+        }
+        RegularPrefix {
+            alphabet: tree.alphabet().clone(),
+            labels,
+            children,
+            root: 0,
+        }
+    }
+
+    /// The alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Reachable graph nodes from the root.
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.labels.len()];
+        seen[self.root] = true;
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            for &c in &self.children[v] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether the denoted prefix is *non-total* (has at least one
+    /// dead-end leaf) — membership in the paper's `A_nt`.
+    #[must_use]
+    pub fn is_non_total(&self) -> bool {
+        let reach = self.reachable();
+        (0..self.labels.len()).any(|v| reach[v] && self.children[v].is_empty())
+    }
+
+    /// Whether the denoted prefix is *finite-depth* (`A_f`): no
+    /// reachable cycle, so all branches die within bounded depth.
+    #[must_use]
+    pub fn is_finite_depth(&self) -> bool {
+        // A reachable cycle exists iff DFS finds a back edge.
+        let reach = self.reachable();
+        let n = self.labels.len();
+        let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+        for start in 0..n {
+            if !reach[start] || color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.children[v].len() {
+                    let c = self.children[v][*i];
+                    *i += 1;
+                    match color[c] {
+                        0 => {
+                            color[c] = 1;
+                            stack.push((c, 0));
+                        }
+                        1 => return false, // back edge: cycle
+                        _ => {}
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the denoted prefix is a prefix (Definition 4) of the
+    /// total tree denoted by `z`: labels agree, and internal nodes have
+    /// exactly matching branching (growth only through the cut leaves).
+    #[must_use]
+    pub fn is_prefix_of(&self, z: &RegularTree) -> bool {
+        if &self.alphabet != z.alphabet() {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut work = vec![(self.root, z.root())];
+        while let Some((u, v)) = work.pop() {
+            if !seen.insert((u, v)) {
+                continue;
+            }
+            if self.labels[u] != z.label(v) {
+                return false;
+            }
+            if self.children[u].is_empty() {
+                continue; // cut leaf: z continues freely
+            }
+            if self.children[u].len() != z.children(v).len() {
+                return false; // internal growth is not allowed
+            }
+            for (&cu, &cv) in self.children[u].iter().zip(z.children(v)) {
+                work.push((cu, cv));
+            }
+        }
+        true
+    }
+
+    /// Completes the prefix into a total regular tree by attaching
+    /// `width` copies of `cont` below every cut leaf. The result has
+    /// this prefix as a prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or alphabets differ.
+    #[must_use]
+    pub fn complete(&self, cont: &RegularTree, width: usize) -> RegularTree {
+        assert!(width > 0, "width must be positive");
+        assert_eq!(&self.alphabet, cont.alphabet(), "alphabet mismatch");
+        let mut labels = self.labels.clone();
+        let mut children = self.children.clone();
+        let offset = labels.len();
+        for v in 0..cont.num_graph_nodes() {
+            labels.push(cont.label(v));
+            children.push(cont.children(v).iter().map(|&c| c + offset).collect());
+        }
+        let cont_root = offset + cont.root();
+        for kids in children.iter_mut().take(offset) {
+            if kids.is_empty() {
+                *kids = vec![cont_root; width];
+            }
+        }
+        RegularTree::new(self.alphabet.clone(), labels, children, self.root)
+    }
+
+    /// Whether the prefix contains an infinite path (never hitting a cut
+    /// leaf) whose label word satisfies the LTL formula. Any extension
+    /// of the prefix keeps all such paths, so a path violating `φ` here
+    /// *absolutely* refutes membership of any extension in the universal
+    /// property `A φ`.
+    #[must_use]
+    pub fn exists_infinite_path(&self, formula: &Ltl) -> bool {
+        // Restrict to nodes from which an infinite path exists:
+        // iteratively remove childless nodes.
+        let n = self.labels.len();
+        let mut alive: Vec<bool> = (0..n).map(|v| !self.children[v].is_empty()).collect();
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if alive[v] && !self.children[v].iter().any(|&c| alive[c]) {
+                    alive[v] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if !alive[self.root] {
+            return false;
+        }
+        // Build the surviving Kripke structure (remap ids).
+        let mut remap = vec![usize::MAX; n];
+        let mut labels = Vec::new();
+        let mut succ: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            if alive[v] {
+                remap[v] = labels.len();
+                labels.push(self.labels[v]);
+                succ.push(Vec::new());
+            }
+        }
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            for &c in &self.children[v] {
+                if alive[c] {
+                    succ[remap[v]].push(remap[c]);
+                }
+            }
+        }
+        let kripke = Kripke::new(self.alphabet.clone(), labels, succ, remap[self.root]);
+        crate::paths::exists_path(&kripke, formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_ltl::parse;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn sym(name: &str) -> Symbol {
+        sigma().symbol(name).unwrap()
+    }
+
+    /// Root a; child 0 continues all-a, child 1 continues all-b.
+    fn two_branch() -> RegularTree {
+        RegularTree::new(
+            sigma(),
+            vec![sym("a"), sym("a"), sym("b")],
+            vec![vec![1, 2], vec![1], vec![2]],
+            0,
+        )
+    }
+
+    #[test]
+    fn uncut_prefix_is_total() {
+        let p = RegularPrefix::from_tree(&two_branch());
+        assert!(!p.is_non_total());
+        assert!(!p.is_finite_depth());
+        assert!(p.is_prefix_of(&two_branch()));
+    }
+
+    #[test]
+    fn full_truncation_is_finite_depth() {
+        // Cut both depth-1 children: a finite-depth, non-total prefix.
+        let t = two_branch();
+        let p = RegularPrefix::cut(&t, 1, &[vec![0], vec![1]]);
+        assert!(p.is_non_total());
+        assert!(p.is_finite_depth());
+        assert!(p.is_prefix_of(&t));
+    }
+
+    #[test]
+    fn single_cut_keeps_infinite_branch() {
+        // Cut only the right child: the all-a branch stays infinite.
+        let t = two_branch();
+        let p = RegularPrefix::cut(&t, 1, &[vec![1]]);
+        assert!(p.is_non_total(), "has the cut leaf");
+        assert!(!p.is_finite_depth(), "keeps an infinite branch");
+        assert!(p.is_prefix_of(&t));
+        // The kept branch is all-a.
+        assert!(p.exists_infinite_path(&parse(&sigma(), "G a").unwrap()));
+        assert!(!p.exists_infinite_path(&parse(&sigma(), "F b").unwrap()));
+    }
+
+    #[test]
+    fn prefix_rejects_wrong_labels_and_widths() {
+        let t = two_branch();
+        let p = RegularPrefix::cut(&t, 1, &[vec![1]]);
+        // Same shape but the kept branch is all-b: labels differ.
+        let other = RegularTree::new(
+            sigma(),
+            vec![sym("a"), sym("b"), sym("b")],
+            vec![vec![1, 2], vec![1], vec![2]],
+            0,
+        );
+        assert!(!p.is_prefix_of(&other));
+        // A unary tree: the internal root has width 2 in the prefix.
+        let unary = RegularTree::constant(sigma(), sym("a"), 1);
+        assert!(!p.is_prefix_of(&unary));
+    }
+
+    #[test]
+    fn completion_extends_the_prefix() {
+        let t = two_branch();
+        let p = RegularPrefix::cut(&t, 1, &[vec![1]]);
+        let z = p.complete(&RegularTree::constant(sigma(), sym("a"), 1), 1);
+        assert!(p.is_prefix_of(&z));
+        // The completed right branch is now all-a below the b node.
+        assert_eq!(z.label_at(&[1]), Some(sym("b")));
+        assert_eq!(z.label_at(&[1, 0]), Some(sym("a")));
+        assert_eq!(z.label_at(&[1, 0, 0]), Some(sym("a")));
+        // The left branch is untouched.
+        assert_eq!(z.label_at(&[0, 0]), Some(sym("a")));
+    }
+
+    #[test]
+    fn completion_of_total_prefix_is_the_tree() {
+        let t = two_branch();
+        let p = RegularPrefix::from_tree(&t);
+        let z = p.complete(&RegularTree::constant(sigma(), sym("b"), 1), 1);
+        assert!(z.denotes_same_tree(&t));
+    }
+
+    #[test]
+    fn deeper_cuts() {
+        let t = two_branch();
+        // Unroll to depth 2, cut below the left branch at depth 2.
+        let p = RegularPrefix::cut(&t, 2, &[vec![0, 0]]);
+        assert!(p.is_non_total());
+        assert!(!p.is_finite_depth()); // right branch alive
+        assert!(p.is_prefix_of(&t));
+        // The surviving infinite paths all end in b^ω.
+        assert!(p.exists_infinite_path(&parse(&sigma(), "F (G b)").unwrap()));
+        assert!(!p.exists_infinite_path(&parse(&sigma(), "G a").unwrap()));
+    }
+
+    #[test]
+    fn cut_at_root_gives_singleton() {
+        let t = two_branch();
+        let p = RegularPrefix::cut(&t, 0, &[vec![]]);
+        assert!(p.is_non_total());
+        assert!(p.is_finite_depth());
+        assert!(p.is_prefix_of(&t));
+        // Completing the bare-root prefix with constant-b gives root a
+        // over all-b — which is in q3a territory.
+        let z = p.complete(&RegularTree::constant(sigma(), sym("b"), 2), 2);
+        assert_eq!(z.label_at(&[]), Some(sym("a")));
+        assert_eq!(z.label_at(&[0]), Some(sym("b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cut path not in the tree")]
+    fn invalid_cut_path_rejected() {
+        let t = two_branch();
+        let _ = RegularPrefix::cut(&t, 2, &[vec![5]]);
+    }
+}

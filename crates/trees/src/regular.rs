@@ -1,0 +1,432 @@
+//! Regular (finitely-representable) total trees.
+//!
+//! A [`RegularTree`] is a rooted graph in which every node has a label
+//! and an ordered, nonempty list of children; it denotes the total tree
+//! obtained by unrolling from the root. Regular trees are the
+//! finitely-representable skeleton of `A_tot` — the branching-time
+//! counterpart of lasso words — and everything the experiments quantify
+//! over.
+
+use crate::finite::{FiniteTree, Node};
+use crate::kripke::Kripke;
+use sl_omega::{Alphabet, Symbol};
+
+/// A regular total tree: a rooted labeled graph with ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegularTree {
+    alphabet: Alphabet,
+    labels: Vec<Symbol>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl RegularTree {
+    /// Builds a regular tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty node set, length mismatch, out-of-range child or
+    /// root, or a node with no children (the denoted tree must be
+    /// total).
+    #[must_use]
+    pub fn new(
+        alphabet: Alphabet,
+        labels: Vec<Symbol>,
+        children: Vec<Vec<usize>>,
+        root: usize,
+    ) -> Self {
+        let n = labels.len();
+        assert!(n > 0, "regular tree needs nodes");
+        assert_eq!(children.len(), n, "children list length mismatch");
+        assert!(root < n, "root out of range");
+        for (v, kids) in children.iter().enumerate() {
+            assert!(
+                !kids.is_empty(),
+                "node {v} has no children (tree not total)"
+            );
+            for &k in kids {
+                assert!(k < n, "child out of range");
+            }
+        }
+        RegularTree {
+            alphabet,
+            labels,
+            children,
+            root,
+        }
+    }
+
+    /// The constant tree: every node labeled `label`, `width` children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn constant(alphabet: Alphabet, label: Symbol, width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        RegularTree::new(alphabet, vec![label], vec![vec![0; width]], 0)
+    }
+
+    /// A tree that spells the lasso word `stem (cycle)^ω` down every
+    /// branch — the "trees can be sequences" embedding of Section 4.3,
+    /// generalized to `width` identical children per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn from_lasso(word: &sl_omega::LassoWord, alphabet: Alphabet, width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        let phases = word.phase_count();
+        let labels: Vec<Symbol> = (0..phases).map(|i| word.at(i)).collect();
+        let children: Vec<Vec<usize>> = (0..phases)
+            .map(|i| vec![word.next_phase(i); width])
+            .collect();
+        RegularTree::new(alphabet, labels, children, 0)
+    }
+
+    /// The alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of graph nodes (not tree nodes, which are infinite).
+    #[must_use]
+    pub fn num_graph_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The root graph node.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The label of a graph node.
+    #[must_use]
+    pub fn label(&self, node: usize) -> Symbol {
+        self.labels[node]
+    }
+
+    /// The ordered children of a graph node.
+    #[must_use]
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// The graph node at a tree path, if every step is in range.
+    #[must_use]
+    pub fn node_at(&self, path: &[u32]) -> Option<usize> {
+        let mut current = self.root;
+        for &step in path {
+            current = *self.children[current].get(step as usize)?;
+        }
+        Some(current)
+    }
+
+    /// The label of the denoted tree at a path.
+    #[must_use]
+    pub fn label_at(&self, path: &[u32]) -> Option<Symbol> {
+        self.node_at(path).map(|v| self.labels[v])
+    }
+
+    /// The depth-`depth` truncation of the denoted tree, as a finite
+    /// tree (all nodes of depth at most `depth`). Truncations are
+    /// finite-depth prefixes of the denoted tree — exactly what `fcl`
+    /// quantifies over.
+    #[must_use]
+    pub fn truncate(&self, depth: usize) -> FiniteTree {
+        let mut entries: Vec<(Node, Symbol)> = Vec::new();
+        let mut frontier: Vec<(Node, usize)> = vec![(Vec::new(), self.root)];
+        entries.push((Vec::new(), self.labels[self.root]));
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for (path, node) in frontier {
+                for (i, &child) in self.children[node].iter().enumerate() {
+                    let mut child_path = path.clone();
+                    child_path.push(i as u32);
+                    entries.push((child_path.clone(), self.labels[child]));
+                    next.push((child_path, child));
+                }
+            }
+            frontier = next;
+        }
+        FiniteTree::from_entries(&entries).expect("truncations are prefix-closed")
+    }
+
+    /// Whether this tree and `other` denote the same total tree
+    /// (labels and branching widths agree at every path).
+    #[must_use]
+    pub fn denotes_same_tree(&self, other: &RegularTree) -> bool {
+        if self.alphabet != other.alphabet {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut work = vec![(self.root, other.root)];
+        while let Some((u, v)) = work.pop() {
+            if !seen.insert((u, v)) {
+                continue;
+            }
+            if self.labels[u] != other.labels[v]
+                || self.children[u].len() != other.children[v].len()
+            {
+                return false;
+            }
+            for (&cu, &cv) in self.children[u].iter().zip(&other.children[v]) {
+                work.push((cu, cv));
+            }
+        }
+        true
+    }
+
+    /// Views the graph as a Kripke structure rooted at the tree root.
+    /// CTL is bisimulation-invariant, so model checking the structure
+    /// decides the formula on the denoted tree.
+    #[must_use]
+    pub fn to_kripke(&self) -> Kripke {
+        Kripke::new(
+            self.alphabet.clone(),
+            self.labels.clone(),
+            self.children.clone(),
+            self.root,
+        )
+    }
+
+    /// Whether the denoted tree satisfies the CTL formula.
+    #[must_use]
+    pub fn satisfies(&self, formula: &crate::ctl::Ctl) -> bool {
+        crate::ctl::satisfies(&self.to_kripke(), formula)
+    }
+
+    /// The tree that agrees with `self` on all nodes of depth at most
+    /// `depth` and continues with `cont` below each depth-`depth` node
+    /// (each gets `width` copies of `cont`'s root as children). The
+    /// result extends the truncation `self.truncate(depth)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or the alphabets differ.
+    #[must_use]
+    pub fn graft(&self, depth: usize, cont: &RegularTree, width: usize) -> RegularTree {
+        assert!(width > 0, "width must be positive");
+        assert_eq!(self.alphabet, cont.alphabet, "alphabet mismatch");
+        // Unroll self to `depth` as fresh nodes, then splice cont's graph.
+        let mut labels: Vec<Symbol> = Vec::new();
+        let mut children: Vec<Vec<usize>> = Vec::new();
+        // Frontier of (new node id, original graph node, remaining depth).
+        let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+        labels.push(self.labels[self.root]);
+        children.push(Vec::new());
+        stack.push((0, self.root, depth));
+        let mut pending_cont_links: Vec<usize> = Vec::new();
+        while let Some((id, node, remaining)) = stack.pop() {
+            if remaining == 0 {
+                pending_cont_links.push(id);
+                continue;
+            }
+            for &child in &self.children[node] {
+                let cid = labels.len();
+                labels.push(self.labels[child]);
+                children.push(Vec::new());
+                children[id].push(cid);
+                stack.push((cid, child, remaining - 1));
+            }
+        }
+        // Append cont's graph, shifted.
+        let offset = labels.len();
+        for v in 0..cont.num_graph_nodes() {
+            labels.push(cont.labels[v]);
+            children.push(cont.children[v].iter().map(|&c| c + offset).collect());
+        }
+        let cont_root = offset + cont.root;
+        for leaf in pending_cont_links {
+            children[leaf] = vec![cont_root; width];
+        }
+        RegularTree::new(self.alphabet.clone(), labels, children, 0)
+    }
+}
+
+/// All regular trees over the alphabet with exactly `nodes` graph nodes
+/// and every node having exactly `width` children, rooted at node 0 —
+/// a systematic sample universe for the branching experiments. Grows as
+/// `(|Σ| * nodes^width)^nodes`; keep the parameters small.
+#[must_use]
+pub fn enumerate_regular_trees(
+    alphabet: &Alphabet,
+    nodes: usize,
+    width: usize,
+) -> Vec<RegularTree> {
+    assert!(nodes >= 1 && width >= 1, "need positive sizes");
+    let symbol_count = alphabet.len();
+    let child_combos = nodes.pow(width as u32);
+    let per_node = symbol_count * child_combos;
+    let total = per_node.pow(nodes as u32);
+    let mut out = Vec::with_capacity(total);
+    for code in 0..total {
+        let mut c = code;
+        let mut labels = Vec::with_capacity(nodes);
+        let mut children = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let node_code = c % per_node;
+            c /= per_node;
+            let label_index = node_code % symbol_count;
+            let mut combo = node_code / symbol_count;
+            let mut kids = Vec::with_capacity(width);
+            for _ in 0..width {
+                kids.push(combo % nodes);
+                combo /= nodes;
+            }
+            labels.push(Symbol(label_index as u16));
+            children.push(kids);
+        }
+        out.push(RegularTree::new(alphabet.clone(), labels, children, 0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::parse_ctl;
+    use sl_omega::LassoWord;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn sym(name: &str) -> Symbol {
+        sigma().symbol(name).unwrap()
+    }
+
+    /// Root a; left subtree constant-a path, right subtree constant-b.
+    fn two_branch() -> RegularTree {
+        RegularTree::new(
+            sigma(),
+            vec![sym("a"), sym("a"), sym("b")],
+            vec![vec![1, 2], vec![1], vec![2]],
+            0,
+        )
+    }
+
+    #[test]
+    fn constant_tree() {
+        let t = RegularTree::constant(sigma(), sym("a"), 2);
+        assert_eq!(t.num_graph_nodes(), 1);
+        assert_eq!(t.label_at(&[0, 1, 0]), Some(sym("a")));
+        assert!(t.satisfies(&parse_ctl(&sigma(), "AG a").unwrap()));
+    }
+
+    #[test]
+    fn paths_resolve() {
+        let t = two_branch();
+        assert_eq!(t.label_at(&[]), Some(sym("a")));
+        assert_eq!(t.label_at(&[0]), Some(sym("a")));
+        assert_eq!(t.label_at(&[1]), Some(sym("b")));
+        assert_eq!(t.label_at(&[0, 0, 0]), Some(sym("a")));
+        assert_eq!(t.label_at(&[1, 0]), Some(sym("b")));
+        // Width is 2 at the root, 1 below.
+        assert_eq!(t.label_at(&[2]), None);
+        assert_eq!(t.label_at(&[0, 1]), None);
+    }
+
+    #[test]
+    fn truncation_shape() {
+        let t = two_branch();
+        let x = t.truncate(2);
+        // Nodes: root, 2 children, 2 grandchildren (width 1 below).
+        assert_eq!(x.len(), 5);
+        assert_eq!(x.depth(), Some(2));
+        assert_eq!(x.label(&[0, 0]), Some(sym("a")));
+        assert_eq!(x.label(&[1, 0]), Some(sym("b")));
+        // The truncation is a prefix of deeper truncations.
+        assert!(x.is_prefix_of(&t.truncate(4)));
+    }
+
+    #[test]
+    fn lasso_embedding() {
+        let s = sigma();
+        let w = LassoWord::parse(&s, "b", "a b");
+        let t = RegularTree::from_lasso(&w, s.clone(), 1);
+        assert_eq!(t.label_at(&[]), Some(sym("b")));
+        assert_eq!(t.label_at(&[0]), Some(sym("a")));
+        assert_eq!(t.label_at(&[0, 0]), Some(sym("b")));
+        assert_eq!(t.label_at(&[0, 0, 0]), Some(sym("a")));
+        // The sequence-tree satisfies GF a along its only path.
+        assert!(t.satisfies(&parse_ctl(&s, "AGF a").unwrap()));
+    }
+
+    #[test]
+    fn denotes_same_tree_modulo_representation() {
+        let s = sigma();
+        // Two representations of the constant-a unary tree.
+        let one = RegularTree::new(s.clone(), vec![sym("a")], vec![vec![0]], 0);
+        let two = RegularTree::new(
+            s.clone(),
+            vec![sym("a"), sym("a")],
+            vec![vec![1], vec![0]],
+            0,
+        );
+        assert!(one.denotes_same_tree(&two));
+        assert_ne!(one, two); // structural inequality
+        let b = RegularTree::new(s, vec![sym("b")], vec![vec![0]], 0);
+        assert!(!one.denotes_same_tree(&b));
+    }
+
+    #[test]
+    fn denotes_same_tree_checks_width() {
+        let s = sigma();
+        let narrow = RegularTree::constant(s.clone(), sym("a"), 1);
+        let wide = RegularTree::constant(s, sym("a"), 2);
+        assert!(!narrow.denotes_same_tree(&wide));
+    }
+
+    #[test]
+    fn ctl_on_two_branch() {
+        let s = sigma();
+        let t = two_branch();
+        assert!(t.satisfies(&parse_ctl(&s, "EG a").unwrap()));
+        assert!(t.satisfies(&parse_ctl(&s, "EF b").unwrap()));
+        assert!(!t.satisfies(&parse_ctl(&s, "AF b").unwrap()));
+        assert!(t.satisfies(&parse_ctl(&s, "EGF a").unwrap()));
+        assert!(!t.satisfies(&parse_ctl(&s, "AFG b").unwrap()));
+    }
+
+    #[test]
+    fn graft_agrees_up_to_depth_then_continues() {
+        let s = sigma();
+        let t = two_branch();
+        let z = t.graft(1, &RegularTree::constant(s.clone(), sym("b"), 1), 1);
+        // Depth <= 1 agrees with t.
+        assert_eq!(z.label_at(&[]), t.label_at(&[]));
+        assert_eq!(z.label_at(&[0]), t.label_at(&[0]));
+        assert_eq!(z.label_at(&[1]), t.label_at(&[1]));
+        // Below depth 1 all b.
+        assert_eq!(z.label_at(&[0, 0]), Some(sym("b")));
+        assert_eq!(z.label_at(&[0, 0, 0]), Some(sym("b")));
+        // The truncation is a prefix of the graft.
+        assert!(t.truncate(1).is_prefix_of(&z.truncate(4)));
+    }
+
+    #[test]
+    fn enumeration_counts_and_validity() {
+        let s = sigma();
+        // 1 graph node, width 1: |Σ| * 1 = 2 trees.
+        assert_eq!(enumerate_regular_trees(&s, 1, 1).len(), 2);
+        // 2 nodes, width 1: (2 * 2)^2 = 16.
+        let trees = enumerate_regular_trees(&s, 2, 1);
+        assert_eq!(trees.len(), 16);
+        // 1 node, width 2: 2 * 1 = 2.
+        assert_eq!(enumerate_regular_trees(&s, 1, 2).len(), 2);
+        // All enumerated trees are well-formed (constructor validated).
+        for t in &trees {
+            assert_eq!(t.num_graph_nodes(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no children")]
+    fn totality_enforced() {
+        let _ = RegularTree::new(sigma(), vec![sym("a")], vec![vec![]], 0);
+    }
+}

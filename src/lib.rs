@@ -1,0 +1,61 @@
+//! # safety-liveness
+//!
+//! An executable, full-stack reproduction of
+//!
+//! > Panagiotis Manolios and Richard Trefler. *A Lattice-Theoretic
+//! > Characterization of Safety and Liveness.* PODC 2003.
+//!
+//! The paper unifies the classical characterizations of safety and
+//! liveness — Alpern–Schneider's topological one for linear time,
+//! Gumm's σ-complete Boolean algebras, and the authors' own
+//! branching-time account — under a single lattice-theoretic umbrella:
+//! in any **modular complemented lattice** with a **lattice closure**
+//! `cl`, every element decomposes as the meet of a *cl-safety* element
+//! (`a = cl.a`) and a *cl-liveness* element (`cl.a = 1`).
+//!
+//! This workspace makes every framework the paper quantifies over
+//! executable:
+//!
+//! * [`lattice`] — finite lattices, closure operators, and the
+//!   decomposition/extremal theorems (Theorems 2–7, Figures 1–2).
+//! * [`omega`] — ω-words in canonical lasso form.
+//! * [`ltl`] — LTL with exact lasso semantics and a tableau translation
+//!   to Büchi automata.
+//! * [`buchi`] — Büchi automata with the closure operator, Boolean
+//!   operations, complementation, exact safety/liveness deciders, the
+//!   Alpern–Schneider decomposition, and Schneider security monitors.
+//! * [`games`] — parity and Rabin games (Zielonka, index appearance
+//!   records).
+//! * [`trees`] — the branching-time framework: tree concatenation and
+//!   prefix order, regular trees, CTL(+limits), and the closures
+//!   `ncl`/`fcl`.
+//! * [`rabin`] — Rabin tree automata with game-based membership,
+//!   emptiness, and the `rfcl` closure (Theorem 9).
+//!
+//! ## Quick start: decompose an LTL property
+//!
+//! ```
+//! use safety_liveness::buchi::{decompose, classify, Classification};
+//! use safety_liveness::ltl::{parse, translate};
+//! use safety_liveness::omega::Alphabet;
+//!
+//! let sigma = Alphabet::ab();
+//! // Rem's p3: neither safe nor live ...
+//! let p3 = translate(&sigma, &parse(&sigma, "a & F !a")?);
+//! assert_eq!(classify(&p3)?, Classification::Neither);
+//! // ... but it splits into a safety and a liveness automaton.
+//! let d = decompose(&p3);
+//! assert_eq!(d.check_sampled(&p3, 3, 3), None);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use sl_buchi as buchi;
+pub use sl_games as games;
+pub use sl_lattice as lattice;
+pub use sl_ltl as ltl;
+pub use sl_omega as omega;
+pub use sl_rabin as rabin;
+pub use sl_trees as trees;

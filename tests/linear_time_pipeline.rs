@@ -1,0 +1,208 @@
+//! Cross-crate integration: the linear-time pipeline
+//! LTL → Büchi → closure → decomposition, checked against the direct
+//! lasso-word semantics at every stage.
+
+use safety_liveness::buchi::{
+    classify, closure, decompose, equivalent, is_liveness, is_safety, universal, Classification,
+};
+use safety_liveness::ltl::{eval, parse, rem_examples, translate};
+use safety_liveness::omega::{all_lassos, rem, Alphabet, LinearProperty};
+
+fn sigma() -> Alphabet {
+    Alphabet::ab()
+}
+
+/// A corpus of formulas exercising all operator shapes.
+const CORPUS: &[&str] = &[
+    "false",
+    "true",
+    "a",
+    "!a",
+    "a & F !a",
+    "F G !a",
+    "G F a",
+    "a U b",
+    "b R a",
+    "G (a -> F b)",
+    "G (a -> X b)",
+    "F (a & X a)",
+    "(F a) & (F b)",
+    "(G a) | (X X b)",
+    "a W b",
+];
+
+#[test]
+fn automata_agree_with_semantics_on_corpus() {
+    let s = sigma();
+    for text in CORPUS {
+        let f = parse(&s, text).unwrap();
+        let m = translate(&s, &f);
+        for w in all_lassos(&s, 3, 3) {
+            assert_eq!(m.accepts(&w), eval(&f, &w), "{text} on {w}");
+        }
+    }
+}
+
+#[test]
+fn decomposition_theorem_on_corpus() {
+    // Theorem 2 instantiated on the Boolean algebra of ω-regular
+    // languages: every corpus language splits into safety ∩ liveness,
+    // verified exactly — with all complements obtained from negated
+    // formulas and subset constructions, never rank-based.
+    use safety_liveness::buchi::{included_with_complement, intersection, union};
+    use safety_liveness::ltl::decompose_formula;
+    let s = sigma();
+    for text in CORPUS {
+        let f = parse(&s, text).unwrap();
+        let d = decompose_formula(&s, &f);
+        assert!(
+            is_safety(&d.safety).unwrap(),
+            "{text}: safety part not safe"
+        );
+        assert!(
+            is_liveness(&d.liveness).unwrap(),
+            "{text}: liveness part not live"
+        );
+        // Exact identity L(B) = L(B_S) ∩ L(B_L):
+        // ⊆: B inside both parts, via their ready-made complements.
+        assert!(
+            included_with_complement(&d.automaton, &d.not_safety).holds(),
+            "{text}: B ⊄ safety part"
+        );
+        assert!(
+            included_with_complement(&d.automaton, &d.not_liveness).holds(),
+            "{text}: B ⊄ liveness part"
+        );
+        // ⊇: the meet inside B, via ¬B = translation of ¬φ.
+        let meet = intersection(&d.safety, &d.liveness);
+        let not_b = translate(&s, &f.clone().not());
+        assert!(
+            included_with_complement(&meet, &not_b).holds(),
+            "{text}: meet ⊄ B"
+        );
+        // And the lasso-level cross-check.
+        let _ = union(&d.safety, &d.liveness); // exercise union too
+        for w in all_lassos(&s, 3, 3) {
+            assert!(d.identity_holds_on(&w), "{text} on {w}");
+        }
+    }
+}
+
+#[test]
+fn closure_is_the_strongest_safety_property() {
+    // Theorem 6 (machine closure) on automata: for each corpus formula,
+    // cl(B) is included in every safety property of the corpus that
+    // contains L(B). Inclusion checks use the negated-formula
+    // complements, so no rank-based complementation is needed even for
+    // the larger corpus automata.
+    use safety_liveness::buchi::included_with_complement;
+    use safety_liveness::ltl::is_safety_formula;
+    let s = sigma();
+    let corpus: Vec<_> = CORPUS.iter().map(|t| parse(&s, t).unwrap()).collect();
+    for (i, f) in corpus.iter().enumerate() {
+        let m = translate(&s, f);
+        let cl = closure(&m);
+        for (j, g) in corpus.iter().enumerate() {
+            if !is_safety_formula(&s, g) {
+                continue;
+            }
+            let not_g = translate(&s, &g.clone().not());
+            if included_with_complement(&m, &not_g).holds() {
+                assert!(
+                    included_with_complement(&cl, &not_g).holds(),
+                    "cl(corpus[{i}]) not below safety corpus[{j}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rem_table_full_classification() {
+    // E1 in miniature: the paper's Section 2.3 table.
+    let s = sigma();
+    let expected = [
+        ("p0", Classification::Safety),
+        ("p1", Classification::Safety),
+        ("p2", Classification::Safety),
+        ("p3", Classification::Neither),
+        ("p4", Classification::Liveness),
+        ("p5", Classification::Liveness),
+        ("p6", Classification::Both),
+    ];
+    for (example, (name, want)) in rem_examples(&s).iter().zip(expected) {
+        assert_eq!(example.name, name);
+        let m = translate(&s, &example.formula);
+        assert_eq!(classify(&m).unwrap(), want, "{name}");
+        // And the automaton agrees with the semantic oracle everywhere.
+        let oracles = rem::all(&s);
+        let oracle = &oracles[example.name[1..].parse::<usize>().unwrap()];
+        for w in all_lassos(&s, 2, 3) {
+            assert_eq!(m.accepts(&w), oracle.contains(&w), "{name} on {w}");
+        }
+    }
+}
+
+#[test]
+fn paper_closure_identities() {
+    // lcl.p3 = p1; lcl.p4 = lcl.p5 = Σ^ω.
+    let s = sigma();
+    let ex = rem_examples(&s);
+    let automaton = |i: usize| translate(&s, &ex[i].formula);
+    assert!(equivalent(&closure(&automaton(3)), &automaton(1))
+        .unwrap()
+        .is_ok());
+    for i in [4, 5] {
+        assert!(universal(&closure(&automaton(i))).unwrap().is_ok());
+    }
+    // And lcl.p1 = p1 (safety properties are closed).
+    assert!(equivalent(&closure(&automaton(1)), &automaton(1))
+        .unwrap()
+        .is_ok());
+}
+
+#[test]
+fn negation_duality_through_the_pipeline() {
+    // For each formula: classify(φ) safety ⇔ ¬φ co-safety-ish; more
+    // precisely the complement automaton of a safety property is
+    // live... not in general — but safety(φ) ⇒ the *closure* of ¬φ is
+    // everything union-ed with φ's complement; here we just check the
+    // pipeline is consistent: L(¬φ) = complement of L(φ) on samples.
+    let s = sigma();
+    for text in ["a U b", "G F a", "a & F !a", "G (a -> X b)"] {
+        let f = parse(&s, text).unwrap();
+        let pos = translate(&s, &f);
+        let neg = translate(&s, &f.clone().not());
+        for w in all_lassos(&s, 3, 3) {
+            assert_ne!(pos.accepts(&w), neg.accepts(&w), "{text} on {w}");
+        }
+    }
+}
+
+#[test]
+fn conjunction_of_decomposition_parts_via_product() {
+    // Exact equality L(B) = L(B_S ∩ B_L), split into inclusions whose
+    // complements are each tractable: ¬(B_S) by subset construction,
+    // ¬(B_L) = ¬B ∩ B_S with ¬B rank-complemented on the SMALL original
+    // automaton only (never on the product).
+    use safety_liveness::buchi::{
+        complement, complement_safety, included_with_complement, intersection,
+    };
+    let s = sigma();
+    for text in ["a U b", "F G !a", "a & F !a"] {
+        let m = translate(&s, &parse(&s, text).unwrap());
+        let d = decompose(&m);
+        let not_m = complement(&m).unwrap();
+        let not_safety = complement_safety(&d.safety);
+        let not_liveness = intersection(&not_m, &d.safety);
+        // B ⊆ B_S and B ⊆ B_L.
+        assert!(included_with_complement(&m, &not_safety).holds(), "{text}");
+        assert!(
+            included_with_complement(&m, &not_liveness).holds(),
+            "{text}"
+        );
+        // B_S ∩ B_L ⊆ B.
+        let meet = intersection(&d.safety, &d.liveness);
+        assert!(included_with_complement(&meet, &not_m).holds(), "{text}");
+    }
+}

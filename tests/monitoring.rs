@@ -1,0 +1,102 @@
+//! Cross-crate integration: runtime monitoring and enforcement — the
+//! Schneider connection the paper highlights (enforceable security
+//! policies = safety properties; security automata = Büchi automata
+//! accepting safe languages).
+
+use safety_liveness::buchi::{Monitor, SecurityAutomaton, Verdict};
+use safety_liveness::ltl::{decompose_formula, is_safety_formula, parse, translate};
+use safety_liveness::omega::{all_lassos, Alphabet};
+
+fn sigma() -> Alphabet {
+    Alphabet::ab()
+}
+
+#[test]
+fn monitor_accepts_exactly_the_good_prefixes() {
+    // For a safety property, the monitor's verdict on a finite trace is
+    // "Ok" iff the trace extends to some word in the property. Check
+    // against a brute-force oracle over lasso extensions.
+    let s = sigma();
+    for text in ["a", "G (a -> X b)", "b R a"] {
+        let f = parse(&s, text).unwrap();
+        assert!(is_safety_formula(&s, &f), "{text} must be safety");
+        let automaton = translate(&s, &f);
+        let monitor = Monitor::new(&automaton);
+        // All traces of length <= 4.
+        for trace in safety_liveness::omega::all_words(&s, 4) {
+            let mut m = monitor.clone();
+            let (verdict, _) = m.run(&trace);
+            // Oracle: does some lasso word extend the trace inside L?
+            let extendable = all_lassos(&s, 2, 2).iter().any(|tail| {
+                let whole = tail.prepend(&trace);
+                automaton.accepts(&whole)
+            });
+            assert_eq!(
+                verdict == Verdict::Ok,
+                extendable,
+                "{text} on trace {}",
+                trace.display(&s)
+            );
+        }
+    }
+}
+
+#[test]
+fn monitoring_a_property_monitors_its_safety_part() {
+    // For an arbitrary property, the monitor equals the monitor of its
+    // safety closure (Theorem 6's practical content: the closure is the
+    // strongest monitorable approximation).
+    let s = sigma();
+    for text in ["a & F !a", "a U b", "G F a"] {
+        let f = parse(&s, text).unwrap();
+        let d = decompose_formula(&s, &f);
+        let monitor_full = Monitor::new(&d.automaton);
+        let monitor_safety = Monitor::new(&d.safety);
+        for trace in safety_liveness::omega::all_words(&s, 4) {
+            let (v1, c1) = monitor_full.clone().run(&trace);
+            let (v2, c2) = monitor_safety.clone().run(&trace);
+            assert_eq!(v1, v2, "{text} on {}", trace.display(&s));
+            assert_eq!(c1, c2, "{text} on {}", trace.display(&s));
+        }
+    }
+}
+
+#[test]
+fn enforcement_output_is_a_maximal_good_prefix() {
+    let s = sigma();
+    let f = parse(&s, "b R a").unwrap(); // "a until released by b" safety
+    let automaton = translate(&s, &f);
+    for trace in safety_liveness::omega::all_words(&s, 4) {
+        let mut enforcer = SecurityAutomaton::new(&automaton);
+        let allowed = enforcer.enforce(&trace);
+        // The allowed prefix is a prefix of the trace ...
+        assert!(allowed.is_prefix_of(&trace));
+        // ... and itself passes the monitor.
+        let mut m = Monitor::new(&automaton);
+        let (verdict, _) = m.run(&allowed);
+        assert_eq!(verdict, Verdict::Ok);
+        // Maximality: if something was cut, adding one more symbol of
+        // the original trace violates.
+        if allowed.len() < trace.len() {
+            let next = trace.at(allowed.len()).unwrap();
+            let mut m = Monitor::new(&automaton);
+            m.run(&allowed);
+            assert_eq!(m.step(next), Verdict::Violation);
+        }
+    }
+}
+
+#[test]
+fn liveness_enforcement_is_vacuous() {
+    // The security automaton of a liveness property never truncates —
+    // Schneider's unenforceability, mechanically.
+    let s = sigma();
+    for text in ["G F a", "F G !a", "F b"] {
+        let automaton = translate(&s, &parse(&s, text).unwrap());
+        for trace in safety_liveness::omega::all_words(&s, 4) {
+            let mut enforcer = SecurityAutomaton::new(&automaton);
+            let allowed = enforcer.enforce(&trace);
+            assert_eq!(allowed, trace, "{text} truncated a trace");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) over the whole workspace: random
+//! formulas, words, posets, lattices, closures, games, and automata.
+
+use proptest::prelude::*;
+use safety_liveness::buchi::{
+    closure, complement_safety, decompose, intersection, random_buchi, union, RandomConfig,
+};
+use safety_liveness::games::{solve, verify, ParityGame, Player};
+use safety_liveness::lattice::{
+    decompose as lattice_decompose, generators, random_closure, verify_decomposition, Poset,
+};
+use safety_liveness::ltl::{eval, nnf, simplify, translate, Ltl};
+use safety_liveness::omega::{all_lassos, Alphabet, LassoWord, Symbol, Word};
+
+fn sigma() -> Alphabet {
+    Alphabet::ab()
+}
+
+/// Strategy: arbitrary LTL formulas over {a, b} of bounded depth.
+fn ltl_strategy() -> impl Strategy<Value = Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        Just(Ltl::Ap(Symbol(0))),
+        Just(Ltl::Ap(Symbol(1))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            inner.clone().prop_map(|f| f.next()),
+            inner.clone().prop_map(|f| f.finally()),
+            inner.clone().prop_map(|f| f.globally()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.until(g)),
+            (inner.clone(), inner).prop_map(|(f, g)| f.release(g)),
+        ]
+    })
+}
+
+/// Strategy: lasso words with stems and cycles over {a, b}.
+fn lasso_strategy() -> impl Strategy<Value = LassoWord> {
+    (
+        proptest::collection::vec(0u16..2, 0..4),
+        proptest::collection::vec(0u16..2, 1..4),
+    )
+        .prop_map(|(stem, cycle)| {
+            let stem: Word = stem.into_iter().map(Symbol).collect();
+            let cycle: Word = cycle.into_iter().map(Symbol).collect();
+            LassoWord::new(&stem, &cycle)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nnf_and_simplify_preserve_semantics(f in ltl_strategy(), w in lasso_strategy()) {
+        let direct = eval(&f, &w);
+        prop_assert_eq!(eval(&nnf(&f), &w), direct);
+        prop_assert_eq!(eval(&simplify(&f), &w), direct);
+    }
+
+    #[test]
+    fn translation_agrees_with_evaluation(f in ltl_strategy(), w in lasso_strategy()) {
+        let s = sigma();
+        let m = translate(&s, &f);
+        prop_assert_eq!(m.accepts(&w), eval(&f, &w));
+    }
+
+    #[test]
+    fn lasso_normalization_is_semantic(
+        stem in proptest::collection::vec(0u16..2, 0..4),
+        cycle in proptest::collection::vec(0u16..2, 1..4),
+        unroll in 0usize..3,
+    ) {
+        // Unrolling the cycle into the stem leaves the word unchanged.
+        let stem: Word = stem.into_iter().map(Symbol).collect();
+        let cycle: Word = cycle.into_iter().map(Symbol).collect();
+        let original = LassoWord::new(&stem, &cycle);
+        let mut extended_stem = stem;
+        for _ in 0..unroll {
+            extended_stem = extended_stem.concat(&cycle);
+        }
+        let unrolled = LassoWord::new(&extended_stem, &cycle);
+        prop_assert_eq!(&original, &unrolled);
+        // And positions agree far out.
+        for i in 0..12 {
+            prop_assert_eq!(original.at(i), unrolled.at(i));
+        }
+    }
+
+    #[test]
+    fn lasso_suffix_shifts_positions(w in lasso_strategy(), k in 0usize..6, i in 0usize..6) {
+        prop_assert_eq!(w.suffix(k).at(i), w.at(k + i));
+    }
+
+    #[test]
+    fn downsets_of_random_posets_are_distributive_lattices(
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 0..8),
+    ) {
+        // Build a DAG by orienting edges upward; down-sets must form a
+        // distributive lattice (Birkhoff).
+        let covers: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|(a, b)| a < b)
+            .collect();
+        let poset = Poset::from_covers(5, &covers).unwrap();
+        let (lattice, _) = generators::downset_lattice(&poset).unwrap();
+        prop_assert!(lattice.is_distributive());
+        prop_assert!(lattice.is_modular());
+    }
+
+    #[test]
+    fn random_closures_satisfy_closure_laws(seed in 0u64..500) {
+        let lattice = generators::boolean(3);
+        let cl = random_closure(&lattice, seed);
+        for a in 0..lattice.len() {
+            prop_assert!(lattice.leq(a, cl.apply(a)));
+            prop_assert_eq!(cl.apply(cl.apply(a)), cl.apply(a));
+            for b in 0..lattice.len() {
+                if lattice.leq(a, b) {
+                    prop_assert!(lattice.leq(cl.apply(a), cl.apply(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_on_random_closures(seed in 0u64..200, element in 0usize..8) {
+        let lattice = generators::boolean(3);
+        let cl = random_closure(&lattice, seed);
+        let d = lattice_decompose(&lattice, &cl, element).unwrap();
+        prop_assert!(verify_decomposition(&lattice, &cl, &cl, &element, &d));
+    }
+
+    #[test]
+    fn zielonka_solutions_verify(
+        owners in proptest::collection::vec(prop::bool::ANY, 2..8),
+        priorities in proptest::collection::vec(0u32..6, 2..8),
+        raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 1..20),
+    ) {
+        let n = owners.len().min(priorities.len());
+        let owners: Vec<Player> = owners[..n]
+            .iter()
+            .map(|&b| if b { Player::Even } else { Player::Odd })
+            .collect();
+        let priorities = priorities[..n].to_vec();
+        let mut succ = vec![Vec::new(); n];
+        for (a, b) in raw_edges {
+            let (a, b) = (a % n, b % n);
+            if !succ[a].contains(&b) {
+                succ[a].push(b);
+            }
+        }
+        for (v, outs) in succ.iter_mut().enumerate() {
+            if outs.is_empty() {
+                outs.push(v); // ensure totality
+            }
+        }
+        let game = ParityGame::new(owners, priorities, succ);
+        let solution = solve(&game);
+        prop_assert!(verify(&game, &solution).is_ok());
+    }
+
+    #[test]
+    fn buchi_boolean_operations_are_semantic(seed1 in 0u64..50, seed2 in 0u64..50) {
+        let s = sigma();
+        let cfg = RandomConfig { states: 4, ..RandomConfig::default() };
+        let m1 = random_buchi(&s, seed1, cfg);
+        let m2 = random_buchi(&s, seed2, cfg);
+        let u = union(&m1, &m2);
+        let i = intersection(&m1, &m2);
+        for w in all_lassos(&s, 2, 2) {
+            prop_assert_eq!(u.accepts(&w), m1.accepts(&w) || m2.accepts(&w));
+            prop_assert_eq!(i.accepts(&w), m1.accepts(&w) && m2.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn closure_complement_partition(seed in 0u64..80) {
+        // For random machines: cl(B) and ¬cl(B) partition Σ^ω.
+        let s = sigma();
+        let m = random_buchi(&s, seed, RandomConfig { states: 4, ..RandomConfig::default() });
+        let cl = closure(&m);
+        let not_cl = complement_safety(&cl);
+        for w in all_lassos(&s, 2, 2) {
+            prop_assert_ne!(cl.accepts(&w), not_cl.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn random_decompositions_meet_back(seed in 0u64..80) {
+        let s = sigma();
+        let m = random_buchi(&s, seed, RandomConfig { states: 4, ..RandomConfig::default() });
+        let d = decompose(&m);
+        prop_assert_eq!(d.check_sampled(&m, 2, 3), None);
+    }
+
+    #[test]
+    fn finite_tree_prefix_laws(
+        labels1 in proptest::collection::vec(0u16..2, 1..6),
+        labels2 in proptest::collection::vec(0u16..2, 1..6),
+    ) {
+        // Build two random unary-path trees and check the prefix order
+        // is reflexive/antisymmetric/transitive-ish on them.
+        use safety_liveness::trees::FiniteTree;
+        let path_tree = |labels: &[u16]| {
+            let entries: Vec<(Vec<u32>, Symbol)> = labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (vec![0u32; i], Symbol(l)))
+                .collect();
+            FiniteTree::from_entries(&entries).unwrap()
+        };
+        let t1 = path_tree(&labels1);
+        let t2 = path_tree(&labels2);
+        prop_assert!(t1.is_prefix_of(&t1));
+        if t1.is_prefix_of(&t2) && t2.is_prefix_of(&t1) {
+            prop_assert_eq!(&t1, &t2);
+        }
+        // Concatenation produces extensions.
+        let joined = t1.concat(&t2);
+        prop_assert!(t1.is_prefix_of(&joined));
+    }
+}
