@@ -1,10 +1,9 @@
-//! Criterion benchmarks for the Büchi layer: the closure operator, the
+//! Wall-clock benchmarks for the Büchi layer: the closure operator, the
 //! two complementation constructions, and the full decomposition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sl_buchi::{closure, complement, complement_safety, decompose, random_buchi, RandomConfig};
 use sl_omega::Alphabet;
-use std::hint::black_box;
+use sl_support::bench::{black_box, Bench};
 
 fn machines(states: usize) -> Vec<sl_buchi::Buchi> {
     let sigma = Alphabet::ab();
@@ -22,72 +21,42 @@ fn machines(states: usize) -> Vec<sl_buchi::Buchi> {
         .collect()
 }
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buchi/closure");
+fn main() {
+    let mut bench = Bench::from_env();
+
     for states in [4usize, 8, 16, 32] {
         let ms = machines(states);
-        group.bench_with_input(BenchmarkId::from_parameter(states), &ms, |b, ms| {
-            b.iter(|| {
-                for m in ms {
-                    black_box(closure(m));
-                }
-            })
+        bench.measure(&format!("buchi/closure/{states}"), || {
+            for m in &ms {
+                black_box(closure(m));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_safety_complement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buchi/complement_safety");
     for states in [4usize, 8, 12] {
         let closures: Vec<_> = machines(states).iter().map(closure).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(states), &closures, |b, cs| {
-            b.iter(|| {
-                for m in cs {
-                    black_box(complement_safety(m));
-                }
-            })
+        bench.measure(&format!("buchi/complement_safety/{states}"), || {
+            for m in &closures {
+                black_box(complement_safety(m));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_rank_complement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buchi/complement_rank");
-    group.sample_size(10);
     for states in [2usize, 3, 4] {
         let ms = machines(states);
-        group.bench_with_input(BenchmarkId::from_parameter(states), &ms, |b, ms| {
-            b.iter(|| {
-                for m in ms {
-                    let _ = black_box(complement(m));
-                }
-            })
+        bench.measure(&format!("buchi/complement_rank/{states}"), || {
+            for m in &ms {
+                let _ = black_box(complement(m));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_decompose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buchi/decompose");
     for states in [4usize, 8, 12] {
         let ms = machines(states);
-        group.bench_with_input(BenchmarkId::from_parameter(states), &ms, |b, ms| {
-            b.iter(|| {
-                for m in ms {
-                    black_box(decompose(m));
-                }
-            })
+        bench.measure(&format!("buchi/decompose/{states}"), || {
+            for m in &ms {
+                black_box(decompose(m));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_closure,
-    bench_safety_complement,
-    bench_rank_complement,
-    bench_decompose
-);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
-//! Criterion benchmarks for the game layer: Zielonka on random parity
+//! Wall-clock benchmarks for the game layer: Zielonka on random parity
 //! games and the IAR reduction for Rabin games.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sl_games::{solve, solve_rabin, ParityGame, Player, RabinGame};
-use std::hint::black_box;
+use sl_support::bench::{black_box, Bench};
 
 fn random_parity(n: usize, seed: u64) -> ParityGame {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -34,24 +33,18 @@ fn random_parity(n: usize, seed: u64) -> ParityGame {
     ParityGame::new(owner, priority, succ)
 }
 
-fn bench_zielonka(c: &mut Criterion) {
-    let mut group = c.benchmark_group("games/zielonka");
+fn main() {
+    let mut bench = Bench::from_env();
+
     for n in [8usize, 32, 128, 512] {
         let games: Vec<ParityGame> = (0..4).map(|s| random_parity(n, s)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &games, |b, games| {
-            b.iter(|| {
-                for g in games {
-                    black_box(solve(g));
-                }
-            })
+        bench.measure(&format!("games/zielonka/{n}"), || {
+            for g in &games {
+                black_box(solve(g));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_rabin_iar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("games/rabin_iar");
-    group.sample_size(10);
     for (n, pairs) in [(6usize, 1usize), (6, 2), (6, 3), (10, 2)] {
         // Build a Rabin game with `pairs` random pairs over a random
         // arena.
@@ -74,14 +67,8 @@ fn bench_rabin_iar(c: &mut Criterion) {
                 })
                 .collect(),
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_k{pairs}")),
-            &rabin,
-            |b, g| b.iter(|| black_box(solve_rabin(g))),
-        );
+        bench.measure(&format!("games/rabin_iar/n{n}_k{pairs}"), || {
+            black_box(solve_rabin(&rabin));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_zielonka, bench_rabin_iar);
-criterion_main!(benches);

@@ -1,65 +1,38 @@
-//! Criterion benchmarks for the lattice core: law checking, closure
+//! Wall-clock benchmarks for the lattice core: law checking, closure
 //! construction, and the decomposition, as lattice size grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sl_lattice::{decompose, generators, random_closure, Closure};
-use std::hint::black_box;
+use sl_support::bench::{black_box, Bench};
 
-fn bench_law_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/laws");
+fn main() {
+    let mut bench = Bench::from_env();
+
     for atoms in [2usize, 3, 4, 5] {
         let lattice = generators::boolean(atoms);
-        group.bench_with_input(
-            BenchmarkId::new("is_distributive_B", atoms),
-            &lattice,
-            |b, l| b.iter(|| black_box(l.is_distributive())),
-        );
-        group.bench_with_input(BenchmarkId::new("is_modular_B", atoms), &lattice, |b, l| {
-            b.iter(|| black_box(l.is_modular()))
+        bench.measure(&format!("lattice/laws/is_distributive_B{atoms}"), || {
+            black_box(lattice.is_distributive());
+        });
+        bench.measure(&format!("lattice/laws/is_modular_B{atoms}"), || {
+            black_box(lattice.is_modular());
         });
     }
-    group.finish();
-}
 
-fn bench_closure_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/closure");
     for atoms in [3usize, 4, 5, 6] {
         let lattice = generators::boolean(atoms);
         // Fixpoints: the upper half-interval [atom0, top].
         let base: Vec<usize> = (0..lattice.len()).filter(|x| x & 1 == 1).collect();
-        group.bench_with_input(
-            BenchmarkId::new("from_fixpoints_B", atoms),
-            &(&lattice, base),
-            |b, (l, base)| b.iter(|| black_box(Closure::from_fixpoints(l, base).unwrap())),
-        );
+        bench.measure(&format!("lattice/closure/from_fixpoints_B{atoms}"), || {
+            black_box(Closure::from_fixpoints(&lattice, &base).unwrap());
+        });
     }
-    group.finish();
-}
 
-fn bench_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/decompose");
     for atoms in [3usize, 4, 5, 6] {
         let lattice = generators::boolean(atoms);
         let cl = random_closure(&lattice, 42);
-        group.bench_with_input(
-            BenchmarkId::new("all_elements_B", atoms),
-            &(&lattice, cl),
-            |b, (l, cl)| {
-                b.iter(|| {
-                    for a in 0..l.len() {
-                        black_box(decompose(l, cl, a).unwrap());
-                    }
-                })
-            },
-        );
+        bench.measure(&format!("lattice/decompose/all_elements_B{atoms}"), || {
+            for a in 0..lattice.len() {
+                black_box(decompose(&lattice, &cl, a).unwrap());
+            }
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_law_checks,
-    bench_closure_construction,
-    bench_decomposition
-);
-criterion_main!(benches);

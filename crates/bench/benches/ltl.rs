@@ -1,10 +1,9 @@
-//! Criterion benchmarks for the LTL layer: lasso evaluation and the
+//! Wall-clock benchmarks for the LTL layer: lasso evaluation and the
 //! tableau translation on the experiment corpus.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sl_ltl::{eval, parse, translate};
 use sl_omega::{all_lassos, Alphabet};
-use std::hint::black_box;
+use sl_support::bench::{black_box, Bench};
 
 const CORPUS: &[&str] = &[
     "a & F !a",
@@ -15,34 +14,24 @@ const CORPUS: &[&str] = &[
     "a W b",
 ];
 
-fn bench_eval(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_env();
     let sigma = Alphabet::ab();
     let words = all_lassos(&sigma, 3, 3);
-    let mut group = c.benchmark_group("ltl/eval");
+
     for text in CORPUS {
         let f = parse(&sigma, text).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(text), &f, |b, f| {
-            b.iter(|| {
-                for w in &words {
-                    black_box(eval(f, w));
-                }
-            })
+        bench.measure(&format!("ltl/eval/{text}"), || {
+            for w in &words {
+                black_box(eval(&f, w));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_translate(c: &mut Criterion) {
-    let sigma = Alphabet::ab();
-    let mut group = c.benchmark_group("ltl/translate");
     for text in CORPUS {
         let f = parse(&sigma, text).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(text), &f, |b, f| {
-            b.iter(|| black_box(translate(&sigma, f)))
+        bench.measure(&format!("ltl/translate/{text}"), || {
+            black_box(translate(&sigma, &f));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_eval, bench_translate);
-criterion_main!(benches);

@@ -13,10 +13,15 @@
 //! This ablation implements the naive variant and counts, over a corpus
 //! of random automata, how often it disagrees with the correct
 //! `lcl`-semantics — and exhibits the canonical 2-state counterexample.
+//!
+//! The 400-seed corpus sweep runs on `sl_support::par` workers (one
+//! record per seed, folded in seed order), so the reported counts are
+//! byte-identical for any `SL_THREADS`.
 
 use sl_bench::{header, Scoreboard};
 use sl_buchi::{closure, live_states, random_buchi, Buchi, BuchiBuilder, RandomConfig};
-use sl_omega::{all_lassos, Alphabet};
+use sl_omega::{all_lassos, Alphabet, LassoWord};
+use sl_support::par;
 use std::process::ExitCode;
 
 /// The naive closure: keep states that can reach an accepting state
@@ -40,6 +45,52 @@ fn naive_closure(b: &Buchi) -> Buchi {
         }
     }
     b.restrict(&keep).with_all_accepting()
+}
+
+/// Per-seed record of the corpus sweep.
+struct SeedRecord {
+    diverged: bool,
+    divergent_words: usize,
+    naive_non_extensive: usize,
+    pruned_more: bool,
+}
+
+fn sweep_seed(sigma: &Alphabet, words: &[LassoWord], seed: u64) -> SeedRecord {
+    let m = random_buchi(
+        sigma,
+        seed,
+        RandomConfig {
+            states: 5,
+            density_percent: 55,
+            accepting_percent: 25,
+        },
+    );
+    let correct = closure(&m);
+    let naive = naive_closure(&m);
+    let mut diverged = false;
+    let mut divergent_words = 0usize;
+    let mut naive_non_extensive = 0usize;
+    for w in words {
+        let c = correct.accepts(w);
+        let n = naive.accepts(w);
+        if c != n {
+            diverged = true;
+            divergent_words += 1;
+        }
+        // The naive operator can even fail L(B) ⊆ L(naive B)?
+        // (It cannot — it keeps more; but check the dual direction
+        // of correctness: naive must over-approximate correct.)
+        if c && !n {
+            naive_non_extensive += 1;
+        }
+    }
+    let live = live_states(&m).iter().filter(|&&x| x).count();
+    SeedRecord {
+        diverged,
+        divergent_words,
+        naive_non_extensive,
+        pruned_more: live < naive.num_states(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -85,44 +136,15 @@ fn main() -> ExitCode {
     );
 
     // Corpus sweep: how often does the naive variant diverge from the
-    // correct closure's language?
+    // correct closure's language? One parallel record per seed (the
+    // live-state pruning comparison rides the same pass).
     let words = all_lassos(&sigma, 2, 3);
-    let mut machines = 0usize;
-    let mut divergent_machines = 0usize;
-    let mut divergent_words = 0usize;
-    let mut naive_non_extensive = 0usize;
-    for seed in 0..400 {
-        let m = random_buchi(
-            &sigma,
-            seed,
-            RandomConfig {
-                states: 5,
-                density_percent: 55,
-                accepting_percent: 25,
-            },
-        );
-        machines += 1;
-        let correct = closure(&m);
-        let naive = naive_closure(&m);
-        let mut diverged = false;
-        for w in &words {
-            let c = correct.accepts(w);
-            let n = naive.accepts(w);
-            if c != n {
-                diverged = true;
-                divergent_words += 1;
-            }
-            // The naive operator can even fail L(B) ⊆ L(naive B)?
-            // (It cannot — it keeps more; but check the dual direction
-            // of correctness: naive must over-approximate correct.)
-            if c && !n {
-                naive_non_extensive += 1;
-            }
-        }
-        if diverged {
-            divergent_machines += 1;
-        }
-    }
+    let records = par::par_sweep(400, |seed| sweep_seed(&sigma, &words, seed as u64));
+    let machines = records.len();
+    let divergent_machines = records.iter().filter(|r| r.diverged).count();
+    let divergent_words: usize = records.iter().map(|r| r.divergent_words).sum();
+    let naive_non_extensive: usize = records.iter().map(|r| r.naive_non_extensive).sum();
+    let pruned_more = records.iter().filter(|r| r.pruned_more).count();
     println!(
         "\ncorpus sweep: {machines} random 5-state automata, {} lasso words each",
         words.len()
@@ -140,23 +162,6 @@ fn main() -> ExitCode {
 
     // The correct closure is also *cheaper* in effect: it prunes at
     // least as many states.
-    let mut pruned_more = 0usize;
-    for seed in 0..400 {
-        let m = random_buchi(
-            &sigma,
-            seed,
-            RandomConfig {
-                states: 5,
-                density_percent: 55,
-                accepting_percent: 25,
-            },
-        );
-        let live = live_states(&m).iter().filter(|&&x| x).count();
-        let naive = naive_closure(&m).num_states();
-        if live < naive {
-            pruned_more += 1;
-        }
-    }
     println!("  machines where live-state pruning is strictly smaller: {pruned_more}");
     board.claim("live-state pruning never keeps more states", true);
     board.finish()

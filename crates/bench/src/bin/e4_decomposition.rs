@@ -6,12 +6,18 @@
 //! every element is decomposed as `cl.a /\ (a \/ b)` and the result is
 //! verified; Lemmas 1–4 are checked along the way. The table reports
 //! lattice sizes, closure counts, and decomposition counts.
+//!
+//! The sweep is embarrassingly parallel in the closure operator, so
+//! each closure's (count, verdict) record is computed on a
+//! `sl_support::par` worker and the records are folded in closure
+//! order — the table is byte-identical for any `SL_THREADS`.
 
 use sl_bench::{header, Scoreboard};
 use sl_lattice::{
     decompose, decompose_pair_checked, enumerate_closures, generators, lemma4_holds,
     random_closure, verify_decomposition,
 };
+use sl_support::par;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,15 +32,16 @@ fn main() -> ExitCode {
     );
 
     for (name, lattice) in generators::modular_complemented_corpus() {
-        let mut decompositions = 0usize;
-        let mut all_ok = true;
-        let mut lemma4_ok = true;
         let closures = if lattice.len() <= 10 {
             enumerate_closures(&lattice)
         } else {
             (0..40).map(|seed| random_closure(&lattice, seed)).collect()
         };
-        for cl in &closures {
+        // One record per closure: (decompositions, all verified, lemma 4).
+        let records = par::par_map(&closures, |cl| {
+            let mut decompositions = 0usize;
+            let mut all_ok = true;
+            let mut lemma4_ok = true;
             for a in 0..lattice.len() {
                 match decompose(&lattice, cl, a) {
                     Ok(d) => {
@@ -49,7 +56,11 @@ fn main() -> ExitCode {
                     lemma4_ok = false;
                 }
             }
-        }
+            (decompositions, all_ok, lemma4_ok)
+        });
+        let decompositions: usize = records.iter().map(|r| r.0).sum();
+        let all_ok = records.iter().all(|r| r.1);
+        let lemma4_ok = records.iter().all(|r| r.2);
         println!(
             "{:<16} {:>6} {:>9} {:>14} {:>8}",
             name,
@@ -64,12 +75,13 @@ fn main() -> ExitCode {
         );
     }
 
-    // Theorem 3 (two closures) on B3, exhaustively over ordered pairs.
+    // Theorem 3 (two closures) on B3, exhaustively over ordered pairs —
+    // parallel in the outer closure, folded in order.
     let lattice = generators::boolean(3);
     let closures = enumerate_closures(&lattice);
-    let mut pairs_tested = 0usize;
-    let mut pairs_ok = true;
-    for cl1 in &closures {
+    let records = par::par_map(&closures, |cl1| {
+        let mut pairs_tested = 0usize;
+        let mut pairs_ok = true;
         for cl2 in &closures {
             if !cl1.pointwise_leq(&lattice, cl2) {
                 continue;
@@ -86,7 +98,10 @@ fn main() -> ExitCode {
                 }
             }
         }
-    }
+        (pairs_tested, pairs_ok)
+    });
+    let pairs_tested: usize = records.iter().map(|r| r.0).sum();
+    let pairs_ok = records.iter().all(|r| r.1);
     board.claim(
         &format!("Theorem 3 on B3: {pairs_tested} (cl1 <= cl2, element) cases verified"),
         pairs_ok,

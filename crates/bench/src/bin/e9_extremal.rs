@@ -8,6 +8,10 @@
 //! * Theorem 7: in a distributive lattice, `a ∨ b` (`b ∈ cmp(cl1.a)`)
 //!   is the weakest second component — verified exhaustively; the
 //!   canonical decomposition attains both extremes.
+//!
+//! Both the per-closure lattice sweep and the automata-level corpus
+//! comparison run on `sl_support::par` workers, with records folded in
+//! input order so the report is byte-identical for any `SL_THREADS`.
 
 use sl_bench::{header, Scoreboard};
 use sl_buchi::{closure, included_with_complement};
@@ -17,6 +21,7 @@ use sl_lattice::{
 };
 use sl_ltl::{is_safety_formula, parse, translate};
 use sl_omega::Alphabet;
+use sl_support::par;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,14 +36,16 @@ fn main() -> ExitCode {
         }
         // Theorem 6 needs no complements; Theorem 7 (and the canonical
         // decomposition) only applies where cl.a has a complement, so
-        // those cases are counted separately.
-        let mut t6_cases = 0usize;
-        let mut t7_cases = 0usize;
-        let mut ok = true;
-        for cl in enumerate_closures(&lattice) {
+        // those cases are counted separately. One parallel record per
+        // closure operator.
+        let closures = enumerate_closures(&lattice);
+        let records = par::par_map(&closures, |cl| {
+            let mut t6_cases = 0usize;
+            let mut t7_cases = 0usize;
+            let mut ok = true;
             for a in 0..lattice.len() {
                 t6_cases += 1;
-                let Ok(strongest) = theorem6_strongest_safety(&lattice, &cl, &cl, a) else {
+                let Ok(strongest) = theorem6_strongest_safety(&lattice, cl, cl, a) else {
                     ok = false;
                     continue;
                 };
@@ -49,21 +56,25 @@ fn main() -> ExitCode {
                     continue; // Theorem 7 vacuous here
                 }
                 t7_cases += 1;
-                let weakest = theorem7_weakest_liveness(&lattice, &cl, &cl, a);
-                let d = decompose(&lattice, &cl, a);
+                let weakest = theorem7_weakest_liveness(&lattice, cl, cl, a);
+                let d = decompose(&lattice, cl, a);
                 match (weakest, d) {
                     (Ok(w), Ok(d)) => {
                         if d.safety != strongest || d.liveness != w {
                             ok = false;
                         }
-                        if !is_machine_closed(&lattice, &cl, a, d.safety, d.liveness) {
+                        if !is_machine_closed(&lattice, cl, a, d.safety, d.liveness) {
                             ok = false;
                         }
                     }
                     _ => ok = false,
                 }
             }
-        }
+            (t6_cases, t7_cases, ok)
+        });
+        let t6_cases: usize = records.iter().map(|r| r.0).sum();
+        let t7_cases: usize = records.iter().map(|r| r.1).sum();
+        let ok = records.iter().all(|r| r.2);
         println!("  {name:<20} Theorem 6: {t6_cases} cases, Theorem 7: {t7_cases} cases");
         board.claim(
             &format!("{name}: extremal theorems verified ({t6_cases}/{t7_cases} cases)"),
@@ -72,7 +83,7 @@ fn main() -> ExitCode {
     }
 
     // Büchi instantiation of Theorem 6: cl(B) is below every safety
-    // property of the corpus containing L(B).
+    // property of the corpus containing L(B) — one worker per property.
     println!("\nautomata level (Theorem 6 on the LTL corpus):");
     let sigma = Alphabet::ab();
     let corpus = [
@@ -87,11 +98,11 @@ fn main() -> ExitCode {
         "X a",
     ];
     let formulas: Vec<_> = corpus.iter().map(|t| parse(&sigma, t).unwrap()).collect();
-    let mut comparisons = 0usize;
-    let mut ok = true;
-    for f in &formulas {
+    let records = par::par_map(&formulas, |f| {
         let m = translate(&sigma, f);
         let cl = closure(&m);
+        let mut comparisons = 0usize;
+        let mut ok = true;
         for g in &formulas {
             if !is_safety_formula(&sigma, g) {
                 continue;
@@ -104,7 +115,10 @@ fn main() -> ExitCode {
                 }
             }
         }
-    }
+        (comparisons, ok)
+    });
+    let comparisons: usize = records.iter().map(|r| r.0).sum();
+    let ok = records.iter().all(|r| r.1);
     println!("  {comparisons} (property, safety-superset) comparisons");
     board.claim(
         "cl(B) below every corpus safety property containing L(B)",

@@ -34,7 +34,7 @@ pub type StateId = usize;
 /// assert!(automaton.accepts(&LassoWord::parse(&sigma, "b", "a b")));
 /// assert!(!automaton.accepts(&LassoWord::parse(&sigma, "a", "b")));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Buchi {
     alphabet: Alphabet,
     accepting: Vec<bool>,

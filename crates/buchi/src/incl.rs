@@ -3,12 +3,108 @@
 //! All three reduce to emptiness through complementation:
 //! `L(A) ⊆ L(B)` iff `L(A) ∩ ¬L(B) = ∅`. When `B` is all-accepting the
 //! cheap subset-construction complement is used automatically.
+//!
+//! Rank-based complements are expensive, and the exhaustive verifiers
+//! call [`included`]/[`equivalent`]/[`universal`] over small corpora
+//! where the same automata recur constantly. A per-thread memoizing
+//! [`ComplementCache`] therefore backs all three: each distinct
+//! automaton is complemented at most once per thread, and the cache's
+//! [`ComplementCacheStats`] make the deciders' complement behavior
+//! observable (e.g. that [`equivalent`] short-circuits after a failed
+//! first inclusion without ever complementing the second operand).
 
 use crate::automaton::Buchi;
 use crate::complement::{complement, ComplementBudgetExceeded};
 use crate::empty::{find_accepted_word, is_empty};
 use crate::ops::intersection;
 use sl_omega::LassoWord;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Entry cap for the per-thread complement cache; past it the cache is
+/// cleared rather than grown, bounding memory on unbounded corpora.
+const COMPLEMENT_CACHE_CAP: usize = 256;
+
+/// Counters describing how a [`ComplementCache`] has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplementCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to run the rank-based construction.
+    pub misses: usize,
+    /// Complements currently stored.
+    pub entries: usize,
+}
+
+/// A memoizing cache for rank-based complements, keyed by the automaton
+/// itself. [`included`], [`equivalent`], and [`universal`] share one
+/// instance per thread (see [`with_complement_cache`]); explicit
+/// instances can be created for isolated measurements.
+#[derive(Debug, Default)]
+pub struct ComplementCache {
+    map: HashMap<Buchi, Result<Buchi, ComplementBudgetExceeded>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ComplementCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The complement of `b`, computed at most once per distinct
+    /// automaton (budget errors are cached too — retrying an automaton
+    /// that blew the budget would blow it again).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ComplementBudgetExceeded`] from the underlying
+    /// construction.
+    pub fn complement(&mut self, b: &Buchi) -> Result<Buchi, ComplementBudgetExceeded> {
+        if let Some(cached) = self.map.get(b) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let result = complement(b);
+        if self.map.len() >= COMPLEMENT_CACHE_CAP {
+            self.map.clear();
+        }
+        self.map.insert(b.clone(), result.clone());
+        result
+    }
+
+    /// Usage counters.
+    #[must_use]
+    pub fn stats(&self) -> ComplementCacheStats {
+        ComplementCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+thread_local! {
+    static THREAD_CACHE: RefCell<ComplementCache> = RefCell::new(ComplementCache::new());
+}
+
+/// Runs `f` with this thread's shared complement cache — the one
+/// [`included`], [`equivalent`], and [`universal`] use. Tests use it to
+/// reset the counters and to assert how many complements a decider
+/// actually computed.
+pub fn with_complement_cache<R>(f: impl FnOnce(&mut ComplementCache) -> R) -> R {
+    THREAD_CACHE.with(|cache| f(&mut cache.borrow_mut()))
+}
 
 /// The outcome of an inclusion check: either inclusion holds, or a
 /// counterexample word in `L(A) \ L(B)` is produced.
@@ -37,7 +133,7 @@ impl Inclusion {
 /// came from an LTL formula, whose negation translates directly — use
 /// [`included_with_complement`] instead.
 pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
-    let not_b = complement(b)?;
+    let not_b = with_complement_cache(|cache| cache.complement(b))?;
     Ok(included_with_complement(a, &not_b))
 }
 
@@ -60,6 +156,9 @@ pub fn included_with_complement(a: &Buchi, not_b: &Buchi) -> Inclusion {
 ///
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn equivalent(a: &Buchi, b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    // Short-circuit: a counterexample to the first inclusion settles
+    // the question, so ¬a is never computed in that case (the
+    // regression test observes this through the cache stats).
     if let Inclusion::CounterExample(w) = included(a, b)? {
         return Ok(Err(w));
     }
@@ -75,7 +174,7 @@ pub fn equivalent(a: &Buchi, b: &Buchi) -> Result<Result<(), LassoWord>, Complem
 ///
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
-    let not_b = complement(b)?;
+    let not_b = with_complement_cache(|cache| cache.complement(b))?;
     Ok(match find_accepted_word(&not_b) {
         None => Ok(()),
         Some(w) => Err(w),
@@ -174,5 +273,55 @@ mod tests {
         let s = sigma();
         assert!(empty(&Buchi::empty_language(s.clone())));
         assert!(!empty(&Buchi::universal(s)));
+    }
+
+    #[test]
+    fn equivalent_short_circuits_on_first_counterexample() {
+        let s = sigma();
+        // L(universal) ⊄ L(inf_a): the first inclusion fails, so
+        // `equivalent` must stop after complementing only inf_a — the
+        // complement of the universal automaton is never computed.
+        let big = Buchi::universal(s.clone());
+        let small = inf_a(&s);
+        with_complement_cache(ComplementCache::reset);
+        let verdict = equivalent(&big, &small).unwrap();
+        assert!(verdict.is_err(), "languages differ");
+        let stats = with_complement_cache(|cache| cache.stats());
+        assert_eq!(
+            stats.misses, 1,
+            "only ¬inf_a may be computed on the early exit"
+        );
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn complement_cache_memoizes_repeat_queries() {
+        let s = sigma();
+        let m = inf_a(&s);
+        with_complement_cache(ComplementCache::reset);
+        assert!(universal(&m).unwrap().is_err());
+        assert!(universal(&m).unwrap().is_err());
+        assert!(!included(&Buchi::universal(s.clone()), &m).unwrap().holds());
+        let stats = with_complement_cache(|cache| cache.stats());
+        assert_eq!(stats.misses, 1, "one distinct automaton complemented");
+        assert_eq!(stats.hits, 2, "two repeat queries served from cache");
+    }
+
+    #[test]
+    fn cached_budget_errors_are_replayed() {
+        let mut cache = ComplementCache::new();
+        let s = sigma();
+        let m = inf_a(&s);
+        let first = cache.complement(&m).unwrap();
+        let second = cache.complement(&m).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats(),
+            ComplementCacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
     }
 }

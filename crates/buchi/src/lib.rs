@@ -64,7 +64,10 @@ pub use closure::{closure, is_closure_shaped, live_states};
 pub use complement::{complement, complement_safety, ComplementBudgetExceeded};
 pub use decompose::{decompose, BuchiDecomposition};
 pub use empty::{find_accepted_word, is_empty};
-pub use incl::{equivalent, included, included_with_complement, universal, Inclusion};
+pub use incl::{
+    equivalent, included, included_with_complement, universal, with_complement_cache,
+    ComplementCache, ComplementCacheStats, Inclusion,
+};
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};
 pub use ops::{intersection, intersection_all, union, union_all};

@@ -5,6 +5,7 @@
 
 use crate::automaton::{Buchi, BuchiBuilder};
 use sl_omega::Alphabet;
+use sl_support::SplitMix;
 
 /// Configuration for [`random_buchi`].
 #[derive(Debug, Clone, Copy)]
@@ -28,26 +29,6 @@ impl Default for RandomConfig {
     }
 }
 
-struct SplitMix(u64);
-
-impl SplitMix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn percent(&mut self) -> u32 {
-        (self.next() % 100) as u32
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
 /// Generates a pseudo-random Büchi automaton. Every state gets at least
 /// one outgoing transition so runs do not die trivially; beyond that,
 /// transitions are sampled independently at the configured density.
@@ -58,7 +39,10 @@ impl SplitMix {
 #[must_use]
 pub fn random_buchi(alphabet: &Alphabet, seed: u64, config: RandomConfig) -> Buchi {
     assert!(config.states > 0, "need at least one state");
-    let mut rng = SplitMix(seed);
+    // The promoted sl_support::SplitMix reproduces the exact streams of
+    // the SplitMix struct that used to be private here, so seeded
+    // corpora stay bit-identical across the migration.
+    let mut rng = SplitMix::new(seed);
     let mut builder = BuchiBuilder::new(alphabet.clone());
     for _ in 0..config.states {
         builder.add_state(rng.percent() < config.accepting_percent);

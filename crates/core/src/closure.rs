@@ -15,6 +15,7 @@
 use crate::error::{LatticeError, Result};
 use crate::lattice::FiniteLattice;
 use crate::traits::LatticeClosure;
+use sl_support::rng::{SplitMix, GOLDEN_GAMMA};
 
 /// A validated table-based closure operator on a [`FiniteLattice`].
 ///
@@ -275,16 +276,11 @@ pub fn enumerate_closures(lattice: &FiniteLattice) -> Vec<Closure> {
 #[must_use]
 pub fn random_closure(lattice: &FiniteLattice, seed: u64) -> Closure {
     let n = lattice.len();
-    // SplitMix64 steps; no dependency on `rand` in the core crate.
-    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut next = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
-    let mut base: Vec<usize> = (0..n).filter(|_| next() % 2 == 0).collect();
+    // Historically this inlined SplitMix64 with the state pre-advanced
+    // by one gamma; seeding the shared generator at `seed + gamma`
+    // reproduces that exact stream, keeping seeded corpora stable.
+    let mut rng = SplitMix::new(seed.wrapping_add(GOLDEN_GAMMA));
+    let mut base: Vec<usize> = (0..n).filter(|_| rng.next_u64() % 2 == 0).collect();
     if !base.contains(&lattice.top()) {
         base.push(lattice.top());
     }

@@ -35,7 +35,7 @@ impl Symbol {
 /// assert_eq!(sigma.name(a), "a");
 /// assert_eq!(sigma.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Alphabet {
     names: Vec<String>,
 }

@@ -1,0 +1,149 @@
+//! A wall-clock micro-benchmark harness.
+//!
+//! Replaces the `criterion` dependency for the workspace's benches:
+//! each measurement warms the closure up, auto-calibrates a batch size
+//! so one sample is long enough for the clock to resolve, collects a
+//! configurable number of samples, and reports min / median / p95
+//! per-call times on one line.
+//!
+//! Configuration:
+//!
+//! * `SL_BENCH_SAMPLES` — timed samples per benchmark (default 30);
+//! * `SL_BENCH_WARMUP_MS` — warmup duration per benchmark (default 80).
+//!
+//! Benches stay `harness = false` binaries; a `main` simply calls
+//! [`Bench::measure`] per case:
+//!
+//! ```no_run
+//! use sl_support::bench::{black_box, Bench};
+//!
+//! let mut bench = Bench::from_env();
+//! bench.measure("sum/1000", || {
+//!     black_box((0u64..1000).sum::<u64>());
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration for one calibrated sample batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// The harness: holds the run configuration and prints one report line
+/// per measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Bench {
+    /// Timed samples collected per benchmark.
+    pub samples: u32,
+    /// Warmup duration before sampling starts.
+    pub warmup: Duration,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            samples: 30,
+            warmup: Duration::from_millis(80),
+        }
+    }
+}
+
+impl Bench {
+    /// Reads `SL_BENCH_SAMPLES` / `SL_BENCH_WARMUP_MS`, with defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let defaults = Bench::default();
+        let samples = std::env::var("SL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(defaults.samples);
+        let warmup = std::env::var("SL_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .map_or(defaults.warmup, Duration::from_millis);
+        Bench { samples, warmup }
+    }
+
+    /// Runs one benchmark and prints its report line. Returns the
+    /// median per-call time for callers that post-process.
+    pub fn measure(&mut self, name: &str, mut f: impl FnMut()) -> Duration {
+        // Warmup, also measuring a rough per-call time for calibration.
+        let warmup_start = Instant::now();
+        let mut warmup_calls = 0u64;
+        while warmup_start.elapsed() < self.warmup || warmup_calls == 0 {
+            f();
+            warmup_calls += 1;
+        }
+        let per_call_estimate = warmup_start.elapsed() / warmup_calls.max(1) as u32;
+        // Batch enough calls that one sample hits the target duration.
+        let batch = if per_call_estimate.is_zero() {
+            1024
+        } else {
+            (TARGET_SAMPLE.as_nanos() / per_call_estimate.as_nanos().max(1))
+                .clamp(1, 1 << 20) as u32
+        };
+        let mut per_call: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    f();
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        per_call.sort_unstable();
+        let min = per_call[0];
+        let median = per_call[per_call.len() / 2];
+        let p95 = per_call[(per_call.len() * 95 / 100).min(per_call.len() - 1)];
+        println!(
+            "bench  {name:<44} median {:>12}  p95 {:>12}  min {:>12}  ({} samples x {batch} calls)",
+            format_duration(median),
+            format_duration(p95),
+            format_duration(min),
+            self.samples,
+        );
+        median
+    }
+}
+
+/// Renders a duration with a unit fitting its magnitude.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_and_reports() {
+        let mut bench = Bench {
+            samples: 5,
+            warmup: Duration::from_millis(1),
+        };
+        let median = bench.measure("test/busy", || {
+            black_box((0u64..100).sum::<u64>());
+        });
+        assert!(median < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

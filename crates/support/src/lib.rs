@@ -1,0 +1,30 @@
+//! # sl-support
+//!
+//! The workspace's zero-dependency support toolkit. Everything that the
+//! crates used to pull from crates.io (`rand`, `proptest`, `criterion`)
+//! lives here instead, so the whole workspace builds and tests with no
+//! registry access at all:
+//!
+//! * [`rng`] — the SplitMix64 generator previously private to
+//!   `sl-buchi::random`, promoted so every crate draws from the same
+//!   seeded, bit-stable streams.
+//! * [`prop`] — a minimal property-testing harness: seeded case
+//!   generation, composable strategies, greedy shrinking, and
+//!   failure-seed reporting (`SL_PROP_CASES` / `SL_PROP_SEED`).
+//! * [`bench`] — a wall-clock timing harness (warmup, calibrated
+//!   batches, median/p95 report) backing `crates/bench/benches/`.
+//! * [`par`] — scoped-thread chunked parallel sweeps with
+//!   deterministic result ordering (`SL_THREADS` to pin the width).
+//!
+//! Everything here is plain `std`; there are no feature flags and no
+//! transitive dependencies.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bench;
+pub mod par;
+pub mod prop;
+pub mod rng;
+
+pub use rng::SplitMix;

@@ -1,0 +1,128 @@
+//! Scoped-thread parallel sweeps with deterministic result ordering.
+//!
+//! The exhaustive theorem verifiers (E4's closure enumeration, E10's
+//! corpus sweep, the property corpora) are embarrassingly parallel:
+//! independent work items whose results are folded afterwards. These
+//! helpers split the items into contiguous chunks, run one
+//! `std::thread::scope` worker per chunk, and write each result into
+//! its item's slot — so `par_map(items, f)` returns exactly
+//! `items.iter().map(f).collect()` regardless of thread count, and any
+//! fold over the results is bit-identical to the sequential run.
+//!
+//! The worker count comes from the `SL_THREADS` environment variable
+//! when set (a positive integer; `SL_THREADS=1` forces sequential
+//! execution), otherwise from `std::thread::available_parallelism`.
+
+/// The number of worker threads sweeps use: `SL_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("SL_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item, in parallel across [`thread_count`]
+/// workers, returning results in item order (identical to the
+/// sequential `items.iter().map(f).collect()`).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by the determinism
+/// tests to compare widths directly).
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (item_chunk, slot_chunk) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by its chunk's worker"))
+        .collect()
+}
+
+/// Sweeps `f` over `0..n` in parallel, returning `[f(0), .., f(n-1)]`.
+pub fn par_sweep<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_sweep_with(thread_count(), n, f)
+}
+
+/// [`par_sweep`] with an explicit worker count.
+pub fn par_sweep_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_with(threads, &indices, |&i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..997).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map_with(threads, &items, |&x| x * x);
+            let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential() {
+        for threads in [1, 4, 7] {
+            let out = par_sweep_with(threads, 100, |i| i as u64 + 1);
+            assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_with(16, &[1, 2, 3], |&x: &i32| -x);
+        assert_eq!(out, vec![-1, -2, -3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map_with(4, &[], |x: &i32| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

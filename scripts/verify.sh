@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and re-run every experiment, fully
+# offline. This is the command the CI gate runs; it must succeed in a
+# network-isolated container (the workspace has no registry
+# dependencies — see tests/no_registry_deps.rs).
+#
+# Usage: scripts/verify.sh
+#   SL_THREADS=N   bound the worker count of the parallel sweeps
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline
+
+echo "== experiments E1-E10 =="
+cargo build --release --offline --workspace --bins
+for exp in e1_rem_linear e2_figure1 e3_figure2 e4_decomposition \
+           e5_buchi_decomposition e6_rem_branching e7_impossibility \
+           e8_rabin e9_extremal e10_closure_ablation; do
+  echo "-- $exp"
+  "./target/release/$exp"
+done
+
+echo "verify.sh: all green"

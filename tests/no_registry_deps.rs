@@ -1,0 +1,101 @@
+//! Guard test: the workspace must build offline, forever.
+//!
+//! The original tier-1 failure mode was a registry resolution abort
+//! (`rand`, `proptest`, `criterion` could not be fetched in a
+//! network-isolated container). Every external dependency has since
+//! been replaced by the in-tree `sl-support` crate; this test parses
+//! every workspace manifest and fails if a registry dependency ever
+//! sneaks back in.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All dependency-section entries of a manifest, as `(section, key, value)`.
+fn dependency_entries(manifest: &str) -> Vec<(String, String, String)> {
+    let mut entries = Vec::new();
+    let mut section = String::new();
+    for raw in manifest.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        let is_dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.starts_with("target.") && section.ends_with("dependencies");
+        if !is_dep_section {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            entries.push((
+                section.clone(),
+                key.trim().to_string(),
+                value.trim().to_string(),
+            ));
+        }
+    }
+    entries
+}
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ directory") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests.sort();
+    manifests
+}
+
+#[test]
+fn every_workspace_dependency_is_a_path_dependency() {
+    let manifests = workspace_manifests();
+    // Root manifest + the nine member crates.
+    assert!(
+        manifests.len() >= 10,
+        "expected at least 10 manifests, found {}: {manifests:?}",
+        manifests.len()
+    );
+    for manifest_path in &manifests {
+        let manifest = fs::read_to_string(manifest_path).expect("readable manifest");
+        for (section, key, value) in dependency_entries(&manifest) {
+            // Accept `dep = { path = ... }`, `dep = { workspace = true }`,
+            // and the dotted form `dep.workspace = true` / `dep.path = ...`.
+            let ok = value.contains("path")
+                || value.contains("workspace")
+                || key.ends_with(".path")
+                || key.ends_with(".workspace");
+            assert!(
+                ok,
+                "{}: [{section}] dependency `{key} = {value}` is not a \
+                 path/workspace dependency — the workspace must build offline",
+                manifest_path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn known_registry_crates_do_not_reappear() {
+    for manifest_path in workspace_manifests() {
+        let manifest = fs::read_to_string(&manifest_path).expect("readable manifest");
+        for (section, key, _) in dependency_entries(&manifest) {
+            let base = key.split('.').next().unwrap_or(&key);
+            assert!(
+                !matches!(base, "rand" | "proptest" | "criterion"),
+                "{}: [{section}] declares registry crate `{key}`; use \
+                 sl-support (rng/prop/bench) instead",
+                manifest_path.display()
+            );
+        }
+    }
+}
