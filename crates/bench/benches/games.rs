@@ -71,4 +71,5 @@ fn main() {
             black_box(solve_rabin(&rabin));
         });
     }
+    bench.finish("games");
 }

@@ -35,4 +35,5 @@ fn main() {
             }
         });
     }
+    bench.finish("lattice");
 }

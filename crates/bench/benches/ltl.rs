@@ -34,4 +34,5 @@ fn main() {
             black_box(translate(&sigma, &f));
         });
     }
+    bench.finish("ltl");
 }

@@ -16,9 +16,11 @@
 //!
 //! The 400-seed corpus sweep runs on `sl_support::par` workers (one
 //! record per seed, folded in seed order), so the reported counts are
-//! byte-identical for any `SL_THREADS`.
+//! byte-identical for any `SL_THREADS`. Workers are panic-isolated:
+//! under a fault drill a poisoned seed degrades to a `[degraded]` note
+//! and survivor-only counts.
 
-use sl_bench::{header, Scoreboard};
+use sl_bench::{header, note_degradation, Scoreboard};
 use sl_buchi::{closure, live_states, random_buchi, Buchi, BuchiBuilder, RandomConfig};
 use sl_omega::{all_lassos, Alphabet, LassoWord};
 use sl_support::par;
@@ -139,18 +141,20 @@ fn main() -> ExitCode {
     // correct closure's language? One parallel record per seed (the
     // live-state pruning comparison rides the same pass).
     let words = all_lassos(&sigma, 2, 3);
-    let records = par::par_sweep(400, |seed| sweep_seed(&sigma, &words, seed as u64));
-    let machines = records.len();
-    let divergent_machines = records.iter().filter(|r| r.diverged).count();
-    let divergent_words: usize = records.iter().map(|r| r.divergent_words).sum();
-    let naive_non_extensive: usize = records.iter().map(|r| r.naive_non_extensive).sum();
-    let pruned_more = records.iter().filter(|r| r.pruned_more).count();
+    let seeds: Vec<u64> = (0..400).collect();
+    let report = par::par_map_isolated(&seeds, |&seed| sweep_seed(&sigma, &words, seed));
+    let machines = report.ok_count();
+    let divergent_machines = report.oks().filter(|(_, r)| r.diverged).count();
+    let divergent_words: usize = report.oks().map(|(_, r)| r.divergent_words).sum();
+    let naive_non_extensive: usize = report.oks().map(|(_, r)| r.naive_non_extensive).sum();
+    let pruned_more = report.oks().filter(|(_, r)| r.pruned_more).count();
     println!(
         "\ncorpus sweep: {machines} random 5-state automata, {} lasso words each",
         words.len()
     );
     println!("  machines where naive != correct : {divergent_machines}");
     println!("  (word, machine) divergences     : {divergent_words}");
+    note_degradation("seed corpus", &report);
     board.claim(
         "naive variant diverges on a nontrivial fraction of the corpus",
         divergent_machines > 0,

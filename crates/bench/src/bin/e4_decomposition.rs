@@ -11,8 +11,14 @@
 //! each closure's (count, verdict) record is computed on a
 //! `sl_support::par` worker and the records are folded in closure
 //! order — the table is byte-identical for any `SL_THREADS`.
+//!
+//! Workers run panic-isolated ([`par::par_map_isolated`]): under a
+//! fault drill (`SL_FAULT_RATE` > 0) a poisoned worker degrades to a
+//! `[degraded]` note and survivor-only claims instead of aborting the
+//! sweep; with faults disabled the output is byte-identical to the
+//! strict sweep.
 
-use sl_bench::{header, Scoreboard};
+use sl_bench::{header, note_degradation, Scoreboard};
 use sl_lattice::{
     decompose, decompose_pair_checked, enumerate_closures, generators, lemma4_holds,
     random_closure, verify_decomposition,
@@ -38,7 +44,7 @@ fn main() -> ExitCode {
             (0..40).map(|seed| random_closure(&lattice, seed)).collect()
         };
         // One record per closure: (decompositions, all verified, lemma 4).
-        let records = par::par_map(&closures, |cl| {
+        let report = par::par_map_isolated(&closures, |cl| {
             let mut decompositions = 0usize;
             let mut all_ok = true;
             let mut lemma4_ok = true;
@@ -58,9 +64,9 @@ fn main() -> ExitCode {
             }
             (decompositions, all_ok, lemma4_ok)
         });
-        let decompositions: usize = records.iter().map(|r| r.0).sum();
-        let all_ok = records.iter().all(|r| r.1);
-        let lemma4_ok = records.iter().all(|r| r.2);
+        let decompositions: usize = report.oks().map(|(_, r)| r.0).sum();
+        let all_ok = report.oks().all(|(_, r)| r.1);
+        let lemma4_ok = report.oks().all(|(_, r)| r.2);
         println!(
             "{:<16} {:>6} {:>9} {:>14} {:>8}",
             name,
@@ -69,6 +75,7 @@ fn main() -> ExitCode {
             decompositions,
             if lemma4_ok { "ok" } else { "FAIL" }
         );
+        note_degradation(&name, &report);
         board.claim(
             &format!("{name}: all {decompositions} decompositions verified"),
             all_ok && lemma4_ok,
@@ -79,7 +86,7 @@ fn main() -> ExitCode {
     // parallel in the outer closure, folded in order.
     let lattice = generators::boolean(3);
     let closures = enumerate_closures(&lattice);
-    let records = par::par_map(&closures, |cl1| {
+    let report = par::par_map_isolated(&closures, |cl1| {
         let mut pairs_tested = 0usize;
         let mut pairs_ok = true;
         for cl2 in &closures {
@@ -100,8 +107,9 @@ fn main() -> ExitCode {
         }
         (pairs_tested, pairs_ok)
     });
-    let pairs_tested: usize = records.iter().map(|r| r.0).sum();
-    let pairs_ok = records.iter().all(|r| r.1);
+    let pairs_tested: usize = report.oks().map(|(_, r)| r.0).sum();
+    let pairs_ok = report.oks().all(|(_, r)| r.1);
+    note_degradation("Theorem 3 on B3", &report);
     board.claim(
         &format!("Theorem 3 on B3: {pairs_tested} (cl1 <= cl2, element) cases verified"),
         pairs_ok,

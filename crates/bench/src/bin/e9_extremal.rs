@@ -12,8 +12,10 @@
 //! Both the per-closure lattice sweep and the automata-level corpus
 //! comparison run on `sl_support::par` workers, with records folded in
 //! input order so the report is byte-identical for any `SL_THREADS`.
+//! Workers are panic-isolated: under a fault drill a poisoned worker
+//! degrades to a `[degraded]` note and survivor-only claims.
 
-use sl_bench::{header, Scoreboard};
+use sl_bench::{header, note_degradation, Scoreboard};
 use sl_buchi::{closure, included_with_complement};
 use sl_lattice::{
     decompose, enumerate_closures, generators, is_machine_closed, theorem6_strongest_safety,
@@ -39,7 +41,7 @@ fn main() -> ExitCode {
         // those cases are counted separately. One parallel record per
         // closure operator.
         let closures = enumerate_closures(&lattice);
-        let records = par::par_map(&closures, |cl| {
+        let report = par::par_map_isolated(&closures, |cl| {
             let mut t6_cases = 0usize;
             let mut t7_cases = 0usize;
             let mut ok = true;
@@ -72,10 +74,11 @@ fn main() -> ExitCode {
             }
             (t6_cases, t7_cases, ok)
         });
-        let t6_cases: usize = records.iter().map(|r| r.0).sum();
-        let t7_cases: usize = records.iter().map(|r| r.1).sum();
-        let ok = records.iter().all(|r| r.2);
+        let t6_cases: usize = report.oks().map(|(_, r)| r.0).sum();
+        let t7_cases: usize = report.oks().map(|(_, r)| r.1).sum();
+        let ok = report.oks().all(|(_, r)| r.2);
         println!("  {name:<20} Theorem 6: {t6_cases} cases, Theorem 7: {t7_cases} cases");
+        note_degradation(&name, &report);
         board.claim(
             &format!("{name}: extremal theorems verified ({t6_cases}/{t7_cases} cases)"),
             ok,
@@ -98,7 +101,7 @@ fn main() -> ExitCode {
         "X a",
     ];
     let formulas: Vec<_> = corpus.iter().map(|t| parse(&sigma, t).unwrap()).collect();
-    let records = par::par_map(&formulas, |f| {
+    let report = par::par_map_isolated(&formulas, |f| {
         let m = translate(&sigma, f);
         let cl = closure(&m);
         let mut comparisons = 0usize;
@@ -117,9 +120,10 @@ fn main() -> ExitCode {
         }
         (comparisons, ok)
     });
-    let comparisons: usize = records.iter().map(|r| r.0).sum();
-    let ok = records.iter().all(|r| r.1);
+    let comparisons: usize = report.oks().map(|(_, r)| r.0).sum();
+    let ok = report.oks().all(|(_, r)| r.1);
     println!("  {comparisons} (property, safety-superset) comparisons");
+    note_degradation("LTL corpus", &report);
     board.claim(
         "cl(B) below every corpus safety property containing L(B)",
         ok,

@@ -18,6 +18,28 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Prints a degradation note for a fault-tolerant sweep — one line per
+/// failed item plus the summary — and nothing at all for a clean sweep,
+/// keeping fault-free experiment output byte-identical to the strict
+/// sweeps the tables were recorded with.
+pub fn note_degradation<R>(label: &str, report: &sl_support::SweepReport<R>) {
+    if !report.degraded() {
+        return;
+    }
+    println!("  [degraded] {label}: {}", report.summary());
+    for index in report.failure_indices() {
+        match &report.outcomes[index] {
+            sl_support::ItemOutcome::Panicked(message) => {
+                println!("             item {index} panicked: {message}");
+            }
+            sl_support::ItemOutcome::Failed(err) => {
+                println!("             item {index} failed: {err}");
+            }
+            sl_support::ItemOutcome::Ok(_) => {}
+        }
+    }
+}
+
 /// Prints an experiment header.
 pub fn header(id: &str, title: &str) {
     let line = format!("{id}: {title}");

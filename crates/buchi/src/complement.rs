@@ -15,6 +15,7 @@
 //!   state budget guards against blow-ups.
 
 use crate::automaton::{Buchi, BuchiBuilder, StateId};
+use sl_support::{fault, Budget, SlError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -32,6 +33,15 @@ impl fmt::Display for ComplementBudgetExceeded {
 }
 
 impl std::error::Error for ComplementBudgetExceeded {}
+
+impl From<ComplementBudgetExceeded> for SlError {
+    fn from(err: ComplementBudgetExceeded) -> Self {
+        SlError::BudgetExceeded {
+            phase: "buchi.complement",
+            spent: err.budget as u64,
+        }
+    }
+}
 
 /// Complements an all-accepting ("closure-shaped") automaton via the
 /// subset construction.
@@ -111,6 +121,48 @@ pub fn complement(b: &Buchi) -> Result<Buchi, ComplementBudgetExceeded> {
 /// Panics if the automaton has more than 64 states (the obligation set
 /// is a `u64` bitmask).
 pub fn complement_with_budget(b: &Buchi, budget: usize) -> Result<Buchi, ComplementBudgetExceeded> {
+    complement_rank_core(b, budget, &mut |_| Ok(()))
+        .map_err(|_| ComplementBudgetExceeded { budget })
+}
+
+/// Complements under a cooperative [`Budget`]: every created state
+/// charges the budget's meter (phase `"buchi.complement"`), so a step
+/// limit, wall-clock deadline, or cancellation flag aborts the
+/// construction mid-flight with a typed error instead of running to the
+/// state cap. This entry also consults the process-wide fault plan
+/// ([`fault::global`], site `"buchi.complement"`), making it the drill
+/// point for error-propagation fault injection.
+///
+/// # Errors
+///
+/// * [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+///   budget (or from hitting [`DEFAULT_COMPLEMENT_BUDGET`] states);
+/// * [`SlError::FaultInjected`] when the global fault plan fires;
+/// * [`SlError::InvalidInput`] if the automaton has more than 64 states.
+pub fn complement_budgeted(b: &Buchi, budget: &Budget) -> Result<Buchi, SlError> {
+    if b.num_states() > 64 {
+        return Err(SlError::InvalidInput(format!(
+            "rank-based complement limited to 64 states, got {}",
+            b.num_states()
+        )));
+    }
+    let mut meter = budget.meter("buchi.complement");
+    let plan = fault::global();
+    complement_rank_core(b, DEFAULT_COMPLEMENT_BUDGET, &mut |created| {
+        meter.charge(1)?;
+        plan.inject_error("buchi.complement", created as u64)?;
+        Ok(())
+    })
+}
+
+/// The shared Kupferman–Vardi construction. `on_state(k)` runs before
+/// the `k`-th state is admitted; any error it returns aborts the
+/// construction (that is how budgets and fault drills hook in).
+fn complement_rank_core(
+    b: &Buchi,
+    state_cap: usize,
+    on_state: &mut dyn FnMut(usize) -> Result<(), SlError>,
+) -> Result<Buchi, SlError> {
     let n = b.num_states();
     assert!(n <= 64, "rank-based complement limited to 64 states");
     // Fast path: all-accepting automata complement by subset construction.
@@ -131,6 +183,7 @@ pub fn complement_with_budget(b: &Buchi, budget: usize) -> Result<Buchi, Complem
     // the initial rank is legal regardless of the initial state's flag.
     initial_rank[b.initial()] = max_rank;
     let start: RankState = (initial_rank, 0);
+    on_state(0)?;
     let start_id = builder.add_state(true); // O = ∅ is accepting
     ids.insert(start.clone(), start_id);
     let mut work = vec![start];
@@ -193,9 +246,13 @@ pub fn complement_with_budget(b: &Buchi, budget: usize) -> Result<Buchi, Complem
                 let to = match ids.get(&key) {
                     Some(&id) => id,
                     None => {
-                        if ids.len() >= budget {
-                            return Err(ComplementBudgetExceeded { budget });
+                        if ids.len() >= state_cap {
+                            return Err(SlError::BudgetExceeded {
+                                phase: "buchi.complement",
+                                spent: state_cap as u64,
+                            });
                         }
+                        on_state(ids.len())?;
                         let id = builder.add_state(next_obl == 0);
                         ids.insert(key.clone(), id);
                         work.push(key);
@@ -349,5 +406,58 @@ mod tests {
     fn safety_complement_rejects_general_automata() {
         let s = sigma();
         let _ = complement_safety(&inf_a(&s));
+    }
+
+    #[test]
+    fn budgeted_complement_matches_unbudgeted() {
+        let s = sigma();
+        let m = inf_a(&s);
+        match complement_budgeted(&m, &Budget::unlimited()) {
+            Ok(c) => {
+                let reference = complement(&m).unwrap();
+                for w in all_lassos(&s, 3, 3) {
+                    assert_eq!(c.accepts(&w), reference.accepts(&w), "{w}");
+                }
+            }
+            // Under a process-wide fault drill (SL_FAULT_RATE > 0) the
+            // injection site may fire; degrading with a typed error is
+            // the contract, not a failure.
+            Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_complement_stops_on_step_limit() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let err = complement_budgeted(&m, &Budget::unlimited().with_steps(2)).unwrap_err();
+        assert!(
+            err.root().is_budget_exceeded() || err.root().is_fault_injected(),
+            "{err}"
+        );
+        if err.root().is_budget_exceeded() {
+            assert_eq!(err.spent(), Some(3), "fails on the charge after the limit");
+        }
+    }
+
+    #[test]
+    fn budgeted_complement_rejects_oversized_automata() {
+        let s = sigma();
+        let a = s.symbol("a").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let states: Vec<_> = (0..65).map(|i| builder.add_state(i == 0)).collect();
+        for pair in states.windows(2) {
+            builder.add_transition(pair[0], a, pair[1]);
+        }
+        let big = builder.build(states[0]);
+        let err = complement_budgeted(&big, &Budget::unlimited()).unwrap_err();
+        assert!(matches!(err, SlError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_error_converts_into_sl_error() {
+        let err: SlError = ComplementBudgetExceeded { budget: 9 }.into();
+        assert!(err.is_budget_exceeded());
+        assert_eq!(err.spent(), Some(9));
     }
 }

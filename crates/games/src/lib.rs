@@ -33,4 +33,4 @@ pub mod zielonka;
 
 pub use parity::{ParityGame, Player};
 pub use rabin::{solve_rabin, RabinGame, RabinSolution};
-pub use zielonka::{solve, verify, Solution};
+pub use zielonka::{solve, solve_with_budget, verify, Solution};

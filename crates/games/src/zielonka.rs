@@ -2,6 +2,7 @@
 //! an independent strategy verifier used to cross-check the solver.
 
 use crate::parity::{ParityGame, Player};
+use sl_support::{Budget, BudgetMeter, SlError};
 
 /// A solved parity game: per-vertex winner and, for each vertex owned by
 /// its winner, a winning move.
@@ -27,12 +28,28 @@ impl Solution {
 /// Solves a parity game by Zielonka's algorithm.
 #[must_use]
 pub fn solve(game: &ParityGame) -> Solution {
+    solve_with_budget(game, &Budget::unlimited()).expect("unlimited budget cannot be exceeded")
+}
+
+/// Solves a parity game under a cooperative [`Budget`]: each recursive
+/// sub-arena charges one step against the budget's meter (phase
+/// `"games.zielonka"`), so a step limit, wall-clock deadline, or
+/// cancellation flag aborts the recursion with a typed error instead of
+/// running an adversarial instance to completion. Zielonka's recursion
+/// depth is linear but the call tree can be exponential in the number
+/// of priorities — exactly the shape a deadline should bound.
+///
+/// # Errors
+///
+/// [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the budget.
+pub fn solve_with_budget(game: &ParityGame, budget: &Budget) -> Result<Solution, SlError> {
     let n = game.len();
     let mut winner = vec![Player::Even; n];
     let mut strategy: Vec<Option<usize>> = vec![None; n];
     let alive = vec![true; n];
-    solve_rec(game, alive, &mut winner, &mut strategy);
-    Solution { winner, strategy }
+    let mut meter = budget.meter("games.zielonka");
+    solve_rec(game, alive, &mut winner, &mut strategy, &mut meter)?;
+    Ok(Solution { winner, strategy })
 }
 
 fn solve_rec(
@@ -40,11 +57,13 @@ fn solve_rec(
     alive: Vec<bool>,
     winner: &mut [Player],
     strategy: &mut [Option<usize>],
-) {
+    meter: &mut BudgetMeter,
+) -> Result<(), SlError> {
     let vertices: Vec<usize> = (0..game.len()).filter(|&v| alive[v]).collect();
     if vertices.is_empty() {
-        return;
+        return Ok(());
     }
+    meter.charge(1)?;
     let top = vertices
         .iter()
         .map(|&v| game.priority(v))
@@ -67,7 +86,7 @@ fn solve_rec(
     }
     let mut sub_winner = vec![Player::Even; game.len()];
     let mut sub_strategy: Vec<Option<usize>> = vec![None; game.len()];
-    solve_rec(game, rest.clone(), &mut sub_winner, &mut sub_strategy);
+    solve_rec(game, rest.clone(), &mut sub_winner, &mut sub_strategy, meter)?;
 
     let opponent = favored.opponent();
     let opponent_pocket: Vec<usize> = (0..game.len())
@@ -120,8 +139,9 @@ fn solve_rec(
                 remainder[v] = false;
             }
         }
-        solve_rec(game, remainder, winner, strategy);
+        solve_rec(game, remainder, winner, strategy, meter)?;
     }
+    Ok(())
 }
 
 /// Independently verifies a claimed solution:
@@ -423,6 +443,41 @@ mod tests {
             let s = solve(&g);
             verify(&g, &s).unwrap_or_else(|e| panic!("round {round}: {e}\n{g:?}\n{s:?}"));
         }
+    }
+
+    #[test]
+    fn budgeted_solve_matches_unbudgeted() {
+        let g = ParityGame::new(
+            vec![Player::Odd, Player::Even, Player::Even],
+            vec![3, 2, 4],
+            vec![vec![1], vec![0, 2], vec![2]],
+        );
+        let s = solve_with_budget(&g, &Budget::unlimited()).unwrap();
+        assert_eq!(s, solve(&g));
+    }
+
+    #[test]
+    fn budgeted_solve_stops_on_step_limit() {
+        // The chooser arena needs at least two sub-arenas: the pr-2
+        // attractor leaves the pr-1 self-loop for a recursive call.
+        let g = ParityGame::new(
+            vec![Player::Even, Player::Even, Player::Even],
+            vec![0, 2, 1],
+            vec![vec![1, 2], vec![1], vec![2]],
+        );
+        let err = solve_with_budget(&g, &Budget::unlimited().with_steps(1)).unwrap_err();
+        assert!(err.is_budget_exceeded());
+        assert_eq!(err.spent(), Some(2), "fails on the second sub-arena");
+    }
+
+    #[test]
+    fn budgeted_solve_honors_cancellation() {
+        use sl_support::CancelFlag;
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let g = ParityGame::new(vec![Player::Even], vec![2], vec![vec![0]]);
+        let err = solve_with_budget(&g, &Budget::unlimited().with_cancel(&flag)).unwrap_err();
+        assert!(err.is_cancelled());
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub use fragments::{is_syntactic_cosafety, is_syntactic_safety};
 pub use nnf::{is_nnf, nnf, simplify};
 pub use parse::{parse, ParseError};
 pub use rem::{examples as rem_examples, RemExample};
-pub use translate::translate;
+pub use translate::{translate, translate_with_budget};

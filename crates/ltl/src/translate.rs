@@ -24,6 +24,7 @@ use crate::ast::Ltl;
 use crate::nnf::nnf;
 use sl_buchi::{Buchi, BuchiBuilder};
 use sl_omega::{Alphabet, Symbol};
+use sl_support::{Budget, SlError};
 use std::collections::{BTreeSet, HashMap};
 
 /// An obligation set plus the promises fulfilled on entry.
@@ -51,6 +52,31 @@ type TableauNode = (BTreeSet<Ltl>, u64);
 /// ```
 #[must_use]
 pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
+    match translate_with_budget(alphabet, formula, &Budget::unlimited()) {
+        Ok(b) => b,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Translates under a cooperative [`Budget`]: every tableau node
+/// charges one step against the budget's meter (phase
+/// `"ltl.translate"`). The tableau is worst-case exponential in the
+/// formula, so adversarial or machine-generated formulas should come
+/// through here with a deadline.
+///
+/// # Errors
+///
+/// * [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+///   budget;
+/// * [`SlError::InvalidInput`] if the formula has more than 64
+///   until-subformulas (promise masks are `u64`) — a typed error here,
+///   where [`translate`] panics.
+pub fn translate_with_budget(
+    alphabet: &Alphabet,
+    formula: &Ltl,
+    budget: &Budget,
+) -> Result<Buchi, SlError> {
+    let mut meter = budget.meter("ltl.translate");
     let normalized = nnf(formula);
     // Identify the until-subformulas: each carries a promise bit.
     let untils: Vec<Ltl> = normalized
@@ -59,7 +85,12 @@ pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
         .filter(|f| matches!(f, Ltl::Until(_, _)))
         .cloned()
         .collect();
-    assert!(untils.len() <= 64, "too many until subformulas");
+    if untils.len() > 64 {
+        return Err(SlError::InvalidInput(format!(
+            "too many until subformulas: {} (promise masks are u64)",
+            untils.len()
+        )));
+    }
     let promise_of: HashMap<Ltl, u64> = untils
         .iter()
         .enumerate()
@@ -75,6 +106,7 @@ pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
     let mut initial_set = BTreeSet::new();
     initial_set.insert(normalized.clone());
     let start: TableauNode = (initial_set, 0);
+    meter.charge(1)?;
     ids.insert(start.clone(), 0);
     nodes.push(start.clone());
     transitions.push(Vec::new());
@@ -103,12 +135,18 @@ pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
             alternatives.sort();
             alternatives.dedup();
             for target in alternatives {
-                let to = *ids.entry(target.clone()).or_insert_with(|| {
-                    nodes.push(target.clone());
-                    transitions.push(Vec::new());
-                    work.push(target);
-                    nodes.len() - 1
-                });
+                let to = match ids.get(&target) {
+                    Some(&id) => id,
+                    None => {
+                        meter.charge(1)?;
+                        let id = nodes.len();
+                        ids.insert(target.clone(), id);
+                        nodes.push(target.clone());
+                        transitions.push(Vec::new());
+                        work.push(target);
+                        id
+                    }
+                };
                 transitions[from].push((sym, to));
             }
         }
@@ -130,7 +168,7 @@ pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
                 builder.add_transition(from, sym, to);
             }
         }
-        return sl_buchi::reduce(&builder.build(0).trim_unreachable());
+        return Ok(sl_buchi::reduce(&builder.build(0).trim_unreachable()));
     }
     // State id = node * k + counter.
     for node in &nodes {
@@ -152,7 +190,7 @@ pub fn translate(alphabet: &Alphabet, formula: &Ltl) -> Buchi {
             }
         }
     }
-    sl_buchi::reduce(&builder.build(0).trim_unreachable())
+    Ok(sl_buchi::reduce(&builder.build(0).trim_unreachable()))
 }
 
 /// Expands one NNF formula on one symbol into the disjunction of
@@ -342,6 +380,23 @@ mod tests {
                 assert_ne!(m.accepts(&w), mn.accepts(&w), "{text} on {w}");
             }
         }
+    }
+
+    #[test]
+    fn budgeted_translate_matches_unbudgeted() {
+        let s = ab();
+        let f = parse(&s, "G (a -> F b)").unwrap();
+        let m = translate_with_budget(&s, &f, &Budget::unlimited()).unwrap();
+        assert_eq!(m, translate(&s, &f));
+    }
+
+    #[test]
+    fn budgeted_translate_stops_on_step_limit() {
+        let s = ab();
+        let f = parse(&s, "G (a -> F b)").unwrap();
+        let err = translate_with_budget(&s, &f, &Budget::unlimited().with_steps(1)).unwrap_err();
+        assert!(err.is_budget_exceeded());
+        assert_eq!(err.spent(), Some(2), "second tableau node breaks the limit");
     }
 
     #[test]

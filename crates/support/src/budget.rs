@@ -1,0 +1,293 @@
+//! Execution budgets: step limits, wall-clock deadlines, and
+//! cooperative cancellation.
+//!
+//! A [`Budget`] is an immutable spec combining up to three limits:
+//!
+//! * a **step limit** — an upper bound on the abstract work units an
+//!   algorithm may charge (states explored, tableau nodes expanded,
+//!   closure tables examined, ...);
+//! * a **deadline** — a wall-clock instant past which the algorithm
+//!   must stop;
+//! * a **cancellation flag** — a shared atomic ([`CancelFlag`]) any
+//!   thread can raise to stop the work cooperatively.
+//!
+//! Algorithms call [`Budget::meter`] once per invocation to obtain a
+//! [`BudgetMeter`], then [`BudgetMeter::charge`] from their inner loop.
+//! The first violated limit surfaces as a typed
+//! [`SlError::BudgetExceeded`] (steps/deadline) or
+//! [`SlError::Cancelled`], carrying the phase name and the number of
+//! steps spent — so a caller can distinguish "never started" from "ran
+//! out mid-flight" and report partial progress.
+//!
+//! The default budget for env-configurable entry points comes from
+//! [`Budget::from_env`]: `SL_BUDGET_STEPS` (a positive integer) and
+//! `SL_BUDGET_MS` (a deadline in milliseconds from process start of the
+//! algorithm). Both unset means unlimited.
+
+use crate::error::SlError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag. Cloning shares the flag:
+/// raising it from any clone cancels every algorithm metering a budget
+/// that carries it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every meter observing it fails its next charge.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An execution budget: any combination of a step limit, a wall-clock
+/// deadline, and a cancellation flag. The default ([`Budget::unlimited`])
+/// imposes no limit at all, so `*_with_budget` entry points subsume
+/// their unbudgeted siblings.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelFlag>,
+}
+
+impl Budget {
+    /// A budget with no limits: every charge succeeds.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps the abstract step count at `n`.
+    #[must_use]
+    pub fn with_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Sets the deadline to `d` from now.
+    #[must_use]
+    pub fn with_deadline_in(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a cancellation flag (shared with the caller's clone).
+    #[must_use]
+    pub fn with_cancel(mut self, flag: &CancelFlag) -> Self {
+        self.cancel = Some(flag.clone());
+        self
+    }
+
+    /// Reads `SL_BUDGET_STEPS` (positive integer step cap) and
+    /// `SL_BUDGET_MS` (deadline in milliseconds from now). Unset or
+    /// unparsable variables contribute no limit.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut budget = Budget::unlimited();
+        if let Some(steps) = env_u64("SL_BUDGET_STEPS") {
+            budget = budget.with_steps(steps);
+        }
+        if let Some(ms) = env_u64("SL_BUDGET_MS") {
+            budget = budget.with_deadline_in(Duration::from_millis(ms));
+        }
+        budget
+    }
+
+    /// Whether no limit of any kind is attached.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Starts metering this budget for one algorithm invocation. The
+    /// `phase` names the algorithm in resulting errors (e.g.
+    /// `"buchi.complement"`).
+    #[must_use]
+    pub fn meter(&self, phase: &'static str) -> BudgetMeter {
+        BudgetMeter {
+            phase,
+            spent: 0,
+            max_steps: self.max_steps,
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// A running meter over one algorithm invocation: counts steps spent
+/// and enforces the budget's limits on every charge.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    phase: &'static str,
+    spent: u64,
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelFlag>,
+}
+
+impl BudgetMeter {
+    /// Charges `n` abstract steps.
+    ///
+    /// # Errors
+    ///
+    /// [`SlError::BudgetExceeded`] when the step limit or deadline is
+    /// passed, [`SlError::Cancelled`] when the flag is raised. `spent`
+    /// in the error includes the failing charge, so it is nonzero
+    /// whenever the algorithm made any progress.
+    #[inline]
+    pub fn charge(&mut self, n: u64) -> Result<(), SlError> {
+        self.spent += n;
+        if let Some(limit) = self.max_steps {
+            if self.spent > limit {
+                return Err(SlError::BudgetExceeded {
+                    phase: self.phase,
+                    spent: self.spent,
+                });
+            }
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.is_cancelled() {
+                return Err(SlError::Cancelled {
+                    phase: self.phase,
+                    spent: self.spent,
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(SlError::BudgetExceeded {
+                    phase: self.phase,
+                    spent: self.spent,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one step — the common inner-loop call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BudgetMeter::charge`].
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), SlError> {
+        self.charge(1)
+    }
+
+    /// Steps charged so far (including any failing charge).
+    #[must_use]
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The phase name this meter reports in errors.
+    #[must_use]
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        let mut meter = Budget::unlimited().meter("test");
+        for _ in 0..10_000 {
+            meter.tick().unwrap();
+        }
+        assert_eq!(meter.spent(), 10_000);
+    }
+
+    #[test]
+    fn step_limit_fails_with_spent_count() {
+        let mut meter = Budget::unlimited().with_steps(3).meter("test.steps");
+        meter.tick().unwrap();
+        meter.tick().unwrap();
+        meter.tick().unwrap();
+        let err = meter.tick().unwrap_err();
+        assert_eq!(
+            err,
+            SlError::BudgetExceeded {
+                phase: "test.steps",
+                spent: 4
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_first_charge_with_nonzero_spent() {
+        let budget = Budget::unlimited().with_deadline(Instant::now());
+        let mut meter = budget.meter("test.deadline");
+        let err = meter.tick().unwrap_err();
+        assert!(err.is_budget_exceeded());
+        assert!(err.spent().unwrap() > 0);
+    }
+
+    #[test]
+    fn cancellation_is_observed_and_shared() {
+        let flag = CancelFlag::new();
+        let budget = Budget::unlimited().with_cancel(&flag);
+        let mut meter = budget.meter("test.cancel");
+        meter.tick().unwrap();
+        flag.clone().cancel();
+        let err = meter.tick().unwrap_err();
+        assert!(err.is_cancelled());
+        assert_eq!(err.spent(), Some(2));
+    }
+
+    #[test]
+    fn future_deadline_allows_work() {
+        let budget = Budget::unlimited().with_deadline_in(Duration::from_secs(3600));
+        let mut meter = budget.meter("test");
+        for _ in 0..1000 {
+            meter.tick().unwrap();
+        }
+    }
+
+    #[test]
+    fn from_env_is_unlimited_when_unset() {
+        // The test harness does not set SL_BUDGET_*; guard against
+        // other tests polluting the environment by only asserting the
+        // parse of an absent variable.
+        assert!(env_u64("SL_BUDGET_DOES_NOT_EXIST").is_none());
+    }
+
+    #[test]
+    fn charge_batches_count_fully() {
+        let mut meter = Budget::unlimited().with_steps(10).meter("test.batch");
+        meter.charge(8).unwrap();
+        let err = meter.charge(5).unwrap_err();
+        assert_eq!(err.spent(), Some(13));
+    }
+}

@@ -14,7 +14,19 @@
 //! * [`bench`] — a wall-clock timing harness (warmup, calibrated
 //!   batches, median/p95 report) backing `crates/bench/benches/`.
 //! * [`par`] — scoped-thread chunked parallel sweeps with
-//!   deterministic result ordering (`SL_THREADS` to pin the width).
+//!   deterministic result ordering (`SL_THREADS` to pin the width) and
+//!   panic-isolated fault-tolerant variants ([`par::try_par_map`]).
+//!
+//! The fault-tolerant execution layer lives here too:
+//!
+//! * [`error`] — the workspace-wide [`SlError`] taxonomy with context
+//!   chains, absorbing the domain errors of every crate.
+//! * [`budget`] — [`Budget`]/[`BudgetMeter`]: step limits, wall-clock
+//!   deadlines, and cooperative cancellation ([`CancelFlag`]) shared by
+//!   every `*_with_budget` entry point in the workspace.
+//! * [`fault`] — deterministic seeded fault injection
+//!   ([`fault::FaultPlan`], env-configured via `SL_FAULT_SEED` /
+//!   `SL_FAULT_RATE`) proving the degradation paths.
 //!
 //! Everything here is plain `std`; there are no feature flags and no
 //! transitive dependencies.
@@ -23,8 +35,15 @@
 #![warn(clippy::all)]
 
 pub mod bench;
+pub mod budget;
+pub mod error;
+pub mod fault;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
+pub use budget::{Budget, BudgetMeter, CancelFlag};
+pub use error::SlError;
+pub use fault::FaultPlan;
+pub use par::{ItemOutcome, SweepReport};
 pub use rng::SplitMix;

@@ -20,6 +20,7 @@ use crate::finite::Node;
 use crate::prefix::RegularPrefix;
 use crate::regular::RegularTree;
 use sl_ltl::Ltl;
+use sl_support::{Budget, SlError};
 
 /// A bounded refutation of closure membership: the prefix that could
 /// not be extended into the property.
@@ -51,22 +52,51 @@ pub fn fcl_contains_bounded(
     continuations: &[RegularTree],
     width: usize,
 ) -> Result<(), Refutation> {
+    try_fcl_contains_bounded(y, property, max_depth, continuations, width, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// [`fcl_contains_bounded`] under a cooperative [`Budget`]: each
+/// graft-and-model-check of a candidate extension charges one step
+/// (phase `"trees.fcl"`). The candidate count is `depths ×
+/// continuations` and each check walks a product construction, so
+/// untrusted bounds should come through here.
+///
+/// # Errors
+///
+/// [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+/// budget. The inner result is the bounded membership verdict.
+pub fn try_fcl_contains_bounded(
+    y: &RegularTree,
+    property: &Ctl,
+    max_depth: usize,
+    continuations: &[RegularTree],
+    width: usize,
+    budget: &Budget,
+) -> Result<Result<(), Refutation>, SlError> {
+    let mut meter = budget.meter("trees.fcl");
     // If y itself is in P, every truncation extends to y: done.
+    meter.charge(1)?;
     if y.satisfies(property) {
-        return Ok(());
+        return Ok(Ok(()));
     }
     for depth in 0..=max_depth {
-        let found = continuations
-            .iter()
-            .any(|cont| y.graft(depth, cont, width).satisfies(property));
+        let mut found = false;
+        for cont in continuations {
+            meter.charge(1)?;
+            if y.graft(depth, cont, width).satisfies(property) {
+                found = true;
+                break;
+            }
+        }
         if !found {
-            return Err(Refutation {
+            return Ok(Err(Refutation {
                 depth,
                 cuts: Vec::new(),
-            });
+            }));
         }
     }
-    Ok(())
+    Ok(Ok(()))
 }
 
 /// All antichain cut-pattern prefixes of `y` up to `max_depth`:
@@ -74,13 +104,41 @@ pub fn fcl_contains_bounded(
 /// prefixes (no cuts) are excluded — `ncl` quantifies over `A_nt`.
 #[must_use]
 pub fn nontotal_prefixes(y: &RegularTree, max_depth: usize) -> Vec<RegularPrefix> {
+    match try_nontotal_prefixes(y, max_depth, &Budget::unlimited()) {
+        Ok(prefixes) => prefixes,
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// [`nontotal_prefixes`] with typed errors and a cooperative [`Budget`]
+/// (phase `"trees.prefixes"`, one step per candidate subset): the
+/// `2^paths` enumeration blows up fast, and malformed path tables
+/// surface as [`SlError::Domain`] instead of panics.
+///
+/// # Errors
+///
+/// * [`SlError::InvalidInput`] when more than 16 unrolling paths would
+///   make the subset enumeration intractable (lower `max_depth`);
+/// * [`SlError::Domain`] if the tree's successor table is internally
+///   inconsistent (an enumerated path leaves the tree);
+/// * [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+///   budget.
+pub fn try_nontotal_prefixes(
+    y: &RegularTree,
+    max_depth: usize,
+    budget: &Budget,
+) -> Result<Vec<RegularPrefix>, SlError> {
+    let mut meter = budget.meter("trees.prefixes");
     // Enumerate the unrolling paths up to max_depth.
     let mut paths: Vec<Node> = vec![Vec::new()];
     let mut frontier: Vec<Node> = vec![Vec::new()];
     for _ in 0..max_depth {
         let mut next = Vec::new();
         for path in &frontier {
-            let node = y.node_at(path).expect("paths stay in the tree");
+            let node = y.node_at(path).ok_or_else(|| SlError::Domain {
+                domain: "trees",
+                message: format!("enumerated path {path:?} leaves the tree"),
+            })?;
             for i in 0..y.children(node).len() {
                 let mut child = path.clone();
                 child.push(i as u32);
@@ -92,9 +150,14 @@ pub fn nontotal_prefixes(y: &RegularTree, max_depth: usize) -> Vec<RegularPrefix
     }
     // Subsets that form antichains, nonempty.
     let n = paths.len();
-    assert!(n <= 16, "too many unrolling paths; lower max_depth");
+    if n > 16 {
+        return Err(SlError::InvalidInput(format!(
+            "too many unrolling paths ({n} > 16); lower max_depth"
+        )));
+    }
     let mut out = Vec::new();
     'subset: for mask in 1u32..(1u32 << n) {
+        meter.charge(1)?;
         let chosen: Vec<&Node> = (0..n)
             .filter(|&i| mask & (1 << i) != 0)
             .map(|i| &paths[i])
@@ -109,7 +172,7 @@ pub fn nontotal_prefixes(y: &RegularTree, max_depth: usize) -> Vec<RegularPrefix
         let cuts: Vec<Node> = chosen.into_iter().cloned().collect();
         out.push(RegularPrefix::cut(y, max_depth, &cuts));
     }
-    out
+    Ok(out)
 }
 
 /// Bounded check of `y ∈ ncl.P`: every non-total cut-pattern prefix of
@@ -127,23 +190,53 @@ pub fn ncl_contains_bounded(
     continuations: &[RegularTree],
     width: usize,
 ) -> Result<(), Refutation> {
+    try_ncl_contains_bounded(y, property, max_depth, continuations, width, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// [`ncl_contains_bounded`] under a cooperative [`Budget`]: the prefix
+/// enumeration is metered through [`try_nontotal_prefixes`] and each
+/// completion-and-model-check charges one step (phase `"trees.ncl"`).
+///
+/// # Errors
+///
+/// Typed errors from [`try_nontotal_prefixes`] plus budget exhaustion
+/// and cancellation. The inner result is the bounded membership
+/// verdict.
+pub fn try_ncl_contains_bounded(
+    y: &RegularTree,
+    property: &Ctl,
+    max_depth: usize,
+    continuations: &[RegularTree],
+    width: usize,
+    budget: &Budget,
+) -> Result<Result<(), Refutation>, SlError> {
+    let mut meter = budget.meter("trees.ncl");
+    meter.charge(1)?;
     let y_in_property = y.satisfies(property);
+    let prefixes = try_nontotal_prefixes(y, max_depth, budget)
+        .map_err(|e| e.context("try_ncl_contains_bounded: enumerating prefixes"))?;
     // Enumerate paths again to recover cut descriptions for refutations.
-    for (pattern_index, prefix) in nontotal_prefixes(y, max_depth).iter().enumerate() {
+    for (pattern_index, prefix) in prefixes.iter().enumerate() {
         if y_in_property {
             continue; // y itself completes every prefix of y
         }
-        let found = continuations
-            .iter()
-            .any(|cont| prefix.complete(cont, width).satisfies(property));
+        let mut found = false;
+        for cont in continuations {
+            meter.charge(1)?;
+            if prefix.complete(cont, width).satisfies(property) {
+                found = true;
+                break;
+            }
+        }
         if !found {
-            return Err(Refutation {
+            return Ok(Err(Refutation {
                 depth: max_depth,
                 cuts: vec![vec![pattern_index as u32]],
-            });
+            }));
         }
     }
-    Ok(())
+    Ok(Ok(()))
 }
 
 /// Absolute refutation of `y ∈ ncl.(A φ)` for a universal path property:
@@ -301,6 +394,43 @@ mod tests {
         // Two-branch tree, depth 1: paths ε, 0, 1; antichains: {ε},
         // {0}, {1}, {0,1}: 4 prefixes.
         assert_eq!(nontotal_prefixes(&two_branch(), 1).len(), 4);
+    }
+
+    #[test]
+    fn try_variants_match_their_panicking_twins() {
+        let q3a = parse_ctl(&sigma(), "a & AF !a").unwrap();
+        let y = const_a();
+        let budget = Budget::unlimited();
+        assert!(try_fcl_contains_bounded(&y, &q3a, 3, &[const_b()], 1, &budget)
+            .unwrap()
+            .is_ok());
+        assert!(try_ncl_contains_bounded(&y, &q3a, 3, &[const_b()], 1, &budget)
+            .unwrap()
+            .is_ok());
+        let prefixes = try_nontotal_prefixes(&const_a(), 2, &budget).unwrap();
+        assert_eq!(prefixes.len(), nontotal_prefixes(&const_a(), 2).len());
+    }
+
+    #[test]
+    fn try_variants_respect_step_limits() {
+        let q3a = parse_ctl(&sigma(), "a & AF !a").unwrap();
+        let y = const_a();
+        let tight = Budget::unlimited().with_steps(2);
+        let err = try_fcl_contains_bounded(&y, &q3a, 5, &[const_b(), const_a()], 1, &tight)
+            .unwrap_err();
+        assert!(err.is_budget_exceeded());
+        let err = try_ncl_contains_bounded(&two_branch(), &q3a, 2, &[const_b()], 1, &tight)
+            .unwrap_err();
+        assert!(err.root().is_budget_exceeded());
+    }
+
+    #[test]
+    fn deep_unrolling_is_a_typed_error() {
+        // Depth 8 on the two-branch tree yields 17 unrolling paths: the
+        // panicking API asserts, the try API reports InvalidInput.
+        let err = try_nontotal_prefixes(&two_branch(), 8, &Budget::unlimited()).unwrap_err();
+        assert!(matches!(err, SlError::InvalidInput(_)), "{err}");
+        assert!(err.to_string().contains("lower max_depth"), "{err}");
     }
 
     #[test]

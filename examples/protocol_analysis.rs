@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match verdict {
             Verdict::Ok => println!("log PASS  : {log}"),
             Verdict::Violation => println!("log FAIL  : {log} (at event {consumed})"),
+            Verdict::Unknown => println!("log ???   : {log} (bad event {consumed})"),
         }
     }
 

@@ -54,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("VIOLATION: {text}");
                 println!("           detected after {consumed} event(s)");
             }
+            Verdict::Unknown => {
+                println!("UNKNOWN  : {text} (uninterpretable event {consumed})");
+            }
         }
 
         // Enforcement: the security automaton truncates at the offense.

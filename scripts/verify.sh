@@ -6,6 +6,13 @@
 #
 # Usage: scripts/verify.sh
 #   SL_THREADS=N   bound the worker count of the parallel sweeps
+#
+# Besides the fault-free tier-1 run, this script drills the
+# fault-tolerant execution layer: the test suite and experiment sweeps
+# must stay green under a deterministic seeded fault drill
+# (SL_FAULT_RATE/SL_FAULT_SEED), degrading gracefully instead of
+# aborting, and the parallel experiment tables must be byte-identical
+# at any worker count.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,5 +31,24 @@ for exp in e1_rem_linear e2_figure1 e3_figure2 e4_decomposition \
   echo "-- $exp"
   "./target/release/$exp"
 done
+
+echo "== fault-injection smoke (SL_FAULT_RATE=0.05, seeded) =="
+# The same tier-1 suite and sweeps must pass *via degradation* while a
+# deterministic fault plan poisons the instrumented sites.
+SL_FAULT_RATE=0.05 SL_FAULT_SEED=2003 cargo test -q --offline
+for exp in e4_decomposition e9_extremal e10_closure_ablation; do
+  echo "-- $exp (fault drill)"
+  SL_FAULT_RATE=0.05 SL_FAULT_SEED=2003 "./target/release/$exp"
+done
+
+echo "== thread-count determinism (E4 at SL_THREADS=1,2,8) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+for t in 1 2 8; do
+  SL_THREADS=$t ./target/release/e4_decomposition > "$tmpdir/e4_t$t.txt"
+done
+cmp "$tmpdir/e4_t1.txt" "$tmpdir/e4_t2.txt"
+cmp "$tmpdir/e4_t1.txt" "$tmpdir/e4_t8.txt"
+echo "E4 output byte-identical at SL_THREADS=1,2,8"
 
 echo "verify.sh: all green"
