@@ -1,0 +1,665 @@
+//! Antichain-based inclusion, universality, and equivalence — the
+//! complement-free hot path.
+//!
+//! The rank-based pipeline in [`crate::incl`] decides `L(A) ⊆ L(B)` by
+//! materializing the Kupferman–Vardi complement of `B` — exponential
+//! even when the answer is an easy "no". This module decides the same
+//! question *without ever constructing `¬B`*, by searching directly for
+//! a counterexample lasso `u·v^ω ∈ L(A) \ L(B)`:
+//!
+//! * Every finite word `w` induces a **word-graph** `g_w` over `B`'s
+//!   states: an arc `q → q'` iff `B` can go from `q` to `q'` reading
+//!   `w`, flagged *accepting* iff some such path visits `F_B`
+//!   (endpoints included). Word-graphs compose exactly
+//!   (`g_{w1·w2} = g_{w1} ∘ g_{w2}`) and are backed by
+//!   [`sl_lattice::Bitset`] rows, so composition and comparison are
+//!   word-parallel `u64` operations.
+//! * The search enumerates elements `(p, q, f, g_w)` — "`A` can go from
+//!   `p` to `q` on `w` (visiting `F_A` iff `f`), and `w` acts on `B` as
+//!   `g_w`" — closing the set under right-composition with single
+//!   letters. A counterexample exists iff some *stem* element
+//!   `(init_A, p, ·, g_u)` meets a *period* element `(p, p, 1, g_v)`
+//!   such that the exact lasso test on `(g_u, g_v)` says `u·v^ω ∉ L(B)`.
+//! * **Antichain subsumption** keeps only the most-promising elements:
+//!   `x` subsumes `y` (same endpoints) iff `x.f ≥ y.f` and `x`'s graph
+//!   has pointwise *fewer* arcs. `B`-acceptance of a lasso is monotone
+//!   in the graphs' arcs and composition is monotone in both arguments,
+//!   so dropping `y` never loses a counterexample: whenever `y`'s
+//!   descendants reject, `x`'s reject too — and `x` carries its own
+//!   genuinely `A`-realized witness word. This is the subsumption
+//!   invariant; see DESIGN.md § "Inclusion engines".
+//! * Both operands are first quotiented by direct simulation
+//!   ([`crate::reduce::reduce`]), which preserves the language — so
+//!   counterexamples found on the reduced automata are valid for the
+//!   originals.
+//!
+//! The search is exact: [`included_antichain`] agrees with the
+//! rank-based oracle on every instance (the differential suite in
+//! `tests/inclusion_engines.rs` enforces this). The rank-based path is
+//! still *required* when the caller needs the complement automaton
+//! itself as an artifact (e.g. [`crate::decompose`]'s liveness part) —
+//! this engine only answers queries.
+
+use crate::automaton::{Buchi, StateId};
+use crate::complement::ComplementBudgetExceeded;
+use crate::graph::{tarjan, Graph};
+use crate::incl::Inclusion;
+use crate::reduce::reduce;
+use sl_lattice::Bitset;
+use sl_omega::{LassoWord, Symbol, Word};
+use sl_support::{fault, Budget, SlError};
+use std::borrow::Cow;
+use std::collections::VecDeque;
+
+/// Default cap on antichain insertion attempts for the unbudgeted
+/// entry points, mirroring
+/// [`crate::complement::DEFAULT_COMPLEMENT_BUDGET`].
+pub const DEFAULT_ANTICHAIN_BUDGET: usize = 1 << 17;
+
+/// How many subsumption comparisons amortize one budget evaluation in
+/// the budgeted entry points (see `BudgetMeter::tick_every`).
+const SCAN_STRIDE: u64 = 64;
+
+/// The word-graph of a finite word over `B`'s state set: `reach[q]` is
+/// the set of states reachable from `q` reading the word, `acc[q]` the
+/// subset reachable via a path that visits `F_B` (endpoints included).
+/// `acc[q] ⊆ reach[q]` by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WordGraph {
+    reach: Vec<Bitset>,
+    acc: Vec<Bitset>,
+}
+
+impl WordGraph {
+    /// The graph of the empty word: identity arcs, accepting at
+    /// accepting states.
+    fn identity(b: &Buchi) -> WordGraph {
+        let n = b.num_states();
+        let mut reach = Vec::with_capacity(n);
+        let mut acc = Vec::with_capacity(n);
+        for q in 0..n {
+            let mut row = Bitset::empty(n);
+            row.insert(q);
+            acc.push(if b.is_accepting(q) {
+                row.clone()
+            } else {
+                Bitset::empty(n)
+            });
+            reach.push(row);
+        }
+        WordGraph { reach, acc }
+    }
+
+    /// The graph of a single letter.
+    fn letter(b: &Buchi, sym: Symbol) -> WordGraph {
+        let n = b.num_states();
+        let mut reach = Vec::with_capacity(n);
+        let mut acc = Vec::with_capacity(n);
+        for q in 0..n {
+            let succs = b.successors(q, sym);
+            let row = Bitset::from_indices(n, succs);
+            let acc_row = if b.is_accepting(q) {
+                row.clone()
+            } else {
+                let flagged: Vec<StateId> = succs
+                    .iter()
+                    .copied()
+                    .filter(|&s| b.is_accepting(s))
+                    .collect();
+                Bitset::from_indices(n, &flagged)
+            };
+            reach.push(row);
+            acc.push(acc_row);
+        }
+        WordGraph { reach, acc }
+    }
+
+    /// Exact composition: `self` then `other`. A composite path visits
+    /// `F_B` iff one of its halves does, which is exactly the union
+    /// below — so word-graphs of concatenations are computed, not
+    /// approximated.
+    fn compose(&self, other: &WordGraph) -> WordGraph {
+        let n = self.reach.len();
+        let mut reach = Vec::with_capacity(n);
+        let mut acc = Vec::with_capacity(n);
+        for q in 0..n {
+            let mut out_reach = Bitset::empty(n);
+            let mut out_acc = Bitset::empty(n);
+            for m in self.reach[q].iter() {
+                out_reach.union_in_place(&other.reach[m]);
+                out_acc.union_in_place(&other.acc[m]);
+            }
+            for m in self.acc[q].iter() {
+                out_acc.union_in_place(&other.reach[m]);
+            }
+            reach.push(out_reach);
+            acc.push(out_acc);
+        }
+        WordGraph { reach, acc }
+    }
+
+    /// Pointwise arc inclusion: `self` has at most the arcs of `other`.
+    /// A smaller graph admits fewer `B`-runs, hence rejects at least as
+    /// many lassos — the heart of the subsumption order.
+    fn le(&self, other: &WordGraph) -> bool {
+        self.reach
+            .iter()
+            .zip(&other.reach)
+            .all(|(a, b)| a.is_subset(b))
+            && self.acc.iter().zip(&other.acc).all(|(a, b)| a.is_subset(b))
+    }
+}
+
+/// Exact lasso membership from word-graphs: whether `u·v^ω ∈ L(B)`,
+/// where `g_u`, `g_v` are the word-graphs of `u` and `v` over `B`.
+///
+/// `B` accepts iff from some state in `g_u.reach[init_B]` a `g_v`-path
+/// leads into a strongly connected component of the `g_v.reach` digraph
+/// that contains an internal accepting arc — such a component yields a
+/// `v`-segment cycle visiting `F_B`, traversed forever; conversely an
+/// accepting run, sampled every `|v|` letters, eventually settles into
+/// exactly such a component.
+fn lasso_in_b(b: &Buchi, g_u: &WordGraph, g_v: &WordGraph) -> bool {
+    let n = b.num_states();
+    let graph = Graph {
+        n,
+        succ: Box::new(|q| Cow::Owned(g_v.reach[q].iter().collect())),
+    };
+    let scc = tarjan(&graph);
+    let mut good = vec![false; scc.count];
+    for x in 0..n {
+        for y in g_v.acc[x].iter() {
+            if scc.component[x] == scc.component[y] {
+                good[scc.component[x]] = true;
+            }
+        }
+    }
+    // Forward reachability (zero or more g_v arcs) from the states B
+    // can be in after reading u.
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for q in g_u.reach[b.initial()].iter() {
+        seen[q] = true;
+        stack.push(q);
+    }
+    while let Some(q) = stack.pop() {
+        if good[scc.component[q]] {
+            return true;
+        }
+        for s in g_v.reach[q].iter() {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// A search element: `A` goes `from → to` on `word` (some path visits
+/// `F_A` iff `acc`), and `word` acts on `B` as `g`.
+#[derive(Debug, Clone)]
+struct Elem {
+    id: u64,
+    acc: bool,
+    g: WordGraph,
+    word: Vec<Symbol>,
+}
+
+/// Work units reported to the charge hook: one per insertion attempt
+/// (the macro-step of the fixpoint loop) and one per subsumption
+/// comparison (the hot inner loop, amortized in budgeted runs).
+enum Step {
+    Attempt,
+    Scan,
+}
+
+type Charge<'c> = dyn FnMut(Step) -> Result<(), SlError> + 'c;
+
+/// The fixpoint search. Returns a counterexample in
+/// `L(a) \ L(b)` or proves inclusion.
+fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, SlError> {
+    assert_eq!(
+        a.alphabet(),
+        b.alphabet(),
+        "inclusion requires a common alphabet"
+    );
+    // Simulation preprocessing: language-preserving, so verdicts and
+    // counterexamples transfer to the original automata.
+    let a = reduce(a);
+    let b = reduce(b);
+    let na = a.num_states();
+    let sigma = a.alphabet().clone();
+    let letters: Vec<WordGraph> = sigma.symbols().map(|s| WordGraph::letter(&b, s)).collect();
+    let identity = WordGraph::identity(&b);
+    let init = a.initial();
+
+    // chains[from * na + to]: the antichain of elements at that pair.
+    let mut chains: Vec<Vec<Elem>> = vec![Vec::new(); na * na];
+    let mut work: VecDeque<(usize, u64)> = VecDeque::new();
+    let mut next_id: u64 = 0;
+
+    // Inserts a candidate element, maintaining the antichain, queuing
+    // it for extension, and running the stem/period lasso tests it
+    // enables. Returns a counterexample the moment one test rejects.
+    let insert = |from: usize,
+                      to: usize,
+                      cand: Elem,
+                      chains: &mut Vec<Vec<Elem>>,
+                      work: &mut VecDeque<(usize, u64)>,
+                      next_id: &mut u64,
+                      charge: &mut Charge<'_>|
+     -> Result<Option<LassoWord>, SlError> {
+        charge(Step::Attempt)?;
+        let key = from * na + to;
+        for kept in &chains[key] {
+            charge(Step::Scan)?;
+            if kept.acc >= cand.acc && kept.g.le(&cand.g) {
+                return Ok(None); // subsumed: a better element is kept
+            }
+        }
+        // The newcomer may subsume existing elements in turn.
+        let mut i = 0;
+        while i < chains[key].len() {
+            charge(Step::Scan)?;
+            if cand.acc >= chains[key][i].acc && cand.g.le(&chains[key][i].g) {
+                chains[key].swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let mut elem = cand;
+        elem.id = *next_id;
+        *next_id += 1;
+        work.push_back((key, elem.id));
+        chains[key].push(elem);
+        let elem = chains[key].last().expect("just pushed");
+
+        // Lasso tests enabled by this element. As a stem (from == init)
+        // it pairs with every kept period at its target; as a period
+        // (from == to, F_A visited) it pairs with the empty stem (when
+        // anchored at init) and every kept stem reaching its anchor.
+        if from == init {
+            let p = to;
+            // Periods live at (p, p); the element itself is included if
+            // it qualifies (init-anchored accepting self-reach).
+            for period in &chains[p * na + p] {
+                if period.acc && !lasso_in_b(&b, &elem.g, &period.g) {
+                    return Ok(Some(LassoWord::new(
+                        &Word::new(&elem.word),
+                        &Word::new(&period.word),
+                    )));
+                }
+            }
+        }
+        if from == to && elem.acc {
+            let p = from;
+            if p == init && !lasso_in_b(&b, &identity, &elem.g) {
+                return Ok(Some(LassoWord::new(
+                    &Word::empty(),
+                    &Word::new(&elem.word),
+                )));
+            }
+            for stem in &chains[init * na + p] {
+                // Skip self-pairing: handled above when the element was
+                // inserted as a stem (same graphs, same verdict).
+                if stem.id != elem.id && !lasso_in_b(&b, &stem.g, &elem.g) {
+                    return Ok(Some(LassoWord::new(
+                        &Word::new(&stem.word),
+                        &Word::new(&elem.word),
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    };
+
+    // Seed with all single-letter elements of A.
+    for p in 0..na {
+        for sym in sigma.symbols() {
+            for &r in a.successors(p, sym) {
+                let cand = Elem {
+                    id: 0,
+                    acc: a.is_accepting(p) || a.is_accepting(r),
+                    g: letters[sym.index()].clone(),
+                    word: vec![sym],
+                };
+                if let Some(w) = insert(p, r, cand, &mut chains, &mut work, &mut next_id, charge)?
+                {
+                    return Ok(Inclusion::CounterExample(w));
+                }
+            }
+        }
+    }
+
+    // Close under right-composition with single letters. Elements
+    // subsumed after queuing are skipped when popped; their subsumer is
+    // queued and regenerates dominating extensions.
+    while let Some((key, id)) = work.pop_front() {
+        let Some(elem) = chains[key].iter().find(|e| e.id == id).cloned() else {
+            continue;
+        };
+        let (from, to) = (key / na, key % na);
+        for sym in sigma.symbols() {
+            for &r in a.successors(to, sym) {
+                let cand = Elem {
+                    id: 0,
+                    acc: elem.acc || a.is_accepting(r),
+                    g: elem.g.compose(&letters[sym.index()]),
+                    word: {
+                        let mut w = elem.word.clone();
+                        w.push(sym);
+                        w
+                    },
+                };
+                if let Some(w) =
+                    insert(from, r, cand, &mut chains, &mut work, &mut next_id, charge)?
+                {
+                    return Ok(Inclusion::CounterExample(w));
+                }
+            }
+        }
+    }
+    Ok(Inclusion::Holds)
+}
+
+/// Decides `L(a) ⊆ L(b)` with the antichain engine — no complement is
+/// ever constructed. Exact: agrees with [`crate::incl::included_rank`]
+/// on every instance.
+///
+/// # Errors
+///
+/// Returns [`ComplementBudgetExceeded`] (the shared blow-up error of
+/// the inclusion API) if the search exceeds
+/// [`DEFAULT_ANTICHAIN_BUDGET`] insertion attempts.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn included_antichain(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
+    let mut attempts: u64 = 0;
+    let mut charge = |step: Step| -> Result<(), SlError> {
+        if let Step::Attempt = step {
+            attempts += 1;
+            if attempts > DEFAULT_ANTICHAIN_BUDGET as u64 {
+                return Err(SlError::BudgetExceeded {
+                    phase: "buchi.incl.antichain",
+                    spent: attempts,
+                });
+            }
+        }
+        Ok(())
+    };
+    search(a, b, &mut charge).map_err(|_| ComplementBudgetExceeded {
+        budget: DEFAULT_ANTICHAIN_BUDGET,
+    })
+}
+
+/// Decides `L(a) ⊆ L(b)` with the antichain engine under a cooperative
+/// [`Budget`]: every insertion attempt charges one step (phase
+/// `"buchi.incl.antichain"`) and consults the process-wide fault plan
+/// (site `"buchi.incl.antichain"`); subsumption comparisons — the hot
+/// inner loop — charge through `BudgetMeter::tick_every`, amortizing
+/// the limit evaluation.
+///
+/// # Errors
+///
+/// [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+/// budget, or [`SlError::FaultInjected`] when the fault plan fires.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn included_antichain_budgeted(
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Inclusion, SlError> {
+    let mut meter = budget.meter("buchi.incl.antichain");
+    let plan = fault::global();
+    let mut attempts: u64 = 0;
+    let mut charge = |step: Step| -> Result<(), SlError> {
+        match step {
+            Step::Attempt => {
+                meter.tick()?;
+                attempts += 1;
+                plan.inject_error("buchi.incl.antichain", attempts)
+            }
+            Step::Scan => meter.tick_every(SCAN_STRIDE),
+        }
+    };
+    search(a, b, &mut charge)
+}
+
+/// Decides `L(b) = Σ^ω` with the antichain engine, returning a rejected
+/// word if not.
+///
+/// # Errors
+///
+/// As for [`included_antichain`].
+pub fn universal_antichain(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    let all = Buchi::universal(b.alphabet().clone());
+    Ok(match included_antichain(&all, b)? {
+        Inclusion::Holds => Ok(()),
+        Inclusion::CounterExample(w) => Err(w),
+    })
+}
+
+/// Decides `L(a) = L(b)` with the antichain engine, returning a
+/// separating word if the languages differ. Short-circuits on a
+/// counterexample to the first inclusion, like its rank-based sibling.
+///
+/// # Errors
+///
+/// As for [`included_antichain`].
+pub fn equivalent_antichain(
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    if let Inclusion::CounterExample(w) = included_antichain(a, b)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included_antichain(b, a)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
+}
+
+/// Decides `L(a) = L(b)` with the antichain engine under a cooperative
+/// [`Budget`] shared across both inclusion directions.
+///
+/// # Errors
+///
+/// As for [`included_antichain_budgeted`].
+pub fn equivalent_antichain_budgeted(
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Result<(), LassoWord>, SlError> {
+    if let Inclusion::CounterExample(w) = included_antichain_budgeted(a, b, budget)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included_antichain_budgeted(b, a, budget)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::BuchiBuilder;
+    use crate::incl::{included_rank, universal_rank};
+    use crate::random::{random_buchi, RandomConfig};
+    use sl_omega::Alphabet;
+
+    fn sigma() -> Alphabet {
+        Alphabet::ab()
+    }
+
+    fn inf_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(false);
+        let qa = builder.add_state(true);
+        builder.add_transition(q0, b, q0);
+        builder.add_transition(q0, a, qa);
+        builder.add_transition(qa, b, q0);
+        builder.add_transition(qa, a, qa);
+        builder.build(q0)
+    }
+
+    fn only_a(s: &Alphabet) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let q0 = builder.add_state(true);
+        builder.add_transition(q0, a, q0);
+        builder.build(q0)
+    }
+
+    #[test]
+    fn word_graphs_compose_exactly() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let ga = WordGraph::letter(&m, a);
+        let gb = WordGraph::letter(&m, b);
+        // (g_a ∘ g_b) ∘ g_a == g_a ∘ (g_b ∘ g_a): associativity on a
+        // concrete instance.
+        let left = ga.compose(&gb).compose(&ga);
+        let right = ga.compose(&gb.compose(&ga));
+        assert_eq!(left, right);
+        // Identity is neutral.
+        let id = WordGraph::identity(&m);
+        assert_eq!(id.compose(&ga), ga);
+        assert_eq!(ga.compose(&id), ga);
+    }
+
+    #[test]
+    fn lasso_test_matches_membership() {
+        let s = sigma();
+        let m = inf_a(&s);
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let ga = WordGraph::letter(&m, a);
+        let gb = WordGraph::letter(&m, b);
+        // b (a b)^ω ∈ GF a; b b^ω ∉ GF a.
+        let gab = ga.compose(&gb);
+        assert!(lasso_in_b(&m, &gb, &gab));
+        assert!(!lasso_in_b(&m, &gb, &gb));
+        // ε stem: (a)^ω ∈, (b)^ω ∉.
+        let id = WordGraph::identity(&m);
+        assert!(lasso_in_b(&m, &id, &ga));
+        assert!(!lasso_in_b(&m, &id, &gb));
+    }
+
+    #[test]
+    fn inclusion_holds_for_subset() {
+        let s = sigma();
+        assert!(included_antichain(&only_a(&s), &inf_a(&s)).unwrap().holds());
+    }
+
+    #[test]
+    fn counterexample_is_genuine() {
+        let s = sigma();
+        match included_antichain(&inf_a(&s), &only_a(&s)).unwrap() {
+            Inclusion::CounterExample(w) => {
+                assert!(inf_a(&s).accepts(&w), "accepted by the left operand");
+                assert!(!only_a(&s).accepts(&w), "rejected by the right operand");
+            }
+            Inclusion::Holds => panic!("GF a ⊄ a^ω"),
+        }
+    }
+
+    #[test]
+    fn empty_language_is_included_in_everything() {
+        let s = sigma();
+        let empty = Buchi::empty_language(s.clone());
+        assert!(included_antichain(&empty, &only_a(&s)).unwrap().holds());
+        assert!(included_antichain(&empty, &empty).unwrap().holds());
+    }
+
+    #[test]
+    fn nothing_nonempty_is_included_in_empty() {
+        let s = sigma();
+        let empty = Buchi::empty_language(s.clone());
+        match included_antichain(&inf_a(&s), &empty).unwrap() {
+            Inclusion::CounterExample(w) => assert!(inf_a(&s).accepts(&w)),
+            Inclusion::Holds => panic!("GF a is nonempty"),
+        }
+    }
+
+    #[test]
+    fn universality_verdicts() {
+        let s = sigma();
+        assert!(universal_antichain(&Buchi::universal(s.clone()))
+            .unwrap()
+            .is_ok());
+        let rejected = universal_antichain(&inf_a(&s)).unwrap().unwrap_err();
+        assert!(!inf_a(&s).accepts(&rejected));
+    }
+
+    #[test]
+    fn equivalence_and_separation() {
+        let s = sigma();
+        assert!(equivalent_antichain(&inf_a(&s), &inf_a(&s)).unwrap().is_ok());
+        let w = equivalent_antichain(&inf_a(&s), &Buchi::universal(s.clone()))
+            .unwrap()
+            .unwrap_err();
+        assert_ne!(
+            inf_a(&s).accepts(&w),
+            Buchi::universal(s.clone()).accepts(&w)
+        );
+    }
+
+    #[test]
+    fn budgeted_run_respects_step_limit() {
+        let s = sigma();
+        let err =
+            included_antichain_budgeted(&inf_a(&s), &only_a(&s), &Budget::unlimited().with_steps(1))
+                .unwrap_err();
+        assert!(
+            err.root().is_budget_exceeded() || err.root().is_fault_injected(),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted() {
+        let s = sigma();
+        match included_antichain_budgeted(&only_a(&s), &inf_a(&s), &Budget::unlimited()) {
+            Ok(inc) => assert_eq!(inc, included_antichain(&only_a(&s), &inf_a(&s)).unwrap()),
+            Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_rank_engine_on_random_corpus() {
+        let s = sigma();
+        let config = RandomConfig {
+            states: 4,
+            density_percent: 60,
+            accepting_percent: 30,
+        };
+        for seed in 0..40u64 {
+            let a = random_buchi(&s, seed, config);
+            let b = random_buchi(&s, seed + 1000, config);
+            let fast = included_antichain(&a, &b).unwrap();
+            let slow = included_rank(&a, &b).unwrap();
+            assert_eq!(
+                fast.holds(),
+                slow.holds(),
+                "seed {seed}: engines disagree on inclusion"
+            );
+            if let Inclusion::CounterExample(w) = &fast {
+                assert!(a.accepts(w), "seed {seed}: cex not accepted by a");
+                assert!(!b.accepts(w), "seed {seed}: cex not rejected by b");
+            }
+            let fast_univ = universal_antichain(&a).unwrap().is_ok();
+            let slow_univ = universal_rank(&a).unwrap().is_ok();
+            assert_eq!(fast_univ, slow_univ, "seed {seed}: universality differs");
+        }
+    }
+}

@@ -5,8 +5,10 @@
 //! infinitely often. [`Buchi`] stores the transition relation densely by
 //! `(state, symbol)` and is built through [`BuchiBuilder`].
 
+use sl_lattice::Bitset;
 use sl_omega::{Alphabet, Symbol};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A state index in a [`Buchi`] automaton.
 pub type StateId = usize;
@@ -34,13 +36,43 @@ pub type StateId = usize;
 /// assert!(automaton.accepts(&LassoWord::parse(&sigma, "b", "a b")));
 /// assert!(!automaton.accepts(&LassoWord::parse(&sigma, "a", "b")));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Buchi {
     alphabet: Alphabet,
     accepting: Vec<bool>,
     /// `delta[state][symbol]` is the sorted list of successors.
     delta: Vec<Vec<Vec<StateId>>>,
     initial: StateId,
+    /// Per-state successors over any symbol, sorted and deduplicated —
+    /// precomputed once in [`BuchiBuilder::build`] so the graph
+    /// algorithms never re-sort on the hot path.
+    all_succ: Vec<Vec<StateId>>,
+    /// The same successor sets as packed bitsets, for word-parallel
+    /// membership and intersection tests.
+    succ_sets: Vec<Bitset>,
+}
+
+// Equality, like hashing, is over the defining 5-tuple only; the
+// derived successor caches are a function of `delta` and must not
+// (and structurally cannot meaningfully) participate.
+impl PartialEq for Buchi {
+    fn eq(&self, other: &Self) -> bool {
+        self.alphabet == other.alphabet
+            && self.accepting == other.accepting
+            && self.delta == other.delta
+            && self.initial == other.initial
+    }
+}
+
+impl Eq for Buchi {}
+
+impl Hash for Buchi {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.alphabet.hash(state);
+        self.accepting.hash(state);
+        self.delta.hash(state);
+        self.initial.hash(state);
+    }
 }
 
 /// Incremental constructor for [`Buchi`].
@@ -93,11 +125,23 @@ impl BuchiBuilder {
     pub fn build(self, initial: StateId) -> Buchi {
         assert!(!self.accepting.is_empty(), "automaton needs states");
         assert!(initial < self.accepting.len(), "initial out of range");
+        let n = self.accepting.len();
+        let mut all_succ = Vec::with_capacity(n);
+        let mut succ_sets = Vec::with_capacity(n);
+        for row in &self.delta {
+            let mut merged: Vec<StateId> = row.iter().flatten().copied().collect();
+            merged.sort_unstable();
+            merged.dedup();
+            succ_sets.push(Bitset::from_indices(n, &merged));
+            all_succ.push(merged);
+        }
         Buchi {
             alphabet: self.alphabet,
             accepting: self.accepting,
             delta: self.delta,
             initial,
+            all_succ,
+            succ_sets,
         }
     }
 }
@@ -170,12 +214,56 @@ impl Buchi {
     }
 
     /// All successors of `q` over any symbol (deduplicated, sorted).
+    /// Precomputed at build time — calling this in a loop is free.
     #[must_use]
-    pub fn all_successors(&self, q: StateId) -> Vec<StateId> {
-        let mut out: Vec<StateId> = self.delta[q].iter().flatten().copied().collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    pub fn all_successors(&self, q: StateId) -> &[StateId] {
+        &self.all_succ[q]
+    }
+
+    /// The successors of `q` over any symbol as a packed bitset over
+    /// `{0..num_states}`, for word-parallel membership and intersection
+    /// tests. Precomputed at build time.
+    #[must_use]
+    pub fn successor_bitset(&self, q: StateId) -> &Bitset {
+        &self.succ_sets[q]
+    }
+
+    /// A deterministic 64-bit hash of the defining 5-tuple (alphabet,
+    /// states, initial, transitions, acceptance). Equal automata hash
+    /// equally across processes and runs — unlike `std`'s randomized
+    /// `DefaultHasher` — so the value can key caches and appear in
+    /// reproducible logs. Collisions are possible; callers that need
+    /// exactness must confirm with `==` (see `ComplementCache`).
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        // FNV-1a over a canonical u64 stream, with length prefixes so
+        // differently-shaped automata cannot alias by concatenation.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(PRIME);
+        let mut h = OFFSET;
+        h = mix(h, self.alphabet.len() as u64);
+        for sym in self.alphabet.symbols() {
+            let name = self.alphabet.name(sym);
+            h = mix(h, name.len() as u64);
+            for byte in name.bytes() {
+                h = mix(h, u64::from(byte));
+            }
+        }
+        h = mix(h, self.num_states() as u64);
+        h = mix(h, self.initial as u64);
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            h = mix(h, (q as u64) << 1 | u64::from(acc));
+        }
+        for row in &self.delta {
+            for succs in row {
+                h = mix(h, succs.len() as u64);
+                for &t in succs {
+                    h = mix(h, t as u64);
+                }
+            }
+        }
+        h
     }
 
     /// States reachable from the initial state.
@@ -185,7 +273,7 @@ impl Buchi {
         let mut stack = vec![self.initial];
         seen[self.initial] = true;
         while let Some(q) = stack.pop() {
-            for succ in self.all_successors(q) {
+            for &succ in self.all_successors(q) {
                 if !seen[succ] {
                     seen[succ] = true;
                     stack.push(succ);
@@ -391,6 +479,40 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("2 states"));
         assert!(text.contains("--a-->"));
+    }
+
+    #[test]
+    fn successor_bitset_matches_list() {
+        let (_, m) = gfa();
+        for q in 0..m.num_states() {
+            let set = m.successor_bitset(q);
+            assert_eq!(set.universe(), m.num_states());
+            assert_eq!(
+                set.iter().collect::<Vec<_>>(),
+                m.all_successors(q).to_vec(),
+                "state {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_separates() {
+        let (sigma, m) = gfa();
+        // Equal automata hash equally; a rebuilt clone is equal.
+        let (_, m2) = gfa();
+        assert_eq!(m, m2);
+        assert_eq!(m.structural_hash(), m2.structural_hash());
+        // Changing any tuple component changes the automaton; the hash
+        // should separate these simple variants (not guaranteed in
+        // general, but a fixed collision here would be a bug magnet).
+        let rooted = m.rooted_at(1);
+        assert_ne!(m.structural_hash(), rooted.structural_hash());
+        let all_acc = m.with_all_accepting();
+        assert_ne!(m.structural_hash(), all_acc.structural_hash());
+        assert_ne!(
+            m.structural_hash(),
+            Buchi::universal(sigma).structural_hash()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::graph::{backward_reachable, tarjan, Graph};
 pub fn live_states(b: &Buchi) -> Vec<bool> {
     let graph = Graph {
         n: b.num_states(),
-        succ: Box::new(|q| b.all_successors(q)),
+        succ: Box::new(|q| std::borrow::Cow::Borrowed(b.all_successors(q))),
     };
     let scc = tarjan(&graph);
     let members = scc.members();
@@ -35,10 +35,11 @@ pub fn live_states(b: &Buchi) -> Vec<bool> {
             b.is_accepting(q) && (size[scc.component[q]] > 1 || b.all_successors(q).contains(&q))
         })
         .collect();
-    // Predecessor function (dense scan; automata here are small).
+    // Predecessor function (dense scan over the precomputed successor
+    // bitsets — one bit probe per candidate instead of a slice search).
     let pred = |v: usize| -> Vec<usize> {
         (0..b.num_states())
-            .filter(|&p| b.all_successors(p).contains(&v))
+            .filter(|&p| b.successor_bitset(p).contains(v))
             .collect()
     };
     backward_reachable(b.num_states(), pred, &cores)

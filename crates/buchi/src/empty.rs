@@ -14,7 +14,7 @@ pub fn find_accepted_word(b: &Buchi) -> Option<LassoWord> {
     let reachable = b.reachable();
     let graph = Graph {
         n: b.num_states(),
-        succ: Box::new(|q| b.all_successors(q)),
+        succ: Box::new(|q| std::borrow::Cow::Borrowed(b.all_successors(q))),
     };
     let scc = tarjan(&graph);
     let members = scc.members();

@@ -1,9 +1,16 @@
 //! Graph algorithms on automata: Tarjan SCC and reachability helpers.
 
+use std::borrow::Cow;
+
 /// A generic successor-function graph on nodes `0..n`.
+///
+/// The successor function returns `Cow<[usize]>` so graphs backed by a
+/// [`crate::Buchi`]'s precomputed adjacency (`Buchi::all_successors`)
+/// can serve borrowed slices with zero allocation, while synthesized
+/// graphs (products, test fixtures) return owned rows.
 pub(crate) struct Graph<'a> {
     pub n: usize,
-    pub succ: Box<dyn Fn(usize) -> Vec<usize> + 'a>,
+    pub succ: Box<dyn Fn(usize) -> Cow<'a, [usize]> + 'a>,
 }
 
 /// The strongly connected components of a graph, in reverse topological
@@ -39,9 +46,9 @@ pub(crate) fn tarjan(graph: &Graph<'_>) -> SccResult {
     let mut count = 0usize;
 
     // Work items: (node, successor list, position in list).
-    enum Frame {
+    enum Frame<'s> {
         Enter(usize),
-        Resume(usize, Vec<usize>, usize),
+        Resume(usize, Cow<'s, [usize]>, usize),
     }
     for root in 0..n {
         if index[root] != UNSET {
@@ -144,7 +151,7 @@ mod tests {
         }
         Graph {
             n,
-            succ: Box::new(move |v| adj[v].clone()),
+            succ: Box::new(move |v| Cow::Owned(adj[v].clone())),
         }
     }
 
@@ -214,7 +221,7 @@ mod tests {
         let n = 200_000;
         let g = Graph {
             n,
-            succ: Box::new(move |v| if v + 1 < n { vec![v + 1] } else { vec![] }),
+            succ: Box::new(move |v| Cow::Owned(if v + 1 < n { vec![v + 1] } else { vec![] })),
         };
         let scc = tarjan(&g);
         assert_eq!(scc.count, n);

@@ -1,18 +1,37 @@
 //! Language inclusion, equivalence, and universality.
 //!
-//! All three reduce to emptiness through complementation:
-//! `L(A) ⊆ L(B)` iff `L(A) ∩ ¬L(B) = ∅`. When `B` is all-accepting the
-//! cheap subset-construction complement is used automatically.
+//! Two engines decide all three questions:
+//!
+//! * the **antichain engine** ([`crate::antichain`]) — the default —
+//!   searches for a counterexample lasso directly over word-graphs of
+//!   the right operand, never constructing a complement;
+//! * the **rank-based engine** reduces to emptiness through
+//!   complementation (`L(A) ⊆ L(B)` iff `L(A) ∩ ¬L(B) = ∅`) and is
+//!   kept as a cross-check oracle and for callers that need the
+//!   complement automaton itself. When `B` is all-accepting the cheap
+//!   subset-construction complement is used automatically.
+//!
+//! [`included`], [`equivalent`], and [`universal`] dispatch on
+//! `SL_INCL_ENGINE` (`antichain`, the default, or `rank`), read once
+//! per process; the per-engine entry points ([`included_antichain`],
+//! [`included_rank`], ...) pin an engine explicitly regardless of the
+//! environment.
 //!
 //! Rank-based complements are expensive, and the exhaustive verifiers
-//! call [`included`]/[`equivalent`]/[`universal`] over small corpora
-//! where the same automata recur constantly. A per-thread memoizing
-//! [`ComplementCache`] therefore backs all three: each distinct
-//! automaton is complemented at most once per thread, and the cache's
-//! [`ComplementCacheStats`] make the deciders' complement behavior
-//! observable (e.g. that [`equivalent`] short-circuits after a failed
-//! first inclusion without ever complementing the second operand).
+//! may call the rank engine over small corpora where the same automata
+//! recur constantly. A per-thread memoizing [`ComplementCache`]
+//! therefore backs the rank-based deciders — keyed by
+//! [`Buchi::structural_hash`] with an equality collision check, so a
+//! lookup hashes 8 bytes instead of a whole automaton — and the
+//! cache's [`ComplementCacheStats`] make the deciders' complement
+//! behavior observable (e.g. that [`equivalent_rank`] short-circuits
+//! after a failed first inclusion without ever complementing the
+//! second operand).
 
+use crate::antichain::{
+    equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
+    included_antichain_budgeted, universal_antichain,
+};
 use crate::automaton::Buchi;
 use crate::complement::{complement, complement_budgeted, ComplementBudgetExceeded};
 use crate::empty::{find_accepted_word, is_empty};
@@ -21,6 +40,30 @@ use sl_omega::LassoWord;
 use sl_support::{fault, Budget, SlError};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Which engine backs the dispatching deciders [`included`],
+/// [`equivalent`], and [`universal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InclEngine {
+    /// Complement-free antichain search (the default).
+    Antichain,
+    /// Rank-based complementation + product emptiness (the oracle).
+    Rank,
+}
+
+/// The engine selected by `SL_INCL_ENGINE` (`antichain` or `rank`),
+/// read once per process; unset or unrecognized values select
+/// [`InclEngine::Antichain`]. Tests that need both engines in one
+/// process call the per-engine entry points instead of mutating the
+/// environment.
+pub fn incl_engine() -> InclEngine {
+    static ENGINE: OnceLock<InclEngine> = OnceLock::new();
+    *ENGINE.get_or_init(|| match std::env::var("SL_INCL_ENGINE").as_deref() {
+        Ok("rank") => InclEngine::Rank,
+        _ => InclEngine::Antichain,
+    })
+}
 
 /// Entry cap for the per-thread complement cache; past it the cache is
 /// cleared rather than grown, bounding memory on unbounded corpora.
@@ -39,18 +82,34 @@ pub struct ComplementCacheStats {
     /// `"buchi.complement_cache"`) — each one forced a
     /// behavior-preserving recomputation.
     pub invalidations: usize,
+    /// Lookups whose 64-bit structural hash matched a stored entry for
+    /// a *different* automaton; the result was recomputed uncached, so
+    /// a collision costs time but never correctness.
+    pub collisions: usize,
 }
 
-/// A memoizing cache for rank-based complements, keyed by the automaton
-/// itself. [`included`], [`equivalent`], and [`universal`] share one
-/// instance per thread (see [`with_complement_cache`]); explicit
+/// A stored complement alongside the automaton it was computed for —
+/// the collision check for the hash-keyed map.
+#[derive(Debug)]
+struct CacheEntry {
+    automaton: Buchi,
+    result: Result<Buchi, ComplementBudgetExceeded>,
+}
+
+/// A memoizing cache for rank-based complements, keyed by
+/// [`Buchi::structural_hash`] — so a lookup hashes 8 bytes instead of
+/// re-hashing the whole transition relation — with the stored automaton
+/// equality-checked to rule out collisions. The rank-based deciders
+/// [`included_rank`], [`equivalent_rank`], and [`universal_rank`] share
+/// one instance per thread (see [`with_complement_cache`]); explicit
 /// instances can be created for isolated measurements.
 #[derive(Debug, Default)]
 pub struct ComplementCache {
-    map: HashMap<Buchi, Result<Buchi, ComplementBudgetExceeded>>,
+    map: HashMap<u64, CacheEntry>,
     hits: usize,
     misses: usize,
     invalidations: usize,
+    collisions: usize,
     lookups: u64,
 }
 
@@ -78,21 +137,39 @@ impl ComplementCache {
     pub fn complement(&mut self, b: &Buchi) -> Result<Buchi, ComplementBudgetExceeded> {
         let lookup = self.lookups;
         self.lookups += 1;
+        let key = b.structural_hash();
         if fault::global().should_fault("buchi.complement_cache", lookup)
-            && self.map.remove(b).is_some()
+            && self
+                .map
+                .get(&key)
+                .is_some_and(|entry| entry.automaton == *b)
         {
+            self.map.remove(&key);
             self.invalidations += 1;
         }
-        if let Some(cached) = self.map.get(b) {
-            self.hits += 1;
-            return cached.clone();
+        if let Some(entry) = self.map.get(&key) {
+            if entry.automaton == *b {
+                self.hits += 1;
+                return entry.result.clone();
+            }
+            // Hash collision with a distinct automaton: keep the first
+            // occupant (deterministic) and recompute uncached.
+            self.collisions += 1;
+            self.misses += 1;
+            return complement(b);
         }
         self.misses += 1;
         let result = complement(b);
         if self.map.len() >= COMPLEMENT_CACHE_CAP {
             self.map.clear();
         }
-        self.map.insert(b.clone(), result.clone());
+        self.map.insert(
+            key,
+            CacheEntry {
+                automaton: b.clone(),
+                result: result.clone(),
+            },
+        );
         result
     }
 
@@ -104,6 +181,7 @@ impl ComplementCache {
             misses: self.misses,
             entries: self.map.len(),
             invalidations: self.invalidations,
+            collisions: self.collisions,
         }
     }
 
@@ -113,6 +191,7 @@ impl ComplementCache {
         self.hits = 0;
         self.misses = 0;
         self.invalidations = 0;
+        self.collisions = 0;
         self.lookups = 0;
     }
 }
@@ -147,15 +226,32 @@ impl Inclusion {
     }
 }
 
-/// Decides `L(a) ⊆ L(b)`.
+/// Decides `L(a) ⊆ L(b)` with the engine selected by `SL_INCL_ENGINE`
+/// ([`incl_engine`]; antichain by default).
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`] if the search blows its
+/// node budget (antichain) or complementing `b` blows up (rank). When
+/// a complement of `b` is available by other means — e.g. `b` came
+/// from an LTL formula, whose negation translates directly — use
+/// [`included_with_complement`] instead.
+pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
+    match incl_engine() {
+        InclEngine::Antichain => included_antichain(a, b),
+        InclEngine::Rank => included_rank(a, b),
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)` with the rank-based engine, regardless of
+/// `SL_INCL_ENGINE`: complement `b` (through the per-thread
+/// [`ComplementCache`]) and test `L(a) ∩ ¬L(b)` for emptiness.
 ///
 /// # Errors
 ///
 /// Propagates [`ComplementBudgetExceeded`] if complementing `b` blows
-/// up. When a complement of `b` is available by other means — e.g. `b`
-/// came from an LTL formula, whose negation translates directly — use
-/// [`included_with_complement`] instead.
-pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
+/// up.
+pub fn included_rank(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
     let not_b = with_complement_cache(|cache| cache.complement(b))?;
     Ok(included_with_complement(a, &not_b))
 }
@@ -173,30 +269,61 @@ pub fn included_with_complement(a: &Buchi, not_b: &Buchi) -> Inclusion {
     }
 }
 
-/// Decides `L(a) = L(b)`, returning a word on which they differ if not.
+/// Decides `L(a) = L(b)` with the engine selected by `SL_INCL_ENGINE`,
+/// returning a word on which they differ if not. Both engines
+/// short-circuit: a counterexample to the first inclusion settles the
+/// question (for the rank engine, ¬a is then never computed — the
+/// regression test observes this through the cache stats).
 ///
 /// # Errors
 ///
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn equivalent(a: &Buchi, b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
-    // Short-circuit: a counterexample to the first inclusion settles
-    // the question, so ¬a is never computed in that case (the
-    // regression test observes this through the cache stats).
-    if let Inclusion::CounterExample(w) = included(a, b)? {
+    match incl_engine() {
+        InclEngine::Antichain => equivalent_antichain(a, b),
+        InclEngine::Rank => equivalent_rank(a, b),
+    }
+}
+
+/// Decides `L(a) = L(b)` with the rank-based engine, regardless of
+/// `SL_INCL_ENGINE`; short-circuits on the first counterexample.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn equivalent_rank(
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    if let Inclusion::CounterExample(w) = included_rank(a, b)? {
         return Ok(Err(w));
     }
-    if let Inclusion::CounterExample(w) = included(b, a)? {
+    if let Inclusion::CounterExample(w) = included_rank(b, a)? {
         return Ok(Err(w));
     }
     Ok(Ok(()))
 }
 
-/// Decides `L(b) = Σ^ω`, returning a rejected word if not.
+/// Decides `L(b) = Σ^ω` with the engine selected by `SL_INCL_ENGINE`,
+/// returning a rejected word if not.
 ///
 /// # Errors
 ///
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    match incl_engine() {
+        InclEngine::Antichain => universal_antichain(b),
+        InclEngine::Rank => universal_rank(b),
+    }
+}
+
+/// Decides `L(b) = Σ^ω` with the rank-based engine, regardless of
+/// `SL_INCL_ENGINE`: complement and test for emptiness.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn universal_rank(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
     let not_b = with_complement_cache(|cache| cache.complement(b))?;
     Ok(match find_accepted_word(&not_b) {
         None => Ok(()),
@@ -204,29 +331,49 @@ pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExc
     })
 }
 
-/// Decides `L(a) ⊆ L(b)` under a cooperative [`Budget`].
+/// Decides `L(a) ⊆ L(b)` under a cooperative [`Budget`], with the
+/// engine selected by `SL_INCL_ENGINE`.
 ///
-/// The complementation — the exponential part — is metered through
-/// [`complement_budgeted`]; the product-emptiness search that follows is
-/// polynomial and runs unmetered. Budget semantics are per-call, so
-/// this entry deliberately bypasses the per-thread memoization cache
-/// (a cached result computed under a generous budget must not be
-/// replayed as if a strict one had admitted it).
+/// Antichain: every insertion attempt of the fixpoint loop charges the
+/// meter (phase `"buchi.incl.antichain"`). Rank: the complementation —
+/// the exponential part — is metered through [`complement_budgeted`];
+/// the product-emptiness search that follows is polynomial and runs
+/// unmetered. Budget semantics are per-call, so the rank path
+/// deliberately bypasses the per-thread memoization cache (a cached
+/// result computed under a generous budget must not be replayed as if
+/// a strict one had admitted it).
+///
+/// # Errors
+///
+/// Budget exhaustion, cancellation, an injected fault, or (rank only)
+/// an oversized operand — always with a context frame naming
+/// `included_budgeted`.
+pub fn included_budgeted(a: &Buchi, b: &Buchi, budget: &Budget) -> Result<Inclusion, SlError> {
+    match incl_engine() {
+        InclEngine::Antichain => included_antichain_budgeted(a, b, budget)
+            .map_err(|e| e.context("included_budgeted: antichain search")),
+        InclEngine::Rank => included_rank_budgeted(a, b, budget),
+    }
+}
+
+/// Decides `L(a) ⊆ L(b)` under a cooperative [`Budget`] with the
+/// rank-based engine, regardless of `SL_INCL_ENGINE`.
 ///
 /// # Errors
 ///
 /// Whatever [`complement_budgeted`] reports: budget exhaustion,
 /// cancellation, an injected fault, or an oversized operand.
-pub fn included_budgeted(a: &Buchi, b: &Buchi, budget: &Budget) -> Result<Inclusion, SlError> {
+pub fn included_rank_budgeted(a: &Buchi, b: &Buchi, budget: &Budget) -> Result<Inclusion, SlError> {
     let not_b = complement_budgeted(b, budget)
         .map_err(|e| e.context("included_budgeted: complementing the right operand"))?;
     Ok(included_with_complement(a, &not_b))
 }
 
-/// Decides `L(a) = L(b)` under a cooperative [`Budget`], returning a
-/// separating word if the languages differ. Short-circuits exactly like
-/// [`equivalent`]: a counterexample to the first inclusion settles the
-/// question before the second complement is attempted.
+/// Decides `L(a) = L(b)` under a cooperative [`Budget`], with the
+/// engine selected by `SL_INCL_ENGINE`, returning a separating word if
+/// the languages differ. Short-circuits exactly like [`equivalent`]: a
+/// counterexample to the first inclusion settles the question before
+/// the second direction is attempted.
 ///
 /// # Errors
 ///
@@ -236,13 +383,19 @@ pub fn equivalent_budgeted(
     b: &Buchi,
     budget: &Budget,
 ) -> Result<Result<(), LassoWord>, SlError> {
-    if let Inclusion::CounterExample(w) = included_budgeted(a, b, budget)? {
-        return Ok(Err(w));
+    match incl_engine() {
+        InclEngine::Antichain => equivalent_antichain_budgeted(a, b, budget)
+            .map_err(|e| e.context("included_budgeted: antichain search")),
+        InclEngine::Rank => {
+            if let Inclusion::CounterExample(w) = included_rank_budgeted(a, b, budget)? {
+                return Ok(Err(w));
+            }
+            if let Inclusion::CounterExample(w) = included_rank_budgeted(b, a, budget)? {
+                return Ok(Err(w));
+            }
+            Ok(Ok(()))
+        }
     }
-    if let Inclusion::CounterExample(w) = included_budgeted(b, a, budget)? {
-        return Ok(Err(w));
-    }
-    Ok(Ok(()))
 }
 
 /// Convenience: emptiness re-exported next to its siblings.
@@ -340,15 +493,49 @@ mod tests {
     }
 
     #[test]
-    fn equivalent_short_circuits_on_first_counterexample() {
+    fn engine_selection_follows_env() {
+        let expected = match std::env::var("SL_INCL_ENGINE").as_deref() {
+            Ok("rank") => InclEngine::Rank,
+            _ => InclEngine::Antichain,
+        };
+        assert_eq!(incl_engine(), expected);
+    }
+
+    #[test]
+    fn dispatching_deciders_agree_with_both_engines() {
+        let s = sigma();
+        let a = only_a(&s);
+        let b = inf_a(&s);
+        // Whatever SL_INCL_ENGINE says, the dispatcher must agree with
+        // both pinned engines — they are exact.
+        assert_eq!(
+            included(&a, &b).unwrap().holds(),
+            included_rank(&a, &b).unwrap().holds()
+        );
+        assert_eq!(
+            included(&a, &b).unwrap().holds(),
+            crate::antichain::included_antichain(&a, &b).unwrap().holds()
+        );
+        assert_eq!(
+            universal(&b).unwrap().is_ok(),
+            universal_rank(&b).unwrap().is_ok()
+        );
+        assert_eq!(
+            equivalent(&a, &b).unwrap().is_ok(),
+            equivalent_rank(&a, &b).unwrap().is_ok()
+        );
+    }
+
+    #[test]
+    fn equivalent_rank_short_circuits_on_first_counterexample() {
         let s = sigma();
         // L(universal) ⊄ L(inf_a): the first inclusion fails, so
-        // `equivalent` must stop after complementing only inf_a — the
-        // complement of the universal automaton is never computed.
+        // `equivalent_rank` must stop after complementing only inf_a —
+        // the complement of the universal automaton is never computed.
         let big = Buchi::universal(s.clone());
         let small = inf_a(&s);
         with_complement_cache(ComplementCache::reset);
-        let verdict = equivalent(&big, &small).unwrap();
+        let verdict = equivalent_rank(&big, &small).unwrap();
         assert!(verdict.is_err(), "languages differ");
         let stats = with_complement_cache(|cache| cache.stats());
         assert_eq!(
@@ -363,9 +550,11 @@ mod tests {
         let s = sigma();
         let m = inf_a(&s);
         with_complement_cache(ComplementCache::reset);
-        assert!(universal(&m).unwrap().is_err());
-        assert!(universal(&m).unwrap().is_err());
-        assert!(!included(&Buchi::universal(s.clone()), &m).unwrap().holds());
+        assert!(universal_rank(&m).unwrap().is_err());
+        assert!(universal_rank(&m).unwrap().is_err());
+        assert!(!included_rank(&Buchi::universal(s.clone()), &m)
+            .unwrap()
+            .holds());
         let stats = with_complement_cache(|cache| cache.stats());
         // A process-wide fault drill may invalidate entries, turning a
         // hit into a recomputation — one for one, never changing answers.
@@ -375,6 +564,36 @@ mod tests {
             "one distinct automaton complemented (modulo injected invalidations)"
         );
         assert_eq!(stats.hits, 2 - stats.invalidations);
+    }
+
+    #[test]
+    fn hash_collisions_recompute_uncached() {
+        let s = sigma();
+        let planted = inf_a(&s);
+        let queried = only_a(&s);
+        assert_ne!(planted, queried);
+        let reference = complement(&queried).unwrap();
+        let mut cache = ComplementCache::new();
+        // Plant the wrong automaton under the queried automaton's key,
+        // simulating a 64-bit structural-hash collision.
+        cache.map.insert(
+            queried.structural_hash(),
+            CacheEntry {
+                automaton: planted.clone(),
+                result: complement(&planted),
+            },
+        );
+        let out = cache.complement(&queried).unwrap();
+        assert_eq!(out, reference, "collision never changes the answer");
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1, "the first occupant is kept");
+        // A repeat query collides again — deterministically uncached.
+        let again = cache.complement(&queried).unwrap();
+        assert_eq!(again, reference);
+        assert_eq!(cache.stats().collisions, 2);
     }
 
     #[test]

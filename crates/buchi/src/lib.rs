@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod antichain;
 pub mod automaton;
 pub mod classify;
 pub mod closure;
@@ -58,6 +59,10 @@ pub mod ops;
 pub mod random;
 pub mod reduce;
 
+pub use antichain::{
+    equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
+    included_antichain_budgeted, universal_antichain, DEFAULT_ANTICHAIN_BUDGET,
+};
 pub use automaton::{Buchi, BuchiBuilder, StateId};
 pub use classify::{classify, is_liveness, is_safety, Classification};
 pub use closure::{closure, is_closure_shaped, live_states};
@@ -67,8 +72,9 @@ pub use complement::{
 pub use decompose::{decompose, BuchiDecomposition};
 pub use empty::{find_accepted_word, is_empty};
 pub use incl::{
-    equivalent, equivalent_budgeted, included, included_budgeted, included_with_complement,
-    universal, with_complement_cache, ComplementCache, ComplementCacheStats, Inclusion,
+    equivalent, equivalent_budgeted, equivalent_rank, incl_engine, included, included_budgeted,
+    included_rank, included_rank_budgeted, included_with_complement, universal, universal_rank,
+    with_complement_cache, ComplementCache, ComplementCacheStats, InclEngine, Inclusion,
 };
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};

@@ -38,7 +38,7 @@ pub fn accepts(b: &Buchi, word: &LassoWord) -> bool {
     // A reachable accepting product node on a cycle witnesses acceptance.
     let graph = Graph {
         n,
-        succ: Box::new(succ),
+        succ: Box::new(move |v| std::borrow::Cow::Owned(succ(v))),
     };
     let scc = tarjan(&graph);
     (0..n).any(|v| {

@@ -9,41 +9,70 @@
 //! matters, since their costs are exponential in the state count.
 
 use crate::automaton::{Buchi, BuchiBuilder, StateId};
+use sl_lattice::Bitset;
+use sl_omega::Symbol;
 
 /// The direct-simulation preorder as a boolean matrix:
 /// `result[q * n + r]` iff `q` is (direct-)simulated by `r`.
+///
+/// Internally the relation is refined as one [`Bitset`] row per state, so
+/// the inner "some `σ`-successor of `r` simulates `qs`" test is a
+/// word-parallel [`Bitset::intersects`] over `u64` blocks instead of a
+/// nested scan.
 #[must_use]
 pub fn direct_simulation(b: &Buchi) -> Vec<bool> {
     let n = b.num_states();
-    // Start from the acceptance-consistent complete relation and refine
-    // (greatest fixpoint).
-    let mut sim = vec![true; n * n];
-    for q in 0..n {
-        for r in 0..n {
-            if b.is_accepting(q) && !b.is_accepting(r) {
-                sim[q * n + r] = false;
+    let syms: Vec<Symbol> = b.alphabet().symbols().collect();
+    // Per-(state, symbol) successor sets, fixed for the whole refinement.
+    let succ: Vec<Vec<Bitset>> = (0..n)
+        .map(|q| {
+            syms.iter()
+                .map(|&sym| Bitset::from_indices(n, b.successors(q, sym)))
+                .collect()
+        })
+        .collect();
+    // rows[q] = { r | q ≤ r }. Start from the acceptance-consistent
+    // complete relation and refine (greatest fixpoint).
+    let accepting = Bitset::from_indices(
+        n,
+        &(0..n).filter(|&q| b.is_accepting(q)).collect::<Vec<_>>(),
+    );
+    let full = Bitset::full(n);
+    let mut rows: Vec<Bitset> = (0..n)
+        .map(|q| {
+            if b.is_accepting(q) {
+                accepting.clone()
+            } else {
+                full.clone()
             }
-        }
-    }
+        })
+        .collect();
     loop {
         let mut changed = false;
         for q in 0..n {
-            for r in 0..n {
-                if !sim[q * n + r] {
-                    continue;
-                }
-                let ok = b.alphabet().symbols().all(|sym| {
-                    b.successors(q, sym)
-                        .iter()
-                        .all(|&qs| b.successors(r, sym).iter().any(|&rs| sim[qs * n + rs]))
-                });
-                if !ok {
-                    sim[q * n + r] = false;
-                    changed = true;
-                }
+            // A pair failing the check against the current (over-
+            // approximate) rows fails against every smaller relation, so
+            // removals in any order converge to the greatest fixpoint.
+            let dropped: Vec<usize> = rows[q]
+                .iter()
+                .filter(|&r| {
+                    !(0..syms.len()).all(|s| {
+                        succ[q][s].iter().all(|qs| rows[qs].intersects(&succ[r][s]))
+                    })
+                })
+                .collect();
+            for r in dropped {
+                rows[q].remove(r);
+                changed = true;
             }
         }
         if !changed {
+            let mut sim = vec![false; n * n];
+            for (q, row) in rows.iter().enumerate() {
+                for r in row.iter() {
+                    sim[q * n + r] = true;
+                }
+            }
             return sim;
         }
     }

@@ -106,9 +106,53 @@ impl Bitset {
         self.blocks.iter().all(|&b| b == 0)
     }
 
-    /// Iterates over the member indices in increasing order.
+    /// Iterates over the member indices in increasing order. Skips empty
+    /// 64-bit blocks wholesale and walks set bits with `trailing_zeros`,
+    /// so iteration cost is proportional to the population count, not
+    /// the universe size.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.universe).filter(move |&i| self.contains(i))
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            std::iter::successors(
+                if block == 0 { None } else { Some(block) },
+                |&rest| {
+                    let next = rest & (rest - 1); // clear lowest set bit
+                    if next == 0 {
+                        None
+                    } else {
+                        Some(next)
+                    }
+                },
+            )
+            .map(move |rest| bi * 64 + rest.trailing_zeros() as usize)
+        })
+    }
+
+    /// Whether the two sets share at least one member — a word-parallel
+    /// short-circuit that avoids materializing the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn intersects(&self, other: &Bitset) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Unions `other` into `self` in place, without allocating — the
+    /// hot-loop counterpart of [`Bitset::union`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_in_place(&mut self, other: &Bitset) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
     }
 
     /// Set intersection.
@@ -356,6 +400,41 @@ mod tests {
         let d = decompose_generic(&alg, &cl, cmp, &x).unwrap();
         assert!(verify_decomposition(&alg, &cl, &cl, &x, &d));
         assert_eq!(d.safety, Bitset::from_indices(8, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn intersects_agrees_with_intersection() {
+        let a = Bitset::from_indices(130, &[0, 64, 129]);
+        let b = Bitset::from_indices(130, &[64]);
+        let c = Bitset::from_indices(130, &[1, 65]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersects(&c), !a.intersection(&c).is_empty());
+        assert!(!Bitset::empty(130).intersects(&Bitset::full(130)));
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let a = Bitset::from_indices(130, &[0, 64, 129]);
+        let b = Bitset::from_indices(130, &[1, 64, 70]);
+        let mut c = a.clone();
+        c.union_in_place(&b);
+        assert_eq!(c, a.union(&b));
+        // Idempotent on self.
+        let before = c.clone();
+        let snapshot = c.clone();
+        c.union_in_place(&snapshot);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn iter_skips_empty_blocks() {
+        // A sparse set over a big universe: iteration must still list
+        // exactly the members, in order.
+        let members = [3usize, 64, 127, 128, 1000, 4095];
+        let s = Bitset::from_indices(4096, &members);
+        assert_eq!(s.iter().collect::<Vec<_>>(), members.to_vec());
+        assert_eq!(Bitset::empty(4096).iter().count(), 0);
     }
 
     #[test]

@@ -196,6 +196,34 @@ impl BudgetMeter {
         self.charge(1)
     }
 
+    /// Charges one step, but only *evaluates* the limits every `stride`
+    /// steps — for fixpoint loops whose iterations are cheaper than an
+    /// `Instant::now()` call. The step count stays exact; enforcement is
+    /// late by at most `stride - 1` steps, so callers trade that bounded
+    /// overshoot for a `stride`-fold cheaper check. A `stride` of 1 is
+    /// exactly [`BudgetMeter::tick`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`BudgetMeter::charge`], on the steps where the limits
+    /// are evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[inline]
+    pub fn tick_every(&mut self, stride: u64) -> Result<(), SlError> {
+        assert!(stride > 0, "stride must be positive");
+        self.spent += 1;
+        if self.spent.is_multiple_of(stride) {
+            // Re-run the full limit evaluation on the already-counted
+            // step: charge(0) checks steps/cancel/deadline at `spent`.
+            self.charge(0)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Steps charged so far (including any failing charge).
     #[must_use]
     pub fn spent(&self) -> u64 {
@@ -281,6 +309,41 @@ mod tests {
         // other tests polluting the environment by only asserting the
         // parse of an absent variable.
         assert!(env_u64("SL_BUDGET_DOES_NOT_EXIST").is_none());
+    }
+
+    #[test]
+    fn tick_every_counts_exactly_and_enforces_late() {
+        let mut meter = Budget::unlimited().with_steps(10).meter("test.stride");
+        // 10 allowed steps, stride 4: checks fire at 4, 8, 12 — the
+        // overshoot past the limit is caught at the next stride point.
+        let mut failed_at = None;
+        for i in 1..=16u64 {
+            if meter.tick_every(4).is_err() {
+                failed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(failed_at, Some(12), "first evaluated step past limit");
+        assert_eq!(meter.spent(), 12, "spent stays exact despite striding");
+    }
+
+    #[test]
+    fn tick_every_stride_one_matches_tick() {
+        let mut a = Budget::unlimited().with_steps(3).meter("test.s1");
+        let mut b = Budget::unlimited().with_steps(3).meter("test.s1");
+        for _ in 0..3 {
+            a.tick().unwrap();
+            b.tick_every(1).unwrap();
+        }
+        assert_eq!(a.tick().is_err(), b.tick_every(1).is_err());
+        assert_eq!(a.spent(), b.spent());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn tick_every_rejects_zero_stride() {
+        let mut meter = Budget::unlimited().meter("test.zero");
+        let _ = meter.tick_every(0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ cargo build --release --offline
 echo "== tests (offline) =="
 cargo test -q --offline
 
-echo "== experiments E1-E10 =="
+echo "== experiments E1-E11 =="
 cargo build --release --offline --workspace --bins
 for exp in e1_rem_linear e2_figure1 e3_figure2 e4_decomposition \
            e5_buchi_decomposition e6_rem_branching e7_impossibility \
@@ -31,6 +31,40 @@ for exp in e1_rem_linear e2_figure1 e3_figure2 e4_decomposition \
   echo "-- $exp"
   "./target/release/$exp"
 done
+
+echo "== incl-engines: antichain vs rank differential + E11 smoke =="
+# The differential suite must agree under both engine selections (the
+# dispatcher is pinned once per process via SL_INCL_ENGINE).
+for engine in antichain rank; do
+  echo "-- differential suite (SL_INCL_ENGINE=$engine)"
+  SL_INCL_ENGINE=$engine cargo test -q --offline --test inclusion_engines
+done
+# E11 smoke: few samples, short warmup; the binary itself fails if the
+# engines disagree or the antichain engine loses >=5x headroom.
+incl_tmp="$(mktemp -d)"
+echo "-- e11_inclusion_engines (smoke)"
+SL_BENCH_SAMPLES=5 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$incl_tmp" \
+  ./target/release/e11_inclusion_engines
+# The JSON artifact must exist, parse as the flat BENCH shape, and show
+# the antichain engine no worse than 2x the rank-based median anywhere.
+python3 - "$incl_tmp/BENCH_incl.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "incl", doc
+records = {r["name"]: r for r in doc["records"]}
+for name, r in records.items():
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+for suite in ("incl", "univ"):
+    anti = records[f"{suite}/antichain/corpus"]["median_ns"]
+    rank = records[f"{suite}/rank_uncached/corpus"]["median_ns"]
+    assert anti <= 2 * rank, f"{suite}: antichain {anti}ns loses >2x to rank {rank}ns"
+print(f"BENCH_incl.json ok: incl speedup "
+      f"{records['incl/rank_uncached/corpus']['median_ns'] / records['incl/antichain/corpus']['median_ns']:.1f}x, "
+      f"univ speedup "
+      f"{records['univ/rank_uncached/corpus']['median_ns'] / records['univ/antichain/corpus']['median_ns']:.1f}x")
+PY
+rm -rf "$incl_tmp"
 
 echo "== fault-injection smoke (SL_FAULT_RATE=0.05, seeded) =="
 # The same tier-1 suite and sweeps must pass *via degradation* while a
