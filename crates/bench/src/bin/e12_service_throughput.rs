@@ -1,0 +1,213 @@
+//! E12 (perf) — service throughput: the `sld` query engine under a
+//! scripted load, cold vs warm result cache.
+//!
+//! The serving layer (`sl-service`) fronts the deciders with a
+//! memoizing cache keyed by `(verb, structural hash)`: the first
+//! `include` over a pair of automata pays for the antichain search, a
+//! repeat of the same query is a table lookup. This experiment drives
+//! the engine exactly the way `sld --stdin` does — JSON request lines
+//! through [`Service::handle_line`] — over a seeded corpus ingested via
+//! HOA (`define` → `from_hoa`), and measures:
+//!
+//! * `svc/define/hoa` — corpus ingest into a fresh daemon;
+//! * `svc/include/cold` — the query script with the cache reset every
+//!   iteration (every query recomputed);
+//! * `svc/include/warm` — the same script against a primed cache
+//!   (every query a hit);
+//! * `svc/batch/fanout` — the script as one `batch` request through
+//!   the panic-isolated parallel sweep, cache cold.
+//!
+//! Correctness gates come first: every scripted response must be `ok`,
+//! and the warm responses must be byte-identical to the cold ones — the
+//! cache is invisible except in the clock. `BENCH_svc.json` then
+//! records the medians; `scripts/verify.sh` checks the cache-hit
+//! speedup stays above 1.
+
+use sl_bench::{header, Scoreboard};
+use sl_buchi::{hoa::to_hoa, random_buchi, RandomConfig};
+use sl_omega::Alphabet;
+use sl_service::{Service, ServiceConfig};
+use sl_support::bench::{black_box, Bench};
+use sl_support::FaultPlan;
+use std::process::ExitCode;
+
+/// A fresh, quiet daemon: faults off (this is a clock, not a drill),
+/// everything else at the defaults the real binary uses.
+fn fresh_service() -> Service {
+    Service::new(ServiceConfig {
+        fault: FaultPlan::disabled(),
+        ..ServiceConfig::default()
+    })
+}
+
+/// The define script: a seeded corpus shaped like E11's — small
+/// candidates on the left of `⊆`, larger specifications on the right —
+/// shipped to the daemon as HOA text, so ingest exercises `from_hoa`.
+fn define_script(sigma: &Alphabet) -> Vec<String> {
+    let left_cfg = RandomConfig {
+        states: 4,
+        density_percent: 55,
+        accepting_percent: 40,
+    };
+    let right_cfg = RandomConfig {
+        states: 8,
+        density_percent: 55,
+        accepting_percent: 10,
+    };
+    let mut lines = Vec::new();
+    for seed in 0..6u64 {
+        let m = random_buchi(sigma, seed, left_cfg);
+        lines.push(define_line(&format!("cand{seed}"), &to_hoa(&m, "cand")));
+    }
+    for seed in 0..4u64 {
+        let m = random_buchi(sigma, 271 + seed, right_cfg);
+        lines.push(define_line(&format!("spec{seed}"), &to_hoa(&m, "spec")));
+    }
+    lines
+}
+
+fn define_line(name: &str, hoa: &str) -> String {
+    let escaped: String = hoa
+        .chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            '\n' => "\\n".to_string(),
+            c => c.to_string(),
+        })
+        .collect();
+    format!(r#"{{"verb":"define","name":"{name}","hoa":"{escaped}"}}"#)
+}
+
+/// The query script: 24 inclusion pairs over the corpus plus a
+/// universality probe per specification — the daemon's hot path.
+fn query_script() -> Vec<String> {
+    let mut lines = Vec::new();
+    for k in 0..24usize {
+        let (i, j) = (k % 6, (k * 3 + 1) % 4);
+        lines.push(format!(
+            r#"{{"id":{k},"verb":"include","left":"cand{i}","right":"spec{j}"}}"#
+        ));
+    }
+    for j in 0..4usize {
+        lines.push(format!(
+            r#"{{"id":"u{j}","verb":"universal","target":"spec{j}"}}"#
+        ));
+    }
+    lines
+}
+
+/// The same queries folded into a single `batch` request, for the
+/// parallel fan-out measurement.
+fn batch_line() -> String {
+    let items: Vec<String> = query_script()
+        .iter()
+        .map(|line| line.clone())
+        .collect();
+    format!(r#"{{"id":"fan","verb":"batch","requests":[{}]}}"#, items.join(","))
+}
+
+fn run_script(svc: &mut Service, lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|line| svc.handle_line(line).line)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    header(
+        "E12",
+        "Service throughput: scripted queries through the sld engine, cold vs warm cache",
+    );
+    let sigma = Alphabet::ab();
+    let defines = define_script(&sigma);
+    let queries = query_script();
+    let batch = batch_line();
+    let mut board = Scoreboard::new();
+
+    // Correctness first: ingest the corpus, run the script cold, run it
+    // again warm, and demand (a) every response ok, (b) the cache is
+    // semantically invisible — warm answers byte-identical to cold.
+    let mut svc = fresh_service();
+    let define_replies = run_script(&mut svc, &defines);
+    let cold_replies = run_script(&mut svc, &queries);
+    let before = svc.cache_stats();
+    let warm_replies = run_script(&mut svc, &queries);
+    let after = svc.cache_stats();
+    let all_ok = define_replies
+        .iter()
+        .chain(&cold_replies)
+        .chain(&warm_replies)
+        .all(|r| r.contains("\"ok\":true"));
+    let warm_hits = after.hits - before.hits;
+    let warm_misses = after.misses - before.misses;
+    println!(
+        "corpus: {} automata, {} scripted queries; warm pass: {warm_hits} hits / {warm_misses} misses",
+        defines.len(),
+        queries.len()
+    );
+    board.claim("every scripted response is ok", all_ok);
+    board.claim(
+        "cache is transparent: warm responses byte-identical to cold",
+        warm_replies == cold_replies,
+    );
+    board.claim(
+        "warm pass is 100% cache hits",
+        warm_hits == queries.len() as u64 && warm_misses == 0,
+    );
+    let batch_reply = svc.handle_line(&batch).line;
+    board.claim(
+        "batch fan-out answers every item ok",
+        batch_reply.contains("\"ok\":true") && !batch_reply.contains("\"error\""),
+    );
+
+    let mut bench = Bench::from_env();
+    let define_med = bench.measure("svc/define/hoa", || {
+        let mut svc = fresh_service();
+        for line in &defines {
+            black_box(svc.handle_line(line).quit);
+        }
+    });
+    let cold = bench.measure("svc/include/cold", || {
+        svc.reset_cache();
+        for line in &queries {
+            black_box(svc.handle_line(line).quit);
+        }
+    });
+    // Prime once, then measure the pure-hit path.
+    svc.reset_cache();
+    run_script(&mut svc, &queries);
+    let warm = bench.measure("svc/include/warm", || {
+        for line in &queries {
+            black_box(svc.handle_line(line).quit);
+        }
+    });
+    let fanout = bench.measure("svc/batch/fanout", || {
+        svc.reset_cache();
+        black_box(svc.handle_line(&batch).quit);
+    });
+
+    let rps = |n: usize, d: std::time::Duration| n as f64 / d.as_secs_f64().max(1e-12);
+    let speedup = cold.as_nanos() as f64 / warm.as_nanos().max(1) as f64;
+    println!("\nthroughput (median):");
+    println!(
+        "  define/hoa   : {:>10.0} requests/sec",
+        rps(defines.len(), define_med)
+    );
+    println!(
+        "  include/cold : {:>10.0} requests/sec",
+        rps(queries.len(), cold)
+    );
+    println!(
+        "  include/warm : {:>10.0} requests/sec",
+        rps(queries.len(), warm)
+    );
+    println!(
+        "  batch/fanout : {:>10.0} requests/sec",
+        rps(queries.len(), fanout)
+    );
+    println!("cache-hit speedup, warm over cold: {speedup:.1}x");
+    board.claim("cache hits beat recomputation (>1x median)", speedup > 1.0);
+    bench.finish("svc");
+    board.finish()
+}

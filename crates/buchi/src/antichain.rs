@@ -60,6 +60,81 @@ pub const DEFAULT_ANTICHAIN_BUDGET: usize = 1 << 17;
 /// the budgeted entry points (see `BudgetMeter::tick_every`).
 const SCAN_STRIDE: u64 = 64;
 
+/// Monotone counters describing the antichain engine's work on the
+/// current thread, snapshot via [`antichain_stats`] (or the combined
+/// [`crate::incl::engine_stats`]). Counters accumulate per thread for
+/// the life of the thread; callers interested in one query's cost take
+/// a snapshot before and after and diff with
+/// [`AntichainStats::delta_since`] — that is how the `sld` daemon
+/// attributes work to requests even when queries run on pooled sweep
+/// workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AntichainStats {
+    /// Fixpoint searches started (one per inclusion direction; a
+    /// universality query is one search, an equivalence up to two).
+    pub searches: u64,
+    /// Antichain insertion attempts across all searches — the
+    /// engine's primary work unit (what budgets meter).
+    pub insert_attempts: u64,
+    /// Pairwise subsumption comparisons — the hot inner loop.
+    pub subsumption_scans: u64,
+    /// Searches that ended with a counterexample lasso.
+    pub counterexamples: u64,
+}
+
+impl AntichainStats {
+    /// The counter increments since `earlier` (saturating, so a stale
+    /// or cross-thread snapshot never underflows).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &AntichainStats) -> AntichainStats {
+        AntichainStats {
+            searches: self.searches.saturating_sub(earlier.searches),
+            insert_attempts: self.insert_attempts.saturating_sub(earlier.insert_attempts),
+            subsumption_scans: self.subsumption_scans.saturating_sub(earlier.subsumption_scans),
+            counterexamples: self.counterexamples.saturating_sub(earlier.counterexamples),
+        }
+    }
+
+    /// Accumulates another delta into this total.
+    pub fn absorb(&mut self, delta: &AntichainStats) {
+        self.searches += delta.searches;
+        self.insert_attempts += delta.insert_attempts;
+        self.subsumption_scans += delta.subsumption_scans;
+        self.counterexamples += delta.counterexamples;
+    }
+}
+
+thread_local! {
+    static STATS: std::cell::Cell<AntichainStats> =
+        const { std::cell::Cell::new(AntichainStats {
+            searches: 0,
+            insert_attempts: 0,
+            subsumption_scans: 0,
+            counterexamples: 0,
+        }) };
+}
+
+/// This thread's antichain counters since thread start.
+#[must_use]
+pub fn antichain_stats() -> AntichainStats {
+    STATS.with(std::cell::Cell::get)
+}
+
+/// Folds one finished search into the thread counters. Called once per
+/// search (not per step), so the hot loops stay counter-free: the
+/// entry points tally attempts/scans in locals they already own for
+/// budgeting and flush here.
+fn record_search(attempts: u64, scans: u64, found_counterexample: bool) {
+    STATS.with(|cell| {
+        let mut stats = cell.get();
+        stats.searches += 1;
+        stats.insert_attempts += attempts;
+        stats.subsumption_scans += scans;
+        stats.counterexamples += u64::from(found_counterexample);
+        cell.set(stats);
+    });
+}
+
 /// The word-graph of a finite word over `B`'s state set: `reach[q]` is
 /// the set of states reachable from `q` reading the word, `acc[q]` the
 /// subset reachable via a path that visits `F_B` (endpoints included).
@@ -378,19 +453,29 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
 /// Panics if the alphabets differ.
 pub fn included_antichain(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
     let mut attempts: u64 = 0;
+    let mut scans: u64 = 0;
     let mut charge = |step: Step| -> Result<(), SlError> {
-        if let Step::Attempt = step {
-            attempts += 1;
-            if attempts > DEFAULT_ANTICHAIN_BUDGET as u64 {
-                return Err(SlError::BudgetExceeded {
-                    phase: "buchi.incl.antichain",
-                    spent: attempts,
-                });
+        match step {
+            Step::Attempt => {
+                attempts += 1;
+                if attempts > DEFAULT_ANTICHAIN_BUDGET as u64 {
+                    return Err(SlError::BudgetExceeded {
+                        phase: "buchi.incl.antichain",
+                        spent: attempts,
+                    });
+                }
             }
+            Step::Scan => scans += 1,
         }
         Ok(())
     };
-    search(a, b, &mut charge).map_err(|_| ComplementBudgetExceeded {
+    let outcome = search(a, b, &mut charge);
+    record_search(
+        attempts,
+        scans,
+        matches!(outcome, Ok(Inclusion::CounterExample(_))),
+    );
+    outcome.map_err(|_| ComplementBudgetExceeded {
         budget: DEFAULT_ANTICHAIN_BUDGET,
     })
 }
@@ -418,6 +503,7 @@ pub fn included_antichain_budgeted(
     let mut meter = budget.meter("buchi.incl.antichain");
     let plan = fault::global();
     let mut attempts: u64 = 0;
+    let mut scans: u64 = 0;
     let mut charge = |step: Step| -> Result<(), SlError> {
         match step {
             Step::Attempt => {
@@ -425,10 +511,19 @@ pub fn included_antichain_budgeted(
                 attempts += 1;
                 plan.inject_error("buchi.incl.antichain", attempts)
             }
-            Step::Scan => meter.tick_every(SCAN_STRIDE),
+            Step::Scan => {
+                scans += 1;
+                meter.tick_every(SCAN_STRIDE)
+            }
         }
     };
-    search(a, b, &mut charge)
+    let outcome = search(a, b, &mut charge);
+    record_search(
+        attempts,
+        scans,
+        matches!(outcome, Ok(Inclusion::CounterExample(_))),
+    );
+    outcome
 }
 
 /// Decides `L(b) = Σ^ω` with the antichain engine, returning a rejected

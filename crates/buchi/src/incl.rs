@@ -29,8 +29,8 @@
 //! second operand).
 
 use crate::antichain::{
-    equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
-    included_antichain_budgeted, universal_antichain,
+    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
+    included_antichain_budgeted, universal_antichain, AntichainStats,
 };
 use crate::automaton::Buchi;
 use crate::complement::{complement, complement_budgeted, ComplementBudgetExceeded};
@@ -52,16 +52,41 @@ pub enum InclEngine {
     Rank,
 }
 
+/// Maps a raw `SL_INCL_ENGINE` value to an engine, plus the warning an
+/// unrecognized value earns. Factored out of [`incl_engine`] so the
+/// fallback-and-warn contract is unit-testable without mutating the
+/// process environment.
+fn parse_incl_engine(raw: Option<&str>) -> (InclEngine, Option<String>) {
+    match raw {
+        None | Some("" | "antichain") => (InclEngine::Antichain, None),
+        Some("rank") => (InclEngine::Rank, None),
+        Some(other) => (
+            InclEngine::Antichain,
+            Some(format!(
+                "sl-buchi: SL_INCL_ENGINE=`{other}` is not a known inclusion engine \
+                 (accepted values: `antichain`, `rank`); falling back to `antichain`"
+            )),
+        ),
+    }
+}
+
 /// The engine selected by `SL_INCL_ENGINE` (`antichain` or `rank`),
-/// read once per process; unset or unrecognized values select
-/// [`InclEngine::Antichain`]. Tests that need both engines in one
-/// process call the per-engine entry points instead of mutating the
-/// environment.
+/// read once per process; unset values select
+/// [`InclEngine::Antichain`], and an unrecognized value falls back to
+/// the antichain engine after warning once on stderr (naming the bad
+/// value and the accepted ones — a silent fallback once masked typos
+/// like `SL_INCL_ENGINE=ranked` in benchmark runs). Tests that need
+/// both engines in one process call the per-engine entry points
+/// instead of mutating the environment.
 pub fn incl_engine() -> InclEngine {
     static ENGINE: OnceLock<InclEngine> = OnceLock::new();
-    *ENGINE.get_or_init(|| match std::env::var("SL_INCL_ENGINE").as_deref() {
-        Ok("rank") => InclEngine::Rank,
-        _ => InclEngine::Antichain,
+    *ENGINE.get_or_init(|| {
+        let raw = std::env::var("SL_INCL_ENGINE").ok();
+        let (engine, warning) = parse_incl_engine(raw.as_deref());
+        if let Some(warning) = warning {
+            eprintln!("{warning}");
+        }
+        engine
     })
 }
 
@@ -206,6 +231,76 @@ thread_local! {
 /// actually computed.
 pub fn with_complement_cache<R>(f: impl FnOnce(&mut ComplementCache) -> R) -> R {
     THREAD_CACHE.with(|cache| f(&mut cache.borrow_mut()))
+}
+
+/// A combined snapshot of both inclusion engines' instrumentation on
+/// the current thread: the rank path's complement-cache counters and
+/// the antichain path's iteration counters. The `sld` daemon's `stats`
+/// verb and the `e12_service_throughput` bench report these instead of
+/// guessing at cache effectiveness; per-query costs come from
+/// snapshotting before and after a call and diffing with
+/// [`EngineStats::delta_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Complement-cache counters (rank engine): hits, misses, resident
+    /// entries, fault invalidations, hash collisions.
+    pub complement_cache: ComplementCacheStats,
+    /// Antichain fixpoint counters: searches, insertion attempts,
+    /// subsumption scans, counterexamples.
+    pub antichain: AntichainStats,
+}
+
+impl EngineStats {
+    /// The counter increments since `earlier`. The `entries` gauge of
+    /// the complement cache is carried over as-is (it is a level, not a
+    /// counter); everything else is a saturating difference.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            complement_cache: ComplementCacheStats {
+                hits: self.complement_cache.hits.saturating_sub(earlier.complement_cache.hits),
+                misses: self
+                    .complement_cache
+                    .misses
+                    .saturating_sub(earlier.complement_cache.misses),
+                entries: self.complement_cache.entries,
+                invalidations: self
+                    .complement_cache
+                    .invalidations
+                    .saturating_sub(earlier.complement_cache.invalidations),
+                collisions: self
+                    .complement_cache
+                    .collisions
+                    .saturating_sub(earlier.complement_cache.collisions),
+            },
+            antichain: self.antichain.delta_since(&earlier.antichain),
+        }
+    }
+
+    /// Accumulates another delta into this total. `entries` takes the
+    /// maximum (a high-water gauge across threads is more informative
+    /// than a meaningless sum of levels).
+    pub fn absorb(&mut self, delta: &EngineStats) {
+        self.complement_cache.hits += delta.complement_cache.hits;
+        self.complement_cache.misses += delta.complement_cache.misses;
+        self.complement_cache.entries =
+            self.complement_cache.entries.max(delta.complement_cache.entries);
+        self.complement_cache.invalidations += delta.complement_cache.invalidations;
+        self.complement_cache.collisions += delta.complement_cache.collisions;
+        self.antichain.absorb(&delta.antichain);
+    }
+}
+
+/// This thread's [`EngineStats`] snapshot. Both underlying stores are
+/// thread-local, so callers that fan work out across a sweep must
+/// snapshot on the worker thread that ran the query (as the `sld`
+/// daemon does) rather than on the coordinating thread.
+#[must_use]
+pub fn engine_stats() -> EngineStats {
+    EngineStats {
+        complement_cache: with_complement_cache(|cache| cache.stats()),
+        antichain: antichain_stats(),
+    }
 }
 
 /// The outcome of an inclusion check: either inclusion holds, or a
@@ -434,6 +529,82 @@ mod tests {
         let q0 = builder.add_state(true);
         builder.add_transition(q0, a, q0);
         builder.build(q0)
+    }
+
+    #[test]
+    fn recognized_engine_values_parse_silently() {
+        assert_eq!(parse_incl_engine(None), (InclEngine::Antichain, None));
+        assert_eq!(parse_incl_engine(Some("")), (InclEngine::Antichain, None));
+        assert_eq!(
+            parse_incl_engine(Some("antichain")),
+            (InclEngine::Antichain, None)
+        );
+        assert_eq!(parse_incl_engine(Some("rank")), (InclEngine::Rank, None));
+    }
+
+    #[test]
+    fn unrecognized_engine_value_warns_and_falls_back() {
+        let (engine, warning) = parse_incl_engine(Some("ranked"));
+        assert_eq!(engine, InclEngine::Antichain);
+        let warning = warning.expect("an unrecognized value must earn a warning");
+        // The warning has to name the bad value and every accepted one,
+        // so the fix is readable straight off stderr.
+        assert!(warning.contains("`ranked`"), "bad value missing: {warning}");
+        assert!(warning.contains("`antichain`"), "accepted value missing: {warning}");
+        assert!(warning.contains("`rank`"), "accepted value missing: {warning}");
+        assert!(warning.contains("SL_INCL_ENGINE"), "variable missing: {warning}");
+    }
+
+    #[test]
+    fn engine_stats_count_antichain_work() {
+        let s = sigma();
+        let before = engine_stats();
+        let inc = included_antichain(&only_a(&s), &inf_a(&s)).unwrap();
+        assert!(inc.holds());
+        let holds_delta = engine_stats().delta_since(&before);
+        assert_eq!(holds_delta.antichain.searches, 1);
+        assert!(holds_delta.antichain.insert_attempts > 0);
+        assert_eq!(holds_delta.antichain.counterexamples, 0);
+        // The antichain path never touches the complement cache.
+        assert_eq!(holds_delta.complement_cache.hits, 0);
+        assert_eq!(holds_delta.complement_cache.misses, 0);
+
+        let mid = engine_stats();
+        let inc = included_antichain(&inf_a(&s), &only_a(&s)).unwrap();
+        assert!(!inc.holds());
+        let cex_delta = engine_stats().delta_since(&mid);
+        assert_eq!(cex_delta.antichain.searches, 1);
+        assert_eq!(cex_delta.antichain.counterexamples, 1);
+    }
+
+    #[test]
+    fn engine_stats_deltas_absorb_into_totals() {
+        let a = EngineStats {
+            complement_cache: ComplementCacheStats {
+                hits: 2,
+                misses: 1,
+                entries: 3,
+                invalidations: 0,
+                collisions: 0,
+            },
+            antichain: AntichainStats {
+                searches: 1,
+                insert_attempts: 10,
+                subsumption_scans: 20,
+                counterexamples: 0,
+            },
+        };
+        let mut total = EngineStats::default();
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.complement_cache.hits, 4);
+        // `entries` is a gauge: absorbed as a high-water mark, not summed.
+        assert_eq!(total.complement_cache.entries, 3);
+        assert_eq!(total.antichain.insert_attempts, 20);
+        assert_eq!(a.delta_since(&a), EngineStats {
+            complement_cache: ComplementCacheStats { entries: 3, ..Default::default() },
+            ..Default::default()
+        });
     }
 
     #[test]

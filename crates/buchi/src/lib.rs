@@ -60,8 +60,8 @@ pub mod random;
 pub mod reduce;
 
 pub use antichain::{
-    equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
-    included_antichain_budgeted, universal_antichain, DEFAULT_ANTICHAIN_BUDGET,
+    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
+    included_antichain_budgeted, universal_antichain, AntichainStats, DEFAULT_ANTICHAIN_BUDGET,
 };
 pub use automaton::{Buchi, BuchiBuilder, StateId};
 pub use classify::{classify, is_liveness, is_safety, Classification};
@@ -72,9 +72,10 @@ pub use complement::{
 pub use decompose::{decompose, BuchiDecomposition};
 pub use empty::{find_accepted_word, is_empty};
 pub use incl::{
-    equivalent, equivalent_budgeted, equivalent_rank, incl_engine, included, included_budgeted,
-    included_rank, included_rank_budgeted, included_with_complement, universal, universal_rank,
-    with_complement_cache, ComplementCache, ComplementCacheStats, InclEngine, Inclusion,
+    engine_stats, equivalent, equivalent_budgeted, equivalent_rank, incl_engine, included,
+    included_budgeted, included_rank, included_rank_budgeted, included_with_complement, universal,
+    universal_rank, with_complement_cache, ComplementCache, ComplementCacheStats, EngineStats,
+    InclEngine, Inclusion,
 };
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};

@@ -1,0 +1,69 @@
+//! `sld` — the safety/liveness query daemon.
+//!
+//! ```text
+//! sld [--stdin]        serve newline-delimited JSON on stdin/stdout (default)
+//! sld --tcp ADDR       serve TCP connections sequentially on ADDR
+//! ```
+//!
+//! stdout carries protocol lines only (golden transcripts diff it
+//! byte-for-byte); the banner and diagnostics go to stderr. Knobs via
+//! environment: `SL_THREADS` (batch fan-out width), `SL_INCL_ENGINE`
+//! (antichain/rank), `SL_FAULT_SEED`/`SL_FAULT_RATE` (seeded fault
+//! drill of the `sl.service.request` site and the engines' sites).
+
+use sl_service::{serve_stdin, serve_tcp, Service};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut service = Service::from_env();
+    match args.first().map(String::as_str) {
+        None | Some("--stdin") => {
+            eprintln!("sld: serving stdin (quit or EOF ends the session)");
+            match serve_stdin(&mut service) {
+                Ok(summary) => {
+                    eprintln!(
+                        "sld: session over ({} responses, {})",
+                        summary.responses,
+                        if summary.quit { "quit" } else { "eof" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("sld: i/o error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--tcp") => {
+            let Some(addr) = args.get(1) else {
+                eprintln!("sld: --tcp needs an address (e.g. 127.0.0.1:7333)");
+                return ExitCode::FAILURE;
+            };
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("sld: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("sld: serving {addr} (a quit request shuts the daemon down)");
+            match serve_tcp(&mut service, &listener) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("sld: accept error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help" | "-h") => {
+            eprintln!("usage: sld [--stdin | --tcp ADDR]");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("sld: unknown argument `{other}` (usage: sld [--stdin | --tcp ADDR])");
+            ExitCode::FAILURE
+        }
+    }
+}

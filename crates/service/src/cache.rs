@@ -1,0 +1,210 @@
+//! Memoization of query results, keyed by `(verb, structural_hash)`.
+//!
+//! The same policy as `sl-buchi`'s complement cache: a bounded map
+//! that is *cleared* (not evicted entry-by-entry) when it would exceed
+//! its cap — O(1) worst-case bookkeeping, bounded memory on unbounded
+//! corpora — and a stored-operand equality check that turns 64-bit
+//! hash collisions into cache misses instead of wrong answers.
+//!
+//! Only successful results are cached: a query that failed on a small
+//! budget must be recomputed when the client retries with a larger
+//! one, and fault-injected failures must not poison later sessions.
+//! Hits are served without consulting the request budget — a cached
+//! answer costs nothing, which is the point of the cache.
+
+use crate::json::Json;
+use sl_buchi::Buchi;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache-key verb tags. Only pure query verbs are cacheable: `define`
+/// and `decompose` mutate the registry, `monitor-step` is stateful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// `classify` (unary).
+    Classify,
+    /// `include` (binary, ordered).
+    Include,
+    /// `equivalent` (binary, ordered — the separator's direction
+    /// depends on operand order, so no normalization).
+    Equivalent,
+    /// `universal` (unary).
+    Universal,
+}
+
+#[derive(Debug)]
+struct Entry {
+    left: Arc<Buchi>,
+    right: Option<Arc<Buchi>>,
+    result: Json,
+}
+
+/// Counters describing how the cache has been used (levels and
+/// monotone counts; `entries` is a gauge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Results currently stored.
+    pub entries: usize,
+    /// Times the map hit its cap and was cleared wholesale.
+    pub clears: u64,
+    /// Lookups whose hash matched a stored entry for different
+    /// operands; recomputed uncached, costing time but never
+    /// correctness.
+    pub collisions: u64,
+}
+
+/// The bounded query-result cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    map: HashMap<(QueryKind, u64, u64), Entry>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    clears: u64,
+    collisions: u64,
+}
+
+impl QueryCache {
+    /// An empty cache holding at most `cap` results.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        QueryCache {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+            clears: 0,
+            collisions: 0,
+        }
+    }
+
+    fn key(kind: QueryKind, left: &Buchi, right: Option<&Buchi>) -> (QueryKind, u64, u64) {
+        (
+            kind,
+            left.structural_hash(),
+            right.map_or(0, Buchi::structural_hash),
+        )
+    }
+
+    /// Looks up a result, verifying the stored operands are *equal* to
+    /// the probe's (hash collisions count as misses, tallied
+    /// separately). Updates the hit/miss counters.
+    pub fn probe(
+        &mut self,
+        kind: QueryKind,
+        left: &Arc<Buchi>,
+        right: Option<&Arc<Buchi>>,
+    ) -> Option<Json> {
+        match self.map.get(&Self::key(kind, left, right.map(Arc::as_ref))) {
+            Some(entry) => {
+                let same = entry.left.as_ref() == left.as_ref()
+                    && match (&entry.right, right) {
+                        (None, None) => true,
+                        (Some(stored), Some(probe)) => stored.as_ref() == probe.as_ref(),
+                        _ => false,
+                    };
+                if same {
+                    self.hits += 1;
+                    Some(entry.result.clone())
+                } else {
+                    self.collisions += 1;
+                    self.misses += 1;
+                    None
+                }
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a computed result, clearing the whole map first if it is
+    /// at capacity (cap-and-clear, as the complement cache does).
+    pub fn store(
+        &mut self,
+        kind: QueryKind,
+        left: Arc<Buchi>,
+        right: Option<Arc<Buchi>>,
+        result: Json,
+    ) {
+        let key = Self::key(kind, &left, right.as_deref());
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            self.map.clear();
+            self.clears += 1;
+        }
+        self.map.insert(key, Entry { left, right, result });
+    }
+
+    /// A snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> QueryCacheStats {
+        QueryCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            clears: self.clears,
+            collisions: self.collisions,
+        }
+    }
+
+    /// Empties the cache and zeroes the counters (bench isolation).
+    pub fn reset(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.clears = 0;
+        self.collisions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_omega::Alphabet;
+
+    fn arc(b: Buchi) -> Arc<Buchi> {
+        Arc::new(b)
+    }
+
+    #[test]
+    fn probe_miss_store_hit() {
+        let mut cache = QueryCache::new(8);
+        let u = arc(Buchi::universal(Alphabet::ab()));
+        assert!(cache.probe(QueryKind::Universal, &u, None).is_none());
+        cache.store(QueryKind::Universal, Arc::clone(&u), None, Json::Bool(true));
+        assert_eq!(cache.probe(QueryKind::Universal, &u, None), Some(Json::Bool(true)));
+        // Same operand under a different verb tag is a distinct key.
+        assert!(cache.probe(QueryKind::Classify, &u, None).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn cap_and_clear_bounds_the_map() {
+        let mut cache = QueryCache::new(2);
+        let sigma = Alphabet::ab();
+        let automata: Vec<Arc<Buchi>> = (0..3)
+            .map(|seed| {
+                arc(sl_buchi::random_buchi(
+                    &sigma,
+                    seed,
+                    sl_buchi::RandomConfig::default(),
+                ))
+            })
+            .collect();
+        for (i, b) in automata.iter().enumerate() {
+            cache.store(QueryKind::Classify, Arc::clone(b), None, Json::Int(i as i64));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.clears, 1);
+        // The third insert cleared the first two: only it survives.
+        assert_eq!(stats.entries, 1);
+        assert!(cache.probe(QueryKind::Classify, &automata[2], None).is_some());
+        assert!(cache.probe(QueryKind::Classify, &automata[0], None).is_none());
+    }
+}

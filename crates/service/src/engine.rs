@@ -1,0 +1,820 @@
+//! The service core: verb dispatch over a registry, memoizing query
+//! cache, per-request budgets, batch fan-out, and fault drills.
+//!
+//! # Determinism contract
+//!
+//! For a fixed request script (and the default antichain engine), the
+//! response byte stream is identical at any `SL_THREADS` — the golden
+//! transcripts in `tests/service_protocol.rs` and the verify.sh
+//! `service` stage hold the daemon to this. The load-bearing choices:
+//!
+//! * requests — and the items of a `batch` — are assigned fault-site
+//!   indices sequentially at intake, so whether `sl.service.request`
+//!   fires never depends on scheduling;
+//! * batch items probe the cache sequentially in item order, misses
+//!   are computed in parallel, and results are committed sequentially
+//!   in item order — cache counters and contents end up
+//!   schedule-independent;
+//! * engine counters ([`EngineStats`]) are measured per query *on the
+//!   worker thread that ran it* and the deltas are summed in item
+//!   order. Antichain counters are a pure function of the query, so
+//!   the totals reported by `stats` are deterministic under the
+//!   default engine. (The rank engine's complement cache is
+//!   per-thread, so its hit/miss split does depend on scheduling —
+//!   transcripts that pin `SL_INCL_ENGINE=rank` should not diff a
+//!   `stats` response.)
+//!
+//! # Fault tolerance
+//!
+//! Every compute runs inside a panic-isolation boundary: a panicking
+//! request (organic or injected via the `par.worker` drill site)
+//! degrades to a typed `panic` error response; the daemon, its
+//! registry, and its cache survive. The `sl.service.request` site
+//! makes request intake itself drillable under `SL_FAULT_RATE`.
+
+use crate::cache::{QueryCache, QueryCacheStats, QueryKind};
+use crate::json::Json;
+use crate::proto::{
+    err_value, kind_of, ok_value, request_from_value, BudgetSpec, ProtoError, Request, Verb,
+};
+use crate::registry::Registry;
+use sl_buchi::{
+    classify, closure, decompose, engine_stats, equivalent, equivalent_budgeted, hoa, included,
+    included_budgeted, universal, Buchi, Classification, EngineStats, Inclusion, Monitor, Verdict,
+};
+use sl_omega::Alphabet;
+use sl_support::par::{try_par_map_with, ItemOutcome};
+use sl_support::{fault, par, FaultPlan, SlError};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The fault-injection site charged once per request (batch items
+/// included), indexed by intake order.
+pub const REQUEST_FAULT_SITE: &str = "sl.service.request";
+
+/// Construction-time knobs for a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Fault plan for the `sl.service.request` site. Defaults to the
+    /// process-wide plan (`SL_FAULT_SEED`/`SL_FAULT_RATE`); tests pin
+    /// explicit plans so golden transcripts stay clean under the
+    /// environment drill.
+    pub fault: FaultPlan,
+    /// Worker count for batch fan-out. Defaults to
+    /// `sl_support::par::thread_count()` (the `SL_THREADS` knob).
+    pub threads: usize,
+    /// Byte cap for one request line (oversized lines are rejected
+    /// with a typed error, never buffered whole).
+    pub max_line: usize,
+    /// Result-cache capacity (cap-and-clear past it).
+    pub cache_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            fault: *fault::global(),
+            threads: par::thread_count(),
+            max_line: 1 << 20,
+            cache_cap: 256,
+        }
+    }
+}
+
+/// A monitor session: the policy automaton's alphabet (for symbol
+/// lookup) plus the stepped monitor itself.
+#[derive(Debug)]
+struct MonitorSession {
+    target: String,
+    alphabet: Alphabet,
+    monitor: Monitor,
+}
+
+/// One handled line's outcome.
+#[derive(Debug)]
+pub struct Reply {
+    /// The response line (no trailing newline).
+    pub line: String,
+    /// Whether this request asked the daemon to shut down.
+    pub quit: bool,
+}
+
+/// All verbs, in the fixed order the `stats` response reports them.
+const STATS_VERBS: [Verb; 10] = [
+    Verb::Define,
+    Verb::Classify,
+    Verb::Decompose,
+    Verb::Include,
+    Verb::Equivalent,
+    Verb::Universal,
+    Verb::MonitorStep,
+    Verb::Stats,
+    Verb::Batch,
+    Verb::Quit,
+];
+
+/// The daemon state: registry, monitor sessions, cache, counters.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    registry: Registry,
+    monitors: HashMap<String, MonitorSession>,
+    cache: QueryCache,
+    verb_counts: [u64; STATS_VERBS.len()],
+    errors: u64,
+    engine_totals: EngineStats,
+    next_request_index: u64,
+}
+
+/// A resolved, cacheable query: what to compute and on what.
+struct QueryJob {
+    kind: QueryKind,
+    left: Arc<Buchi>,
+    right: Option<Arc<Buchi>>,
+    budget: Option<BudgetSpec>,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            cache: QueryCache::new(config.cache_cap),
+            config,
+            registry: Registry::new(),
+            monitors: HashMap::new(),
+            verb_counts: [0; STATS_VERBS.len()],
+            errors: 0,
+            engine_totals: EngineStats::default(),
+            next_request_index: 0,
+        }
+    }
+
+    /// A service with default (environment-derived) configuration.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Service::new(ServiceConfig::default())
+    }
+
+    /// The configured line cap (the framing layer enforces it).
+    #[must_use]
+    pub fn max_line(&self) -> usize {
+        self.config.max_line
+    }
+
+    /// Cache counters (bench reporting).
+    #[must_use]
+    pub fn cache_stats(&self) -> QueryCacheStats {
+        self.cache.stats()
+    }
+
+    /// Empties the result cache and zeroes its counters (bench
+    /// cold/warm isolation).
+    pub fn reset_cache(&mut self) {
+        self.cache.reset();
+    }
+
+    /// Handles one request line, producing exactly one response line.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let doc = match crate::json::parse(line) {
+            Ok(doc) => doc,
+            Err(message) => {
+                return self.error_reply(None, &ProtoError::new("parse", message));
+            }
+        };
+        let id = doc.get("id").cloned();
+        let request = match request_from_value(doc) {
+            Ok(request) => request,
+            Err(error) => return self.error_reply(id.as_ref(), &error),
+        };
+        self.count_verb(request.verb);
+        let index = self.take_index();
+        if let Err(err) = self.config.fault.inject_error(REQUEST_FAULT_SITE, index) {
+            let error = ProtoError::new(kind_of(&err), err.to_string());
+            return self.error_reply(id.as_ref(), &error);
+        }
+        if request.verb == Verb::Quit {
+            return Reply {
+                line: ok_value(id.as_ref(), Json::obj(vec![("bye", Json::Bool(true))])).render(),
+                quit: true,
+            };
+        }
+        match self.dispatch(&request) {
+            Ok(result) => Reply {
+                line: ok_value(id.as_ref(), result).render(),
+                quit: false,
+            },
+            Err(error) => self.error_reply(id.as_ref(), &error),
+        }
+    }
+
+    fn error_reply(&mut self, id: Option<&Json>, error: &ProtoError) -> Reply {
+        self.errors += 1;
+        Reply {
+            line: err_value(id, error).render(),
+            quit: false,
+        }
+    }
+
+    fn take_index(&mut self) -> u64 {
+        let index = self.next_request_index;
+        self.next_request_index += 1;
+        index
+    }
+
+    fn count_verb(&mut self, verb: Verb) {
+        let slot = STATS_VERBS
+            .iter()
+            .position(|&v| v == verb)
+            .expect("every verb has a stats slot");
+        self.verb_counts[slot] += 1;
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Result<Json, ProtoError> {
+        match request.verb {
+            Verb::Define => self.do_define(request),
+            Verb::Classify | Verb::Include | Verb::Equivalent | Verb::Universal => {
+                let job = self.resolve_query(request)?;
+                self.run_query(&job)
+            }
+            Verb::Decompose => self.do_decompose(request),
+            Verb::MonitorStep => self.do_monitor_step(request),
+            Verb::Stats => Ok(self.do_stats()),
+            Verb::Batch => self.do_batch(request),
+            Verb::Quit => unreachable!("quit is handled before dispatch"),
+        }
+    }
+
+    // ---- define ---------------------------------------------------
+
+    fn do_define(&mut self, request: &Request) -> Result<Json, ProtoError> {
+        let name = require_str(&request.body, "name")?;
+        let budget = request.budget.map(BudgetSpec::to_budget);
+        let (automaton, source) = if let Some(formula) = request.body.get("ltl") {
+            let formula = formula
+                .as_str()
+                .ok_or_else(|| ProtoError::new("parse", "`ltl` must be a string"))?;
+            let names = alphabet_operand(&request.body)?;
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let sigma = Alphabet::new(&name_refs);
+            let parsed = sl_ltl::parse(&sigma, formula)
+                .map_err(|e| ProtoError::new("invalid_input", e.to_string()))?;
+            let automaton = match &budget {
+                Some(budget) => sl_ltl::translate_with_budget(&sigma, &parsed, budget)
+                    .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?,
+                None => sl_ltl::translate(&sigma, &parsed),
+            };
+            (automaton, "ltl")
+        } else if let Some(text) = request.body.get("hoa") {
+            let text = text
+                .as_str()
+                .ok_or_else(|| ProtoError::new("parse", "`hoa` must be a string"))?;
+            let automaton =
+                hoa::from_hoa(text).map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
+            (automaton, "hoa")
+        } else {
+            return Err(ProtoError::new(
+                "invalid_input",
+                "define needs `ltl` (with `alphabet`) or `hoa`",
+            ));
+        };
+        let stored = self.registry.insert(name, automaton);
+        Ok(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("source", Json::Str(source.to_string())),
+            ("states", Json::Int(stored.num_states() as i64)),
+            ("transitions", Json::Int(stored.num_transitions() as i64)),
+        ]))
+    }
+
+    // ---- the cacheable query verbs --------------------------------
+
+    fn resolve_query(&self, request: &Request) -> Result<QueryJob, ProtoError> {
+        let (kind, left_key, right_key) = match request.verb {
+            Verb::Classify => (QueryKind::Classify, "target", None),
+            Verb::Universal => (QueryKind::Universal, "target", None),
+            Verb::Include => (QueryKind::Include, "left", Some("right")),
+            Verb::Equivalent => (QueryKind::Equivalent, "left", Some("right")),
+            _ => unreachable!("resolve_query is only called for query verbs"),
+        };
+        let left = self.resolve_object(&request.body, left_key)?;
+        let right = match right_key {
+            Some(key) => Some(self.resolve_object(&request.body, key)?),
+            None => None,
+        };
+        if let Some(right) = &right {
+            if left.alphabet() != right.alphabet() {
+                return Err(ProtoError::new(
+                    "invalid_input",
+                    "operands have different alphabets",
+                ));
+            }
+        }
+        Ok(QueryJob {
+            kind,
+            left,
+            right,
+            budget: request.budget,
+        })
+    }
+
+    fn resolve_object(&self, body: &Json, key: &str) -> Result<Arc<Buchi>, ProtoError> {
+        let name = require_str(body, key)?;
+        self.registry.get(name).cloned().ok_or_else(|| {
+            ProtoError::new("unknown_object", format!("`{name}` is not defined"))
+        })
+    }
+
+    /// Probes the cache, computes on miss (inside a panic boundary,
+    /// with engine counters attributed), stores successful results.
+    fn run_query(&mut self, job: &QueryJob) -> Result<Json, ProtoError> {
+        if let Some(result) = self.cache.probe(job.kind, &job.left, job.right.as_ref()) {
+            return Ok(result);
+        }
+        let (outcome, delta) = compute_isolated(job);
+        self.engine_totals.absorb(&delta);
+        let result = outcome?;
+        self.cache.store(
+            job.kind,
+            Arc::clone(&job.left),
+            job.right.clone(),
+            result.clone(),
+        );
+        Ok(result)
+    }
+
+    // ---- decompose ------------------------------------------------
+
+    fn do_decompose(&mut self, request: &Request) -> Result<Json, ProtoError> {
+        let name = require_str(&request.body, "target")?.to_string();
+        let target = self.resolve_object(&request.body, "target")?;
+        let before = engine_stats();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let d = decompose(&target);
+            let check = d.check_sampled(&target, 2, 2);
+            (d, check)
+        }));
+        self.engine_totals.absorb(&engine_stats().delta_since(&before));
+        let (d, check) = outcome.map_err(|payload| {
+            ProtoError::new("panic", panic_message(payload.as_ref()))
+        })?;
+        let safety_name = format!("{name}.safety");
+        let liveness_name = format!("{name}.liveness");
+        let safety = self.registry.insert(&safety_name, d.safety);
+        let liveness = self.registry.insert(&liveness_name, d.liveness);
+        Ok(Json::obj(vec![
+            ("target", Json::Str(name.to_string())),
+            (
+                "safety",
+                Json::obj(vec![
+                    ("name", Json::Str(safety_name)),
+                    ("states", Json::Int(safety.num_states() as i64)),
+                ]),
+            ),
+            (
+                "liveness",
+                Json::obj(vec![
+                    ("name", Json::Str(liveness_name)),
+                    ("states", Json::Int(liveness.num_states() as i64)),
+                ]),
+            ),
+            (
+                "check_sampled",
+                match check {
+                    None => Json::Str("ok".to_string()),
+                    Some(w) => Json::Str(format!(
+                        "mismatch at {}",
+                        w.display(target.alphabet())
+                    )),
+                },
+            ),
+        ]))
+    }
+
+    // ---- monitor-step ---------------------------------------------
+
+    fn do_monitor_step(&mut self, request: &Request) -> Result<Json, ProtoError> {
+        let session_name = require_str(&request.body, "monitor")?;
+        if !self.monitors.contains_key(session_name) {
+            let target_name = require_str(&request.body, "target").map_err(|_| {
+                ProtoError::new(
+                    "invalid_input",
+                    format!("monitor session `{session_name}` does not exist; creating one needs `target`"),
+                )
+            })?;
+            let target = self.resolve_object(&request.body, "target")?;
+            self.monitors.insert(
+                session_name.to_string(),
+                MonitorSession {
+                    target: target_name.to_string(),
+                    alphabet: target.alphabet().clone(),
+                    monitor: Monitor::new(&target),
+                },
+            );
+        }
+        // Re-borrow mutably now that the session surely exists.
+        let session_target = self.monitors[session_name].target.clone();
+        if let Some(requested) = request.body.get("target").and_then(Json::as_str) {
+            if requested != session_target {
+                return Err(ProtoError::new(
+                    "invalid_input",
+                    format!(
+                        "monitor session `{session_name}` watches `{session_target}`, not `{requested}`"
+                    ),
+                ));
+            }
+        }
+        let session = self.monitors.get_mut(session_name).expect("inserted above");
+        if request.body.get("reset").and_then(Json::as_bool) == Some(true) {
+            session.monitor.reset();
+        }
+        let symbols = match request.body.get("symbols") {
+            None => &[][..],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| ProtoError::new("parse", "`symbols` must be an array of strings"))?,
+        };
+        let budget = request.budget.map(BudgetSpec::to_budget);
+        let mut meter = budget.as_ref().map(|b| b.meter("service.monitor"));
+        let mut verdicts = Vec::with_capacity(symbols.len());
+        for symbol in symbols {
+            let name = symbol
+                .as_str()
+                .ok_or_else(|| ProtoError::new("parse", "`symbols` must be an array of strings"))?;
+            // Out-of-alphabet names map to an out-of-range Symbol: the
+            // monitor degrades to sticky Unknown, exactly as it does
+            // for untrusted binary traces.
+            let sym = session
+                .alphabet
+                .symbol(name)
+                .unwrap_or(sl_omega::Symbol(u16::MAX));
+            let verdict = match &mut meter {
+                Some(meter) => session
+                    .monitor
+                    .step_checked(sym, meter)
+                    .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?,
+                None => session.monitor.step(sym),
+            };
+            verdicts.push(Json::Str(verdict_name(verdict).to_string()));
+        }
+        Ok(Json::obj(vec![
+            ("monitor", Json::Str(session_name.to_string())),
+            ("target", Json::Str(session_target)),
+            ("verdicts", Json::Arr(verdicts)),
+            (
+                "verdict",
+                Json::Str(verdict_name(session.monitor.verdict()).to_string()),
+            ),
+        ]))
+    }
+
+    // ---- stats ----------------------------------------------------
+
+    fn do_stats(&self) -> Json {
+        let mut requests: Vec<(String, Json)> = STATS_VERBS
+            .iter()
+            .zip(self.verb_counts.iter())
+            .map(|(verb, &count)| (verb.wire_name().to_string(), Json::Int(count as i64)))
+            .collect();
+        requests.push((
+            "total".to_string(),
+            Json::Int(self.verb_counts.iter().sum::<u64>() as i64),
+        ));
+        let cache = self.cache.stats();
+        let engine = &self.engine_totals;
+        Json::obj(vec![
+            ("requests", Json::Obj(requests)),
+            ("errors", Json::Int(self.errors as i64)),
+            (
+                "registry",
+                Json::obj(vec![
+                    ("automata", Json::Int(self.registry.len() as i64)),
+                    ("monitors", Json::Int(self.monitors.len() as i64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Int(cache.hits as i64)),
+                    ("misses", Json::Int(cache.misses as i64)),
+                    ("entries", Json::Int(cache.entries as i64)),
+                    ("clears", Json::Int(cache.clears as i64)),
+                    ("collisions", Json::Int(cache.collisions as i64)),
+                ]),
+            ),
+            (
+                "engine",
+                Json::obj(vec![
+                    (
+                        "complement_cache",
+                        Json::obj(vec![
+                            ("hits", Json::Int(engine.complement_cache.hits as i64)),
+                            ("misses", Json::Int(engine.complement_cache.misses as i64)),
+                            ("entries", Json::Int(engine.complement_cache.entries as i64)),
+                            (
+                                "invalidations",
+                                Json::Int(engine.complement_cache.invalidations as i64),
+                            ),
+                            (
+                                "collisions",
+                                Json::Int(engine.complement_cache.collisions as i64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "antichain",
+                        Json::obj(vec![
+                            ("searches", Json::Int(engine.antichain.searches as i64)),
+                            (
+                                "insert_attempts",
+                                Json::Int(engine.antichain.insert_attempts as i64),
+                            ),
+                            (
+                                "subsumption_scans",
+                                Json::Int(engine.antichain.subsumption_scans as i64),
+                            ),
+                            (
+                                "counterexamples",
+                                Json::Int(engine.antichain.counterexamples as i64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    // ---- batch ----------------------------------------------------
+
+    /// Fans the items of a `batch` through the panic-isolated sweep:
+    /// sequential intake (fault indices, verb counts, cache probes),
+    /// parallel compute of the misses, sequential commit in item
+    /// order. One poisoned item degrades to its own typed error.
+    fn do_batch(&mut self, request: &Request) -> Result<Json, ProtoError> {
+        let items = request
+            .body
+            .get("requests")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ProtoError::new("parse", "batch needs a `requests` array"))?
+            .to_vec();
+        let default_budget = request.budget;
+
+        // Per-item slot: either an already-final response value or a
+        // job index into the parallel compute list.
+        enum Slot {
+            Done(Json),
+            Job { id: Option<Json>, job_index: usize },
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(items.len());
+        let mut jobs: Vec<QueryJob> = Vec::new();
+
+        for item in items {
+            let id = item.get("id").cloned();
+            let prepared = request_from_value(item).and_then(|mut sub| {
+                self.count_verb(sub.verb);
+                let index = self.take_index();
+                self.config
+                    .fault
+                    .inject_error(REQUEST_FAULT_SITE, index)
+                    .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
+                match sub.verb {
+                    Verb::Classify | Verb::Include | Verb::Equivalent | Verb::Universal => {
+                        if sub.budget.is_none() {
+                            sub.budget = default_budget;
+                        }
+                        self.resolve_query(&sub)
+                    }
+                    other => Err(ProtoError::new(
+                        "unsupported",
+                        format!(
+                            "`{}` cannot run inside a batch (only classify, include, \
+                             equivalent, universal)",
+                            other.wire_name()
+                        ),
+                    )),
+                }
+            });
+            match prepared {
+                Err(error) => {
+                    self.errors += 1;
+                    slots.push(Slot::Done(err_value(id.as_ref(), &error)));
+                }
+                Ok(job) => {
+                    // Sequential probe keeps hit/miss counters (and the
+                    // set of computed jobs) schedule-independent.
+                    match self.cache.probe(job.kind, &job.left, job.right.as_ref()) {
+                        Some(result) => slots.push(Slot::Done(ok_value(id.as_ref(), result))),
+                        None => {
+                            slots.push(Slot::Job {
+                                id,
+                                job_index: jobs.len(),
+                            });
+                            jobs.push(job);
+                        }
+                    }
+                }
+            }
+        }
+
+        // The worker already isolates panics and types its errors, so
+        // its closure is infallible; the sweep's own boundary still
+        // catches the `par.worker` drill site's injected panics.
+        let report = try_par_map_with(self.config.threads, &jobs, |job| Ok(compute_isolated(job)));
+
+        let mut results = Vec::with_capacity(slots.len());
+        let mut outcomes = report.outcomes.into_iter();
+        for slot in slots {
+            match slot {
+                Slot::Done(value) => results.push(value),
+                Slot::Job { id, job_index } => {
+                    let outcome = outcomes.next().expect("one outcome per job");
+                    let job = &jobs[job_index];
+                    match outcome {
+                        ItemOutcome::Ok((Ok(result), delta)) => {
+                            self.engine_totals.absorb(&delta);
+                            self.cache.store(
+                                job.kind,
+                                Arc::clone(&job.left),
+                                job.right.clone(),
+                                result.clone(),
+                            );
+                            results.push(ok_value(id.as_ref(), result));
+                        }
+                        ItemOutcome::Ok((Err(error), delta)) => {
+                            self.engine_totals.absorb(&delta);
+                            self.errors += 1;
+                            results.push(err_value(id.as_ref(), &error));
+                        }
+                        ItemOutcome::Failed(err) => {
+                            self.errors += 1;
+                            let error = ProtoError::new(kind_of(&err), err.to_string());
+                            results.push(err_value(id.as_ref(), &error));
+                        }
+                        ItemOutcome::Panicked(message) => {
+                            self.errors += 1;
+                            let error = ProtoError::new("panic", message);
+                            results.push(err_value(id.as_ref(), &error));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Json::obj(vec![("results", Json::Arr(results))]))
+    }
+}
+
+// ---- the pure compute kernel (shared by inline and batch paths) ----
+
+/// Computes one query inside a panic boundary, measuring the engine
+/// counters it spent on this thread. Returns the typed outcome plus
+/// the counter delta — the caller decides how to fold both in.
+fn compute_isolated(job: &QueryJob) -> (Result<Json, ProtoError>, EngineStats) {
+    let before = engine_stats();
+    let outcome = catch_unwind(AssertUnwindSafe(|| compute_query(job)));
+    let delta = engine_stats().delta_since(&before);
+    let outcome = match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(err)) => Err(ProtoError::new(kind_of(&err), err.to_string())),
+        Err(payload) => Err(ProtoError::new("panic", panic_message(payload.as_ref()))),
+    };
+    (outcome, delta)
+}
+
+/// The verb semantics proper. Unbudgeted requests go through the plain
+/// engine entry points (no extra fault sites, so fault drills only
+/// fire where a budgeted path opted in); budgeted requests use the
+/// budgeted twins.
+fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
+    let budget = job.budget.map(BudgetSpec::to_budget);
+    match job.kind {
+        QueryKind::Classify => {
+            let b = job.left.as_ref();
+            let class = match &budget {
+                None => classify(b)?,
+                Some(budget) => {
+                    let cl = closure(b);
+                    let safe = included_budgeted(&cl, b, budget)?.holds();
+                    let live = included_budgeted(
+                        &Buchi::universal(b.alphabet().clone()),
+                        &cl,
+                        budget,
+                    )?
+                    .holds();
+                    match (safe, live) {
+                        (true, true) => Classification::Both,
+                        (true, false) => Classification::Safety,
+                        (false, true) => Classification::Liveness,
+                        (false, false) => Classification::Neither,
+                    }
+                }
+            };
+            Ok(Json::obj(vec![(
+                "class",
+                Json::Str(class_name(class).to_string()),
+            )]))
+        }
+        QueryKind::Include => {
+            let (a, b) = (job.left.as_ref(), job.right.as_ref().expect("binary").as_ref());
+            let inclusion = match &budget {
+                None => included(a, b)?,
+                Some(budget) => included_budgeted(a, b, budget)?,
+            };
+            Ok(match inclusion {
+                Inclusion::Holds => Json::obj(vec![("holds", Json::Bool(true))]),
+                Inclusion::CounterExample(w) => Json::obj(vec![
+                    ("holds", Json::Bool(false)),
+                    ("counterexample", Json::Str(w.display(a.alphabet()))),
+                ]),
+            })
+        }
+        QueryKind::Equivalent => {
+            let (a, b) = (job.left.as_ref(), job.right.as_ref().expect("binary").as_ref());
+            let verdict = match &budget {
+                None => equivalent(a, b)?,
+                Some(budget) => equivalent_budgeted(a, b, budget)?,
+            };
+            Ok(match verdict {
+                Ok(()) => Json::obj(vec![("equivalent", Json::Bool(true))]),
+                Err(w) => Json::obj(vec![
+                    ("equivalent", Json::Bool(false)),
+                    ("separator", Json::Str(w.display(a.alphabet()))),
+                ]),
+            })
+        }
+        QueryKind::Universal => {
+            let b = job.left.as_ref();
+            let verdict = match &budget {
+                None => universal(b)?,
+                Some(budget) => {
+                    match included_budgeted(&Buchi::universal(b.alphabet().clone()), b, budget)? {
+                        Inclusion::Holds => Ok(()),
+                        Inclusion::CounterExample(w) => Err(w),
+                    }
+                }
+            };
+            Ok(match verdict {
+                Ok(()) => Json::obj(vec![("universal", Json::Bool(true))]),
+                Err(w) => Json::obj(vec![
+                    ("universal", Json::Bool(false)),
+                    ("rejected", Json::Str(w.display(b.alphabet()))),
+                ]),
+            })
+        }
+    }
+}
+
+// ---- small helpers ------------------------------------------------
+
+fn require_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ProtoError> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new("parse", format!("request needs a string `{key}`")))
+}
+
+fn alphabet_operand(body: &Json) -> Result<Vec<String>, ProtoError> {
+    let items = body
+        .get("alphabet")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            ProtoError::new("parse", "define from `ltl` needs an `alphabet` array of strings")
+        })?;
+    if items.is_empty() {
+        return Err(ProtoError::new("invalid_input", "alphabet must be nonempty"));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::new("parse", "alphabet entries must be strings"))
+        })
+        .collect()
+}
+
+fn class_name(class: Classification) -> &'static str {
+    match class {
+        Classification::Safety => "safety",
+        Classification::Liveness => "liveness",
+        Classification::Both => "both",
+        Classification::Neither => "neither",
+    }
+}
+
+fn verdict_name(verdict: Verdict) -> &'static str {
+    match verdict {
+        Verdict::Ok => "ok",
+        Verdict::Violation => "violation",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

@@ -1,0 +1,67 @@
+//! `sl-service`: the serving layer — a long-running safety/liveness
+//! query daemon (`sld`) speaking newline-delimited JSON over stdin or
+//! TCP.
+//!
+//! The safety/liveness literature this workspace reproduces frames its
+//! results operationally: monitors consume growing prefixes, verifiers
+//! ask decomposition and inclusion queries on demand. This crate turns
+//! the toolkit's engines into exactly that deployment shape:
+//!
+//! * **`define`** — register an LTL formula (`sl-ltl::parse` +
+//!   translation) or a HOA automaton (`sl-buchi::hoa::from_hoa`) under
+//!   a name;
+//! * **`classify` / `decompose`** — the paper's trichotomy and the
+//!   Theorem 2 decomposition `B = B_S ∩ B_L`;
+//! * **`include` / `equivalent` / `universal`** — the antichain
+//!   inclusion engine (or rank-based, per `SL_INCL_ENGINE`);
+//! * **`monitor-step`** — incremental [`sl_buchi::Monitor`] sessions
+//!   with sticky `Unknown`;
+//! * **`batch`** — fan query verbs through the panic-isolated parallel
+//!   sweep: one poisoned request degrades to a typed error response,
+//!   never a dead daemon;
+//! * **`stats`** — per-verb counters, result-cache effectiveness, and
+//!   the engines' [`sl_buchi::EngineStats`].
+//!
+//! Every request may carry a `budget` (`steps`/`ms`) mapped onto
+//! [`sl_support::Budget`]; query results are memoized keyed by
+//! `(verb, structural_hash)` with the same cap-and-clear policy as the
+//! complement cache; the `sl.service.request` fault site makes intake
+//! drillable under `SL_FAULT_RATE`. The JSON layer is hand-rolled
+//! ([`json`]) — the workspace stays registry-dependency-free.
+//!
+//! ```
+//! use sl_service::{Service, ServiceConfig};
+//! use sl_support::FaultPlan;
+//!
+//! let mut svc = Service::new(ServiceConfig {
+//!     fault: FaultPlan::disabled(),
+//!     threads: 1,
+//!     ..ServiceConfig::default()
+//! });
+//! let reply = svc.handle_line(
+//!     r#"{"id":1,"verb":"define","name":"gfa","ltl":"G F a","alphabet":["a","b"]}"#,
+//! );
+//! assert!(reply.line.contains("\"ok\":true"));
+//! let reply = svc.handle_line(r#"{"id":2,"verb":"classify","target":"gfa"}"#);
+//! assert!(reply.line.contains("\"class\":\"liveness\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use cache::{QueryCache, QueryCacheStats, QueryKind};
+pub use engine::{Reply, Service, ServiceConfig, REQUEST_FAULT_SITE};
+pub use json::Json;
+pub use proto::{
+    err_response, ok_response, parse_request, read_frame, BudgetSpec, Frame, ProtoError, Request,
+    Verb,
+};
+pub use registry::Registry;
+pub use server::{serve, serve_stdin, serve_tcp, SessionSummary};

@@ -1,0 +1,74 @@
+//! The named-object registry: `define` binds a name to an automaton,
+//! every query verb resolves operands here.
+//!
+//! Automata are stored behind [`Arc`] so batch fan-out can hand clones
+//! to sweep workers without copying transition tables, and so the
+//! query cache can retain operands for its collision equality check
+//! after a name is redefined.
+
+use sl_buchi::Buchi;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Name → automaton bindings. Redefinition replaces the binding (the
+/// old automaton lives on in any cache entries that captured it).
+#[derive(Debug, Default)]
+pub struct Registry {
+    map: HashMap<String, Arc<Buchi>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Binds `name` to `b`, replacing any previous binding.
+    pub fn insert(&mut self, name: &str, b: Buchi) -> Arc<Buchi> {
+        let b = Arc::new(b);
+        self.map.insert(name.to_string(), Arc::clone(&b));
+        b
+    }
+
+    /// The automaton bound to `name`, if any.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Arc<Buchi>> {
+        self.map.get(name)
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no names are bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_omega::Alphabet;
+
+    #[test]
+    fn insert_get_and_redefine() {
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        let sigma = Alphabet::ab();
+        let first = reg.insert("u", Buchi::universal(sigma.clone()));
+        assert_eq!(reg.len(), 1);
+        assert!(Arc::ptr_eq(reg.get("u").unwrap(), &first));
+        // Redefinition replaces the binding but does not disturb older
+        // Arcs still held elsewhere (e.g. by the query cache).
+        let second = reg.insert("u", Buchi::universal(sigma));
+        assert_eq!(reg.len(), 1);
+        assert!(Arc::ptr_eq(reg.get("u").unwrap(), &second));
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(reg.get("missing").is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! The serving loop: frames lines off a reader, hands them to the
+//! [`Service`], writes one response line each, flushes, and stops on
+//! `quit` or EOF. Transport-agnostic — stdin/stdout and TCP both go
+//! through [`serve`].
+
+use crate::engine::{Reply, Service};
+use crate::proto::{err_response, read_frame, Frame, ProtoError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// What a finished session did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Frames that produced a response (oversized frames included;
+    /// blank lines are skipped silently and not counted).
+    pub responses: u64,
+    /// Whether the session ended on `quit` (vs EOF).
+    pub quit: bool,
+}
+
+/// Serves one session: newline-delimited requests from `reader`,
+/// newline-terminated responses to `writer` (flushed per line, so
+/// pipelined clients never deadlock on buffering).
+///
+/// # Errors
+///
+/// Propagates I/O errors; protocol errors become typed responses.
+pub fn serve<R: BufRead, W: Write>(
+    service: &mut Service,
+    reader: &mut R,
+    writer: &mut W,
+) -> std::io::Result<SessionSummary> {
+    let mut summary = SessionSummary::default();
+    let max_line = service.max_line();
+    loop {
+        let reply = match read_frame(reader, max_line)? {
+            Frame::Eof => break,
+            Frame::Oversized => {
+                let error = ProtoError::new(
+                    "oversized_frame",
+                    format!("request line exceeds {max_line} bytes"),
+                );
+                Reply {
+                    line: err_response(None, &error),
+                    quit: false,
+                }
+            }
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                service.handle_line(&line)
+            }
+        };
+        writer.write_all(reply.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        summary.responses += 1;
+        if reply.quit {
+            summary.quit = true;
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+/// Serves stdin → stdout until `quit` or EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn serve_stdin(service: &mut Service) -> std::io::Result<SessionSummary> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(service, &mut stdin.lock(), &mut stdout.lock())
+}
+
+/// Serves TCP connections sequentially (one session at a time — the
+/// registry and cache are session-shared daemon state, and sequential
+/// accept keeps responses deterministic). A `quit` from any client
+/// shuts the daemon down; a client disconnect moves on to the next
+/// `accept`.
+///
+/// # Errors
+///
+/// Propagates `accept` errors; per-connection I/O errors end that
+/// connection only.
+pub fn serve_tcp(service: &mut Service, listener: &TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        match serve(service, &mut reader, &mut writer) {
+            Ok(summary) if summary.quit => return Ok(()),
+            // A dropped connection is a client problem, not a daemon
+            // problem: keep accepting.
+            Ok(_) | Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceConfig;
+    use sl_support::FaultPlan;
+    use std::io::Cursor;
+
+    fn quiet_service() -> Service {
+        Service::new(ServiceConfig {
+            fault: FaultPlan::disabled(),
+            threads: 1,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn session_answers_each_line_and_stops_on_quit() {
+        let mut service = quiet_service();
+        let script = concat!(
+            "\n",
+            "{\"id\":1,\"verb\":\"stats\"}\n",
+            "{\"id\":2,\"verb\":\"quit\"}\n",
+            "{\"id\":3,\"verb\":\"stats\"}\n",
+        );
+        let mut output = Vec::new();
+        let summary = serve(&mut service, &mut Cursor::new(script), &mut output).unwrap();
+        assert_eq!(summary, SessionSummary { responses: 2, quit: true });
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("{\"id\":1,\"ok\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"bye\":true"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn oversized_lines_get_a_typed_rejection_and_framing_recovers() {
+        let mut service = Service::new(ServiceConfig {
+            fault: FaultPlan::disabled(),
+            threads: 1,
+            max_line: 64,
+            ..ServiceConfig::default()
+        });
+        let script = format!(
+            "{{\"id\":1,\"verb\":\"stats\",\"pad\":\"{}\"}}\n{{\"id\":2,\"verb\":\"stats\"}}\n",
+            "x".repeat(200)
+        );
+        let mut output = Vec::new();
+        let summary = serve(&mut service, &mut Cursor::new(script), &mut output).unwrap();
+        assert_eq!(summary.responses, 2);
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"oversized_frame\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"id\":2,\"ok\":true"), "{}", lines[1]);
+    }
+}

@@ -1,0 +1,75 @@
+//! The serving layer as a library: an `sld` session without the daemon.
+//!
+//! ```text
+//! cargo run --example service_session
+//! ```
+//!
+//! `sld` (the `sl-service` binary) speaks newline-delimited JSON over
+//! stdin or TCP, but the protocol engine underneath is an ordinary
+//! library type: feed [`Service::handle_line`] one request per line and
+//! it hands back the response line the daemon would have written. This
+//! example scripts a complete session — define properties (one from an
+//! LTL formula, one from HOA text), classify them, decompose one into
+//! its safety and liveness halves, ask inclusion queries twice to watch
+//! the result cache take over, step an incremental monitor across
+//! request boundaries, and read the daemon's own `stats` at the end.
+
+use safety_liveness::buchi::hoa::to_hoa;
+use safety_liveness::buchi::{random_buchi, RandomConfig};
+use safety_liveness::omega::Alphabet;
+use safety_liveness::service::{Service, ServiceConfig};
+use sl_support::FaultPlan;
+
+fn main() {
+    // A quiet daemon: no fault drill, defaults everywhere else. The
+    // real binary uses `Service::from_env()` so `SL_FAULT_RATE` /
+    // `SL_THREADS` apply; a scripted tour wants reproducibility.
+    let mut svc = Service::new(ServiceConfig {
+        fault: FaultPlan::disabled(),
+        ..ServiceConfig::default()
+    });
+
+    // A HOA payload for `define` — any ω-automaton tool's output works;
+    // here we export one of our own random machines.
+    let sigma = Alphabet::ab();
+    let machine = random_buchi(&sigma, 7, RandomConfig::default());
+    let hoa = to_hoa(&machine, "random-7")
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+
+    let script = [
+        // Define: LTL front-end and HOA ingest.
+        r#"{"id":1,"verb":"define","name":"gfa","ltl":"G F a","alphabet":["a","b"]}"#.to_string(),
+        r#"{"id":2,"verb":"define","name":"ga","ltl":"G a","alphabet":["a","b"]}"#.to_string(),
+        format!(r#"{{"id":3,"verb":"define","name":"rnd","hoa":"{hoa}"}}"#),
+        // The paper's trichotomy, per property.
+        r#"{"id":4,"verb":"classify","target":"ga"}"#.to_string(),
+        r#"{"id":5,"verb":"classify","target":"gfa"}"#.to_string(),
+        r#"{"id":6,"verb":"classify","target":"rnd"}"#.to_string(),
+        // Theorem 2: B = B_S ∩ B_L, materialized into the registry.
+        r#"{"id":7,"verb":"decompose","target":"rnd"}"#.to_string(),
+        r#"{"id":8,"verb":"classify","target":"rnd.safety"}"#.to_string(),
+        // Inclusion twice: the second answer is a cache hit.
+        r#"{"id":9,"verb":"include","left":"ga","right":"gfa"}"#.to_string(),
+        r#"{"id":10,"verb":"include","left":"ga","right":"gfa"}"#.to_string(),
+        // An incremental monitor session with a sticky verdict.
+        r#"{"id":11,"verb":"monitor-step","monitor":"m","target":"ga","symbols":["a","a"]}"#
+            .to_string(),
+        r#"{"id":12,"verb":"monitor-step","monitor":"m","symbols":["b"]}"#.to_string(),
+        // The daemon reports on itself.
+        r#"{"id":13,"verb":"stats"}"#.to_string(),
+    ];
+
+    for line in &script {
+        println!("> {line}");
+        println!("< {}", svc.handle_line(line).line);
+    }
+
+    let cache = svc.cache_stats();
+    println!(
+        "\nresult cache: {} hits / {} misses over {} entries",
+        cache.hits, cache.misses, cache.entries
+    );
+    assert!(cache.hits >= 1, "the repeated include must hit the cache");
+}

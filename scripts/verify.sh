@@ -66,6 +66,56 @@ print(f"BENCH_incl.json ok: incl speedup "
 PY
 rm -rf "$incl_tmp"
 
+echo "== service: golden transcript, fault drill, E12 smoke =="
+# The daemon must reproduce the golden transcript byte-for-byte at any
+# worker count: intake, cache probes, and commits are sequential; only
+# the batch fan-out is parallel, and its results are committed in item
+# order.
+svc_tmp="$(mktemp -d)"
+for t in 1 2 8; do
+  echo "-- sld golden transcript (SL_THREADS=$t)"
+  SL_THREADS=$t ./target/release/sld --stdin < scripts/service_session.jsonl \
+    > "$svc_tmp/session_t$t.out"
+  cmp "$svc_tmp/session_t$t.out" scripts/service_session.golden
+done
+# Under the seeded fault drill the daemon degrades per-request — typed
+# error responses, never a dead process: exit 0 and one response line
+# per request line.
+echo "-- sld fault drill (SL_FAULT_RATE=0.05, seeded)"
+SL_FAULT_RATE=0.05 SL_FAULT_SEED=2003 ./target/release/sld --stdin \
+  < scripts/service_session.jsonl > "$svc_tmp/session_drill.out"
+req_lines="$(grep -c . scripts/service_session.jsonl)"
+drill_lines="$(grep -c . "$svc_tmp/session_drill.out")"
+if [ "$req_lines" != "$drill_lines" ]; then
+  echo "sld fault drill dropped responses: $drill_lines/$req_lines" >&2
+  exit 1
+fi
+echo "sld drill: $drill_lines/$req_lines responses, exit 0"
+# E12 smoke: the binary fails itself if any scripted response errors,
+# the cache is not transparent, or cache hits lose to recomputation.
+echo "-- e12_service_throughput (smoke)"
+SL_BENCH_SAMPLES=5 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$svc_tmp" \
+  ./target/release/e12_service_throughput
+python3 - "$svc_tmp/BENCH_svc.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "svc", doc
+records = {r["name"]: r for r in doc["records"]}
+for name in ("svc/define/hoa", "svc/include/cold", "svc/include/warm",
+             "svc/batch/fanout"):
+    r = records[name]
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+cold = records["svc/include/cold"]["median_ns"]
+warm = records["svc/include/warm"]["median_ns"]
+assert warm < cold, f"cache hits ({warm}ns) must beat recomputation ({cold}ns)"
+queries = 28  # the e12 query script: 24 inclusion pairs + 4 universality probes
+print(f"BENCH_svc.json ok: cache-hit speedup {cold / warm:.1f}x, "
+      f"warm {queries / (warm / 1e9):,.0f} requests/sec, "
+      f"cold {queries / (cold / 1e9):,.0f} requests/sec")
+PY
+rm -rf "$svc_tmp"
+
 echo "== fault-injection smoke (SL_FAULT_RATE=0.05, seeded) =="
 # The same tier-1 suite and sweeps must pass *via degradation* while a
 # deterministic fault plan poisons the instrumented sites.

@@ -31,6 +31,10 @@
 //!   `ncl`/`fcl`.
 //! * [`rabin`] — Rabin tree automata with game-based membership,
 //!   emptiness, and the `rfcl` closure (Theorem 9).
+//! * [`service`] — the serving layer: `sld`, a long-running query
+//!   daemon speaking newline-delimited JSON (define/classify/
+//!   decompose/include/monitor-step/...), with batched fan-out,
+//!   memoized results, per-request budgets, and fault drills.
 //!
 //! ## Quick start: decompose an LTL property
 //!
@@ -58,4 +62,5 @@ pub use sl_lattice as lattice;
 pub use sl_ltl as ltl;
 pub use sl_omega as omega;
 pub use sl_rabin as rabin;
+pub use sl_service as service;
 pub use sl_trees as trees;
