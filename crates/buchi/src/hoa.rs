@@ -96,6 +96,25 @@ fn parse_ap_names(tail: &str, line_no: usize) -> Result<Vec<String>, SlError> {
     let count: usize = count_text
         .parse()
         .map_err(|_| bad(line_no, format!("AP count `{count_text}` is not a number")))?;
+    // The count comes from untrusted text; bound it before it sizes an
+    // allocation. `Alphabet` holds at most `u16::MAX` symbols, and each
+    // declared name occupies at least two bytes (`""`) of the tail, so
+    // a count beyond either bound cannot be satisfied anyway.
+    if count > usize::from(u16::MAX) {
+        return Err(bad(
+            line_no,
+            format!(
+                "AP count {count} exceeds the {} propositions an alphabet supports",
+                u16::MAX
+            ),
+        ));
+    }
+    if count > names_text.len() {
+        return Err(bad(
+            line_no,
+            format!("AP count {count} is larger than the header could possibly list"),
+        ));
+    }
     let mut names = Vec::with_capacity(count);
     let mut rest = names_text.trim();
     while !rest.is_empty() {
@@ -116,6 +135,12 @@ fn parse_ap_names(tail: &str, line_no: usize) -> Result<Vec<String>, SlError> {
     }
     if names.is_empty() {
         return Err(bad(line_no, "automaton needs at least one proposition"));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for name in &names {
+        if !seen.insert(name.as_str()) {
+            return Err(bad(line_no, format!("duplicate proposition name \"{name}\"")));
+        }
     }
     Ok(names)
 }
@@ -172,6 +197,7 @@ fn parse_one_hot(label: &str, ap_count: usize, line_no: usize) -> Result<usize, 
 /// out-of-range states or AP indices, labels that are not one-hot,
 /// edges before the first `State:` header, or a truncated body.
 pub fn from_hoa(text: &str) -> Result<Buchi, SlError> {
+    let total_lines = text.lines().count();
     let mut states: Option<usize> = None;
     let mut start: Option<usize> = None;
     let mut ap_names: Option<Vec<String>> = None;
@@ -211,6 +237,19 @@ pub fn from_hoa(text: &str) -> Result<Buchi, SlError> {
                     .map_err(|_| bad(line_no, format!("state count `{tail}` is not a number")))?;
                 if n == 0 {
                     return Err(bad(line_no, "automaton needs at least one state"));
+                }
+                // The count comes from untrusted text and later sizes
+                // allocations. In the accepted fragment every state has
+                // its own `State:` line, so a count beyond the input's
+                // line count cannot be honest — reject it before it can
+                // drive an absurd allocation.
+                if n > total_lines {
+                    return Err(bad(
+                        line_no,
+                        format!(
+                            "state count {n} exceeds the {total_lines} lines of input"
+                        ),
+                    ));
                 }
                 states = Some(n);
             }
@@ -415,7 +454,19 @@ mod tests {
     /// line — the diagnostics daemon clients see.
     #[test]
     fn malformed_text_is_rejected_with_line_diagnostics() {
-        let cases: [(&str, &str); 7] = [
+        let cases: [(&str, &str); 10] = [
+            (
+                "HOA: v1\nStates: 18446744073709551615\nStart: 0\nAP: 1 \"a\"\nAcceptance: 1 Inf(0)\n--BODY--\n--END--\n",
+                "state count",
+            ),
+            (
+                "HOA: v1\nStates: 1\nStart: 0\nAP: 4000000000 \"a\"\nAcceptance: 1 Inf(0)\n--BODY--\nState: 0\n--END--\n",
+                "AP count",
+            ),
+            (
+                "HOA: v1\nStates: 1\nStart: 0\nAP: 2 \"a\" \"a\"\nAcceptance: 1 Inf(0)\n--BODY--\nState: 0\n--END--\n",
+                "duplicate proposition",
+            ),
             ("", "`HOA: v1` preamble"),
             ("HOA: v2\n--BODY--\n--END--\n", "unsupported HOA version"),
             (

@@ -26,11 +26,14 @@
 //!
 //! # Fault tolerance
 //!
-//! Every compute runs inside a panic-isolation boundary: a panicking
-//! request (organic or injected via the `par.worker` drill site)
-//! degrades to a typed `panic` error response; the daemon, its
-//! registry, and its cache survive. The `sl.service.request` site
-//! makes request intake itself drillable under `SL_FAULT_RATE`.
+//! The whole of dispatch runs inside a panic-isolation boundary: a
+//! panicking request — organic, in any verb, or injected via the
+//! `par.worker` drill site — degrades to a typed `panic` error
+//! response; the daemon, its registry, and its cache survive. (Batch
+//! items additionally carry their own per-item boundary so one
+//! poisoned item cannot take down its siblings.) The
+//! `sl.service.request` site makes request intake itself drillable
+//! under `SL_FAULT_RATE`.
 
 use crate::cache::{QueryCache, QueryCacheStats, QueryKind};
 use crate::json::Json;
@@ -45,7 +48,7 @@ use sl_buchi::{
 use sl_omega::Alphabet;
 use sl_support::par::{try_par_map_with, ItemOutcome};
 use sl_support::{fault, par, FaultPlan, SlError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -200,12 +203,20 @@ impl Service {
                 quit: true,
             };
         }
-        match self.dispatch(&request) {
-            Ok(result) => Reply {
+        // Dispatch-level panic boundary: every verb — not just the
+        // query kernel — degrades to a typed `panic` error, keeping
+        // the protocol contract that every failure is a response.
+        let mut this = AssertUnwindSafe(&mut *self);
+        match catch_unwind(move || this.dispatch(&request)) {
+            Ok(Ok(result)) => Reply {
                 line: ok_value(id.as_ref(), result).render(),
                 quit: false,
             },
-            Err(error) => self.error_reply(id.as_ref(), &error),
+            Ok(Err(error)) => self.error_reply(id.as_ref(), &error),
+            Err(payload) => {
+                let error = ProtoError::new("panic", panic_message(payload.as_ref()));
+                self.error_reply(id.as_ref(), &error)
+            }
         }
     }
 
@@ -426,18 +437,17 @@ impl Service {
             }
         }
         let session = self.monitors.get_mut(session_name).expect("inserted above");
-        if request.body.get("reset").and_then(Json::as_bool) == Some(true) {
-            session.monitor.reset();
-        }
         let symbols = match request.body.get("symbols") {
             None => &[][..],
             Some(v) => v
                 .as_arr()
                 .ok_or_else(|| ProtoError::new("parse", "`symbols` must be an array of strings"))?,
         };
-        let budget = request.budget.map(BudgetSpec::to_budget);
-        let mut meter = budget.as_ref().map(|b| b.meter("service.monitor"));
-        let mut verdicts = Vec::with_capacity(symbols.len());
+        // Resolve every symbol and charge the whole batch before the
+        // monitor is touched: a malformed entry or an exhausted budget
+        // rejects the request with the session state unchanged, so a
+        // client retry cannot double-step a silently consumed prefix.
+        let mut syms = Vec::with_capacity(symbols.len());
         for symbol in symbols {
             let name = symbol
                 .as_str()
@@ -445,18 +455,25 @@ impl Service {
             // Out-of-alphabet names map to an out-of-range Symbol: the
             // monitor degrades to sticky Unknown, exactly as it does
             // for untrusted binary traces.
-            let sym = session
-                .alphabet
-                .symbol(name)
-                .unwrap_or(sl_omega::Symbol(u16::MAX));
-            let verdict = match &mut meter {
-                Some(meter) => session
-                    .monitor
-                    .step_checked(sym, meter)
-                    .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?,
-                None => session.monitor.step(sym),
-            };
-            verdicts.push(Json::Str(verdict_name(verdict).to_string()));
+            syms.push(
+                session
+                    .alphabet
+                    .symbol(name)
+                    .unwrap_or(sl_omega::Symbol(u16::MAX)),
+            );
+        }
+        if let Some(budget) = request.budget.map(BudgetSpec::to_budget) {
+            budget
+                .meter("service.monitor")
+                .charge(syms.len() as u64)
+                .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
+        }
+        if request.body.get("reset").and_then(Json::as_bool) == Some(true) {
+            session.monitor.reset();
+        }
+        let mut verdicts = Vec::with_capacity(syms.len());
+        for sym in syms {
+            verdicts.push(Json::Str(verdict_name(session.monitor.step(sym)).to_string()));
         }
         Ok(Json::obj(vec![
             ("monitor", Json::Str(session_name.to_string())),
@@ -782,14 +799,37 @@ fn alphabet_operand(body: &Json) -> Result<Vec<String>, ProtoError> {
     if items.is_empty() {
         return Err(ProtoError::new("invalid_input", "alphabet must be nonempty"));
     }
-    items
+    // `Alphabet::new` asserts these invariants; the request crosses a
+    // trust boundary, so they must be typed rejections here, not
+    // daemon-killing panics.
+    if items.len() > usize::from(u16::MAX) {
+        return Err(ProtoError::new(
+            "invalid_input",
+            format!(
+                "alphabet has {} entries; at most {} are supported",
+                items.len(),
+                u16::MAX
+            ),
+        ));
+    }
+    let names: Vec<String> = items
         .iter()
         .map(|v| {
             v.as_str()
                 .map(str::to_string)
                 .ok_or_else(|| ProtoError::new("parse", "alphabet entries must be strings"))
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    let mut seen = HashSet::new();
+    for name in &names {
+        if !seen.insert(name.as_str()) {
+            return Err(ProtoError::new(
+                "invalid_input",
+                format!("alphabet repeats `{name}`"),
+            ));
+        }
+    }
+    Ok(names)
 }
 
 fn class_name(class: Classification) -> &'static str {

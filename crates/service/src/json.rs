@@ -242,6 +242,14 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("malformed number `{text}` at byte {start}"))
 }
 
+fn read_hex4(bytes: &[u8], start: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let hex = std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape".to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
     *pos += 1;
@@ -265,17 +273,28 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| "truncated \\u escape".to_string())?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| "non-ascii \\u escape".to_string())?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                        // Surrogates and other invalid scalars degrade
-                        // to U+FFFD; the protocol never emits them.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = read_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        // A high surrogate followed by an escaped low
+                        // surrogate is one astral-plane scalar (JSON
+                        // strings are UTF-16 on the wire). Lone or
+                        // mismatched surrogates degrade to U+FFFD; the
+                        // protocol never emits them.
+                        let scalar = if (0xD800..0xDC00).contains(&code)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
+                        {
+                            match read_hex4(bytes, *pos + 3) {
+                                Ok(low) if (0xDC00..0xE000).contains(&low) => {
+                                    *pos += 6;
+                                    0x1_0000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                _ => code,
+                            }
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -408,6 +427,32 @@ mod tests {
         }
         let err = parse(&text).unwrap_err();
         assert!(err.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_one_scalar() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1f600}".to_string())
+        );
+        assert_eq!(
+            parse("\"\\uD83D\\uDE00\"").unwrap(),
+            Json::Str("\u{1f600}".to_string())
+        );
+        // Lone or mismatched surrogates degrade to U+FFFD without
+        // corrupting the surrounding text.
+        assert_eq!(
+            parse("\"a\\ud83db\"").unwrap(),
+            Json::Str("a\u{fffd}b".to_string())
+        );
+        assert_eq!(
+            parse("\"\\ude00\"").unwrap(),
+            Json::Str("\u{fffd}".to_string())
+        );
+        assert_eq!(
+            parse("\"\\ud83d\\ud83d\"").unwrap(),
+            Json::Str("\u{fffd}\u{fffd}".to_string())
+        );
     }
 
     #[test]

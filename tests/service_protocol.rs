@@ -206,6 +206,62 @@ fn exhausted_budgets_degrade_to_typed_errors_not_dead_daemons() {
     assert_eq!(kind, "budget_exceeded");
 }
 
+/// Payloads engineered to trip the engine's internal assertions — a
+/// duplicate LTL alphabet, a header-declared state count near
+/// `usize::MAX`, duplicate HOA propositions — must come back as typed
+/// `invalid_input` rejections with the daemon still serving, not as
+/// panics or allocation aborts.
+#[test]
+fn hostile_define_payloads_get_typed_rejections_not_panics() {
+    let mut service = quiet_service(1);
+    let script = concat!(
+        "{\"id\":1,\"verb\":\"define\",\"name\":\"dup\",\"ltl\":\"a\",\"alphabet\":[\"a\",\"a\"]}\n",
+        "{\"id\":2,\"verb\":\"define\",\"name\":\"huge\",\"hoa\":\"HOA: v1\\nStates: 18446744073709551615\\nStart: 0\\nAP: 1 \\\"a\\\"\\nAcceptance: 1 Inf(0)\\n--BODY--\\n--END--\\n\"}\n",
+        "{\"id\":3,\"verb\":\"define\",\"name\":\"dupap\",\"hoa\":\"HOA: v1\\nStates: 1\\nStart: 0\\nAP: 2 \\\"a\\\" \\\"a\\\"\\nAcceptance: 1 Inf(0)\\n--BODY--\\nState: 0\\n--END--\\n\"}\n",
+        "{\"id\":4,\"verb\":\"stats\"}\n",
+    );
+    let out = run_script(&mut service, script);
+    let responses = response_lines(&out);
+    assert_eq!(responses.len(), 4);
+    for response in &responses[..3] {
+        assert_eq!(
+            error_kind(response),
+            Some("invalid_input"),
+            "{}",
+            response.render()
+        );
+    }
+    assert!(is_ok(&responses[3]), "{}", responses[3].render());
+}
+
+/// A rejected `monitor-step` — exhausted budget or malformed symbol
+/// list — must leave the session exactly where it was: the whole batch
+/// is validated and charged before the first step, so a client retry
+/// can never double-step a silently consumed prefix.
+#[test]
+fn failed_monitor_steps_consume_no_prefix() {
+    let mut service = quiet_service(1);
+    let script = concat!(
+        "{\"id\":1,\"verb\":\"define\",\"name\":\"ga\",\"ltl\":\"G a\",\"alphabet\":[\"a\",\"b\"]}\n",
+        "{\"id\":2,\"verb\":\"monitor-step\",\"monitor\":\"m\",\"target\":\"ga\",\"symbols\":[\"b\",\"b\",\"b\"],\"budget\":{\"steps\":2}}\n",
+        "{\"id\":3,\"verb\":\"monitor-step\",\"monitor\":\"m\",\"symbols\":[\"b\",42]}\n",
+        "{\"id\":4,\"verb\":\"monitor-step\",\"monitor\":\"m\",\"symbols\":[\"a\"]}\n",
+    );
+    let out = run_script(&mut service, script);
+    let responses = response_lines(&out);
+    assert_eq!(responses.len(), 4);
+    assert_eq!(error_kind(&responses[1]), Some("budget_exceeded"));
+    assert_eq!(error_kind(&responses[2]), Some("parse"));
+    // Had either failed request stepped its prefix, the `b`s would have
+    // parked the G a monitor in sticky `violation`; an untouched
+    // session still answers `ok` on `a`.
+    let verdict = responses[3]
+        .get("result")
+        .and_then(|r| r.get("verdict"))
+        .and_then(Json::as_str);
+    assert_eq!(verdict, Some("ok"), "{}", responses[3].render());
+}
+
 #[test]
 fn seeded_fault_drill_degrades_exactly_the_predicted_requests() {
     let plan = FaultPlan::new(2003, 0.5);
