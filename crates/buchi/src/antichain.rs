@@ -56,6 +56,32 @@ use std::collections::VecDeque;
 /// [`crate::complement::DEFAULT_COMPLEMENT_BUDGET`].
 pub const DEFAULT_ANTICHAIN_BUDGET: usize = 1 << 17;
 
+/// Test-only engine sabotage, used by the conformance fuzzer to prove
+/// the differential oracles catch a real engine bug. Not part of the
+/// public API; never enabled outside dedicated drill tests.
+#[doc(hidden)]
+pub mod sabotage {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static BREAK_SUBSUMPTION: AtomicBool = AtomicBool::new(false);
+
+    /// When enabled, the antichain subsumption check compares only the
+    /// accepting bit and skips the word-graph domination test — so the
+    /// search wrongly discards unsubsumed elements and can report
+    /// "Holds" for non-inclusions. The rank engine is untouched, which
+    /// is exactly the disagreement `slfuzz --sabotage
+    /// antichain-subsumption` must detect and shrink.
+    pub fn set_break_subsumption(on: bool) {
+        BREAK_SUBSUMPTION.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the drill flag is currently set.
+    #[must_use]
+    pub fn subsumption_broken() -> bool {
+        BREAK_SUBSUMPTION.load(Ordering::Relaxed)
+    }
+}
+
 /// How many subsumption comparisons amortize one budget evaluation in
 /// the budgeted entry points (see `BudgetMeter::tick_every`).
 const SCAN_STRIDE: u64 = 64;
@@ -327,9 +353,10 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
      -> Result<Option<LassoWord>, SlError> {
         charge(Step::Attempt)?;
         let key = from * na + to;
+        let broken = sabotage::subsumption_broken();
         for kept in &chains[key] {
             charge(Step::Scan)?;
-            if kept.acc >= cand.acc && kept.g.le(&cand.g) {
+            if kept.acc >= cand.acc && (broken || kept.g.le(&cand.g)) {
                 return Ok(None); // subsumed: a better element is kept
             }
         }

@@ -99,7 +99,10 @@ const COMPLEMENT_CACHE_CAP: usize = 256;
 pub struct ComplementCacheStats {
     /// Lookups answered from the cache.
     pub hits: usize,
-    /// Lookups that had to run the rank-based construction.
+    /// Lookups whose hash had no occupant at all, so the rank-based
+    /// construction ran and the result was stored. Disjoint from
+    /// `collisions`: every lookup is exactly one of hit, miss, or
+    /// collision.
     pub misses: usize,
     /// Complements currently stored.
     pub entries: usize,
@@ -178,9 +181,10 @@ impl ComplementCache {
                 return entry.result.clone();
             }
             // Hash collision with a distinct automaton: keep the first
-            // occupant (deterministic) and recompute uncached.
+            // occupant (deterministic) and recompute uncached. Counted
+            // as a collision only — not also a miss — so the two
+            // fallback paths stay distinguishable in `engine_stats()`.
             self.collisions += 1;
-            self.misses += 1;
             return complement(b);
         }
         self.misses += 1;
@@ -759,12 +763,51 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.collisions, 1);
         assert_eq!(stats.hits, 0);
-        assert_eq!(stats.misses, 1);
+        assert_eq!(
+            stats.misses, 0,
+            "a collision fallback is not double-counted as a miss"
+        );
         assert_eq!(stats.entries, 1, "the first occupant is kept");
         // A repeat query collides again — deterministically uncached.
         let again = cache.complement(&queried).unwrap();
         assert_eq!(again, reference);
         assert_eq!(cache.stats().collisions, 2);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn collision_and_miss_counters_are_disjoint() {
+        // Regression for the stats bug where a hash-collision fallback
+        // also bumped `misses`, making the two paths indistinguishable
+        // in `engine_stats()`. Drive one genuine miss, one hit, and one
+        // planted collision; each lookup lands in exactly one counter.
+        let s = sigma();
+        let first = inf_a(&s);
+        let second = only_a(&s);
+        assert_ne!(first, second);
+        let mut cache = ComplementCache::new();
+        cache.complement(&first).unwrap(); // miss: empty slot, computed + stored
+        cache.complement(&first).unwrap(); // hit: same automaton
+        cache.map.insert(
+            second.structural_hash(),
+            CacheEntry {
+                automaton: first.clone(),
+                result: complement(&first),
+            },
+        );
+        cache.complement(&second).unwrap(); // collision: occupant differs
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1);
+        // A process-wide fault drill may invalidate the stored entry and
+        // turn the hit into a recorded miss; either way each of the
+        // first two lookups is exactly one of hit/miss, and the
+        // collision is counted in neither.
+        assert_eq!(
+            stats.hits + stats.misses,
+            2,
+            "collision must not leak into hits or misses: {stats:?}"
+        );
+        assert_eq!(stats.misses, 1 + stats.invalidations);
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Case shrinking: a [`sl_support::prop::Strategy`] per oracle, so the
+//! greedy [`sl_support::prop::minimize`] loop drives minimization.
+//!
+//! Automata shrink by dropping states (non-initial), dropping
+//! transitions, and clearing accepting bits; lattices shrink by
+//! dropping or simplifying recipe factors and thinning fixpoint bases;
+//! HOA documents shrink line-wise; traces and sessions shrink by
+//! dropping entries. Candidates are ordered biggest-reduction-first so
+//! the greedy loop converges in few evaluations.
+
+use crate::case::{Case, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::gen;
+use sl_buchi::{hoa, BuchiBuilder};
+use sl_support::prop::Strategy;
+use sl_support::SplitMix;
+
+/// The per-oracle strategy handed to the runner: `generate` draws from
+/// [`gen::gen_case`], `shrink` proposes structurally smaller cases.
+pub struct CaseStrategy {
+    /// Which oracle's cases this strategy produces.
+    pub oracle: &'static str,
+}
+
+impl Strategy for CaseStrategy {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut SplitMix) -> Case {
+        gen::gen_case(self.oracle, rng)
+    }
+
+    fn shrink(&self, value: &Case) -> Vec<Case> {
+        shrink_case(value)
+    }
+}
+
+/// All shrink candidates for a case, biggest reductions first.
+#[must_use]
+pub fn shrink_case(case: &Case) -> Vec<Case> {
+    match case {
+        Case::Incl(c) => shrink_incl(c),
+        Case::Lattice(c) => shrink_lattice(c),
+        Case::Hoa(c) => shrink_hoa(c),
+        Case::Monitor(c) => shrink_monitor(c),
+        Case::Session(c) => shrink_session(c),
+    }
+}
+
+/// Smaller variants of an automaton, via its parsed form. Returns
+/// nothing when the HOA text does not parse (corrupt case).
+fn shrink_buchi(text: &str) -> Vec<String> {
+    let Ok(b) = hoa::from_hoa(text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // Drop a non-initial state (and every transition touching it).
+    for q in 0..b.num_states() {
+        if q == b.initial() {
+            continue;
+        }
+        let keep: Vec<bool> = (0..b.num_states()).map(|s| s != q).collect();
+        out.push(b.restrict(&keep));
+    }
+    // Drop one transition.
+    for q in 0..b.num_states() {
+        for sym in b.alphabet().symbols() {
+            for (i, _) in b.successors(q, sym).iter().enumerate() {
+                let mut builder = BuchiBuilder::new(b.alphabet().clone());
+                for s in 0..b.num_states() {
+                    builder.add_state(b.is_accepting(s));
+                }
+                for s in 0..b.num_states() {
+                    for sym2 in b.alphabet().symbols() {
+                        for (j, &succ) in b.successors(s, sym2).iter().enumerate() {
+                            if s == q && sym2 == sym && j == i {
+                                continue;
+                            }
+                            builder.add_transition(s, sym2, succ);
+                        }
+                    }
+                }
+                out.push(builder.build(b.initial()));
+            }
+        }
+    }
+    // Clear one accepting bit.
+    for q in 0..b.num_states() {
+        if !b.is_accepting(q) {
+            continue;
+        }
+        let mut builder = BuchiBuilder::new(b.alphabet().clone());
+        for s in 0..b.num_states() {
+            builder.add_state(s != q && b.is_accepting(s));
+        }
+        for s in 0..b.num_states() {
+            for sym in b.alphabet().symbols() {
+                for &succ in b.successors(s, sym) {
+                    builder.add_transition(s, sym, succ);
+                }
+            }
+        }
+        out.push(builder.build(b.initial()));
+    }
+    out.into_iter().map(|b| hoa::to_hoa(&b, "shrunk")).collect()
+}
+
+fn shrink_incl(c: &InclCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    for left in shrink_buchi(&c.left) {
+        out.push(Case::Incl(InclCase {
+            left,
+            right: c.right.clone(),
+            budget: c.budget,
+        }));
+    }
+    for right in shrink_buchi(&c.right) {
+        out.push(Case::Incl(InclCase {
+            left: c.left.clone(),
+            right,
+            budget: c.budget,
+        }));
+    }
+    if c.budget.is_some() {
+        out.push(Case::Incl(InclCase {
+            left: c.left.clone(),
+            right: c.right.clone(),
+            budget: None,
+        }));
+    }
+    out
+}
+
+fn shrink_lattice(c: &LatticeCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    // Drop a factor (keeping at least one).
+    if c.factors.len() > 1 {
+        for i in 0..c.factors.len() {
+            let mut factors = c.factors.clone();
+            factors.remove(i);
+            out.push(Case::Lattice(LatticeCase {
+                factors,
+                fix2: c.fix2.clone(),
+                extra1: c.extra1.clone(),
+            }));
+        }
+    }
+    // Simplify a factor (M3 → B2 → B1; B3 → B2 → B1).
+    for (i, factor) in c.factors.iter().enumerate() {
+        let smaller = match factor {
+            Factor::M3 | Factor::Boolean(3) => Some(Factor::Boolean(2)),
+            Factor::Boolean(2) => Some(Factor::Boolean(1)),
+            Factor::Boolean(_) => None,
+        };
+        if let Some(smaller) = smaller {
+            let mut factors = c.factors.clone();
+            factors[i] = smaller;
+            out.push(Case::Lattice(LatticeCase {
+                factors,
+                fix2: c.fix2.clone(),
+                extra1: c.extra1.clone(),
+            }));
+        }
+    }
+    // Thin the fixpoint bases.
+    for i in 0..c.fix2.len() {
+        let mut fix2 = c.fix2.clone();
+        fix2.remove(i);
+        out.push(Case::Lattice(LatticeCase {
+            factors: c.factors.clone(),
+            fix2,
+            extra1: c.extra1.clone(),
+        }));
+    }
+    for i in 0..c.extra1.len() {
+        let mut extra1 = c.extra1.clone();
+        extra1.remove(i);
+        out.push(Case::Lattice(LatticeCase {
+            factors: c.factors.clone(),
+            fix2: c.fix2.clone(),
+            extra1,
+        }));
+    }
+    out
+}
+
+fn shrink_hoa(c: &HoaCase) -> Vec<Case> {
+    let lines: Vec<&str> = c.text.lines().collect();
+    let mut out = Vec::new();
+    // Keep only the first half (big reductions first).
+    if lines.len() > 1 {
+        out.push(Case::Hoa(HoaCase {
+            text: lines[..lines.len() / 2].join("\n"),
+        }));
+    }
+    // Drop one line at a time.
+    for i in 0..lines.len() {
+        let mut rest = lines.clone();
+        rest.remove(i);
+        out.push(Case::Hoa(HoaCase {
+            text: rest.join("\n"),
+        }));
+    }
+    out
+}
+
+fn shrink_monitor(c: &MonitorCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    for policy in shrink_buchi(&c.policy) {
+        out.push(Case::Monitor(MonitorCase {
+            policy,
+            trace: c.trace.clone(),
+            budget: c.budget,
+        }));
+    }
+    for i in 0..c.trace.len() {
+        let mut trace = c.trace.clone();
+        trace.remove(i);
+        out.push(Case::Monitor(MonitorCase {
+            policy: c.policy.clone(),
+            trace,
+            budget: c.budget,
+        }));
+    }
+    if c.budget.is_some() {
+        out.push(Case::Monitor(MonitorCase {
+            policy: c.policy.clone(),
+            trace: c.trace.clone(),
+            budget: None,
+        }));
+    }
+    out
+}
+
+fn shrink_session(c: &SessionCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    // Drop the tail half first, then single lines.
+    if c.lines.len() > 1 {
+        out.push(Case::Session(SessionCase {
+            lines: c.lines[..c.lines.len() / 2].to_vec(),
+        }));
+    }
+    for i in 0..c.lines.len() {
+        let mut lines = c.lines.clone();
+        lines.remove(i);
+        if lines.is_empty() {
+            continue;
+        }
+        out.push(Case::Session(SessionCase { lines }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_support::prop::case_rng;
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_or_equal() {
+        for oracle in crate::oracles::ORACLES {
+            for case in 0..6u32 {
+                let c = gen::gen_case(oracle, &mut case_rng(31, oracle, case));
+                for candidate in shrink_case(&c) {
+                    assert!(
+                        candidate.weight() <= c.weight() && candidate != c,
+                        "candidate not smaller for {oracle}: {} -> {}",
+                        c.weight(),
+                        candidate.weight()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buchi_shrinking_reaches_one_state() {
+        let sigma = sl_omega::Alphabet::ab();
+        let b = sl_buchi::random_buchi(
+            &sigma,
+            9,
+            sl_buchi::RandomConfig {
+                states: 4,
+                density_percent: 90,
+                accepting_percent: 50,
+            },
+        );
+        let mut current = hoa::to_hoa(&b, "t");
+        // Greedily take the first candidate until none are left: must
+        // bottom out at a single state with no transitions.
+        loop {
+            let candidates = shrink_buchi(&current);
+            match candidates.into_iter().next() {
+                Some(next) => current = next,
+                None => break,
+            }
+        }
+        let minimal = hoa::from_hoa(&current).unwrap();
+        assert_eq!(minimal.num_states(), 1);
+    }
+}

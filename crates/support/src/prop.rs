@@ -402,14 +402,34 @@ fn fnv1a(text: &str) -> u64 {
     hash
 }
 
+/// The derived seed for one (base seed, property name, case index)
+/// triple. [`case_rng`] is `SplitMix::new` of this value; failure
+/// reports print it so a single case replays in isolation.
+#[must_use]
+pub fn case_seed(seed: u64, name: &str, case: u32) -> u64 {
+    seed ^ fnv1a(name) ^ u64::from(case).wrapping_mul(GOLDEN_GAMMA)
+}
+
 /// The per-case generator stream: deterministic in (base seed, property
 /// name, case index), so one failing case replays without re-running
 /// the cases before it.
 #[must_use]
 pub fn case_rng(seed: u64, name: &str, case: u32) -> SplitMix {
-    SplitMix::new(
-        seed ^ fnv1a(name) ^ u64::from(case).wrapping_mul(GOLDEN_GAMMA),
-    )
+    SplitMix::new(case_seed(seed, name, case))
+}
+
+/// Everything a failure report needs to point at the exact failing
+/// case: passed to the repro-command formatter of [`check_with_repro`].
+#[derive(Debug, Clone, Copy)]
+pub struct Repro<'a> {
+    /// The property name given to the runner.
+    pub name: &'a str,
+    /// The base seed (`SL_PROP_SEED`).
+    pub seed: u64,
+    /// The index of the failing case.
+    pub case: u32,
+    /// The derived per-case seed ([`case_seed`]).
+    pub case_seed: u64,
 }
 
 /// Upper bound on shrink-candidate evaluations per failure, so a cyclic
@@ -435,27 +455,66 @@ pub fn check<S: Strategy>(
 ) where
     S::Value: Debug + Clone,
 {
+    check_with_repro(name, strategy, property, |repro| {
+        format!(
+            "SL_PROP_SEED={} SL_PROP_CASES={} cargo test -q  # property `{}`",
+            repro.seed,
+            repro.case + 1,
+            repro.name,
+        )
+    });
+}
+
+/// Like [`check`], but a failure report ends with a caller-supplied
+/// one-line reproduction command built from the failing [`Repro`]
+/// coordinates (e.g. `slfuzz --seed N --oracle X --case C` for the
+/// conformance fuzzer).
+pub fn check_with_repro<S: Strategy>(
+    name: &str,
+    strategy: &S,
+    property: impl Fn(&S::Value) -> Result<(), String>,
+    repro_command: impl Fn(Repro<'_>) -> String,
+) where
+    S::Value: Debug + Clone,
+{
     let config = Config::from_env();
     for case in 0..config.cases {
         let mut rng = case_rng(config.seed, name, case);
         let value = strategy.generate(&mut rng);
         if let Err(message) = property(&value) {
             let (shrunk, shrunk_message, steps) =
-                shrink_failure(strategy, &property, &value, &message);
+                minimize(strategy, &property, &value, &message);
+            let repro = repro_command(Repro {
+                name,
+                seed: config.seed,
+                case,
+                case_seed: case_seed(config.seed, name, case),
+            });
             panic!(
                 "property `{name}` falsified (case {case}/{cases}, SL_PROP_SEED={seed}):\n  \
+                 case seed: {case_seed:#018x}\n  \
+                 repro: {repro}\n  \
                  original: {value:?}\n  \
                  original failure: {message}\n  \
                  shrunk ({steps} steps): {shrunk:?}\n  \
                  shrunk failure: {shrunk_message}",
                 cases = config.cases,
                 seed = config.seed,
+                case_seed = case_seed(config.seed, name, case),
             );
         }
     }
 }
 
-fn shrink_failure<S: Strategy>(
+/// Greedily shrinks a failing value: every round tries the strategy's
+/// candidates in order and restarts from the first one that still
+/// fails, until no candidate fails (a local minimum) or the
+/// [`MAX_SHRINK_EVALS`] budget runs out. Returns the minimized value,
+/// its failure message, and the number of successful shrink steps.
+///
+/// Public so external harnesses (the `slfuzz` conformance fuzzer) can
+/// reuse the shrink loop with their own case strategies.
+pub fn minimize<S: Strategy>(
     strategy: &S,
     property: &impl Fn(&S::Value) -> Result<(), String>,
     original: &S::Value,
@@ -575,7 +634,7 @@ mod tests {
                 Ok(())
             }
         };
-        let (shrunk, _, _) = shrink_failure(&strategy, &prop, &original, "seed");
+        let (shrunk, _, _) = minimize(&strategy, &prop, &original, "seed");
         assert_eq!(shrunk, 40);
     }
 
@@ -591,7 +650,7 @@ mod tests {
                 Ok(())
             }
         };
-        let (shrunk, _, _) = shrink_failure(&strategy, &prop, &original, "seed");
+        let (shrunk, _, _) = minimize(&strategy, &prop, &original, "seed");
         assert_eq!(shrunk, vec![9]);
     }
 
@@ -643,7 +702,7 @@ mod tests {
                 Ok(())
             }
         };
-        let (shrunk, _, steps) = shrink_failure(&strategy, &prop, &original, "seed");
+        let (shrunk, _, steps) = minimize(&strategy, &prop, &original, "seed");
         assert_eq!(shrunk, 80);
         assert!(steps > 0 || original == 80);
     }
@@ -683,7 +742,7 @@ mod tests {
         let original = std::iter::repeat_with(|| strategy.generate(&mut rng))
             .find(|e| has_neg(e) && !literals_all_zero(e))
             .unwrap();
-        let (shrunk, _, _) = shrink_failure(&strategy, &prop, &original, "seed");
+        let (shrunk, _, _) = minimize(&strategy, &prop, &original, "seed");
         assert!(has_neg(&shrunk), "shrunk value must still fail: {shrunk:?}");
         assert!(
             literals_all_zero(&shrunk),

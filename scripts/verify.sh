@@ -116,6 +116,69 @@ print(f"BENCH_svc.json ok: cache-hit speedup {cold / warm:.1f}x, "
 PY
 rm -rf "$svc_tmp"
 
+echo "== conformance: corpus replay + differential fuzz + sabotage drill =="
+# The conformance fuzzer cross-checks every engine against the paper's
+# theorems: corpus replay first (regressions stay fixed forever), then a
+# fixed-seed fuzz run of >=1000 cases per oracle under a wall-clock
+# budget, gated on the JSON stats artifact.
+conf_tmp="$(mktemp -d)"
+echo "-- corpus replay (scripts/conform_corpus.jsonl)"
+./target/release/slfuzz --corpus scripts/conform_corpus.jsonl --corpus-only
+echo "-- fixed-seed fuzz (seed 2003, 1000 cases/oracle)"
+./target/release/slfuzz --seed 2003 --cases 1000 --max-seconds 300 \
+  --corpus scripts/conform_corpus.jsonl \
+  --stable --stats-dir "$conf_tmp"
+python3 - "$conf_tmp/BENCH_conform.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "conform" and doc["seed"] == 2003, doc
+assert not doc["truncated"], "fuzz run blew its 300s wall-clock budget"
+for o in doc["oracles"]:
+    run = o["cases"]
+    assert run >= 1000, f"{o['name']}: only {run} cases"
+    assert o["passed"] + o["accepted_budget"] == run, o
+    assert o["failures"] == 0, f"{o['name']}: {o['failures']} failures"
+    # Budget-exhaustion acceptances must stay a sliver, not a loophole.
+    acc = o["accepted_budget"]
+    assert acc <= run // 10, f"{o['name']}: {acc} accepted"
+assert doc["findings"] == [], doc["findings"]
+names = sorted(o["name"] for o in doc["oracles"])
+assert names == ["hoa", "incl", "lattice", "monitor", "session"], names
+print(f"BENCH_conform.json ok: {sum(o['cases'] for o in doc['oracles'])} "
+      f"cases across {len(names)} oracles, 0 findings")
+PY
+# The --stable artifact must be byte-identical run-to-run and at any
+# thread count (the session oracle pins its own SL_THREADS internally).
+echo "-- determinism (seed 2003 at SL_THREADS=1,8)"
+for t in 1 8; do
+  SL_THREADS=$t ./target/release/slfuzz --seed 2003 --cases 200 \
+    --stable --stats "$conf_tmp/det_t$t.json" > /dev/null
+done
+cmp "$conf_tmp/det_t1.json" "$conf_tmp/det_t8.json"
+echo "conform artifact byte-identical at SL_THREADS=1,8"
+# Sabotage drill: with antichain subsumption deliberately broken the
+# fuzzer must catch the bug (exit 1) and shrink it to <=8 states.
+echo "-- sabotage drill (antichain-subsumption)"
+if ./target/release/slfuzz --seed 2003 --cases 200 --oracle incl \
+     --sabotage antichain-subsumption --stable \
+     --stats "$conf_tmp/sabotage.json" > /dev/null 2>&1; then
+  echo "sabotage drill NOT caught: slfuzz exited 0 with a broken engine" >&2
+  exit 1
+fi
+python3 - "$conf_tmp/sabotage.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+findings = doc["findings"]
+assert findings, "sabotage run produced no findings"
+smallest = min(f["weight"] for f in findings)
+assert smallest <= 8, f"smallest shrunk reproducer weight {smallest} > 8"
+print(f"sabotage drill ok: {len(findings)} findings, "
+      f"smallest shrunk reproducer weight {smallest}")
+PY
+rm -rf "$conf_tmp"
+
 echo "== fault-injection smoke (SL_FAULT_RATE=0.05, seeded) =="
 # The same tier-1 suite and sweeps must pass *via degradation* while a
 # deterministic fault plan poisons the instrumented sites.

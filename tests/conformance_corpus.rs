@@ -1,0 +1,38 @@
+//! Replays the checked-in conformance regression corpus under plain
+//! `cargo test -q`, so every shrunk reproducer ever appended by
+//! `slfuzz --append-corpus` stays fixed forever — even for contributors
+//! who never run `scripts/verify.sh`.
+
+use std::path::Path;
+
+#[test]
+fn conformance_corpus_replays_clean() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/conform_corpus.jsonl");
+    let report = sl_conform::corpus::replay(&path)
+        .unwrap_or_else(|e| panic!("corpus at {} unreadable: {e}", path.display()));
+    assert!(
+        report.replayed > 0,
+        "corpus at {} is empty — it ships seeded",
+        path.display()
+    );
+    assert!(
+        report.failures.is_empty(),
+        "{} corpus regressions:\n{}",
+        report.failures.len(),
+        report.failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_lines_are_canonical_json() {
+    // Every non-comment line must survive a decode/encode round trip,
+    // so `corpus::append`'s byte-level dedup actually dedups.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/conform_corpus.jsonl");
+    let entries = sl_conform::corpus::load(&path).expect("corpus loads");
+    for (lineno, parsed) in entries {
+        let case = parsed.unwrap_or_else(|e| panic!("corpus line {lineno} unparsable: {e}"));
+        let line = case.to_line();
+        let reparsed = sl_conform::Case::from_line(&line).expect("round trip parses");
+        assert_eq!(reparsed.to_line(), line, "non-canonical corpus line");
+    }
+}

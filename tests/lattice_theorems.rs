@@ -7,8 +7,10 @@ use safety_liveness::lattice::{
     all_decompositions, classify, decompose, decompose_pair_checked, enumerate_closures, figure1,
     figure2, generators, lemma4_holds, no_decomposition_exists, theorem5_applies,
     theorem6_strongest_safety, theorem7_weakest_liveness, verify_decomposition, Classification,
-    Closure,
+    Closure, LatticeError,
 };
+use sl_conform::{Factor, LatticeCase};
+use sl_support::prop::case_rng;
 
 #[test]
 fn theorem2_exhaustive_on_corpus() {
@@ -191,4 +193,95 @@ fn partition_lattice_is_complemented_but_not_modular() {
     // Non-modularity must bite at least once across the sweep (the
     // identity closure never fails, so the assertion is meaningful).
     assert!(failures > 0, "expected some decomposition failures");
+}
+
+/// Theorems 5, 6, and 7 over randomly generated modular complemented
+/// lattices (products of Boolean and M3 factors drawn by the
+/// sl-conform recipe generator), with random closure pairs cl1 <= cl2.
+/// Complements Theorem 5's exhaustive corpus sweep above with lattices
+/// and closures the corpus does not contain.
+#[test]
+fn theorems_5_6_7_on_random_modular_lattices() {
+    let mut saw_nondistributive = 0;
+    let mut saw_theorem5 = 0;
+    for case in 0..48u32 {
+        let mut rng = case_rng(0x5157, "lattice_theorems.random_modular", case);
+        let recipe = sl_conform::gen::gen_lattice(&mut rng);
+        let (lattice, cl1, cl2) = recipe.build();
+        assert!(lattice.is_modular() && lattice.is_complemented());
+        assert!(cl1.pointwise_leq(&lattice, &cl2));
+        let distributive = lattice.is_distributive();
+        if !distributive {
+            saw_nondistributive += 1;
+        }
+        for a in 0..lattice.len() {
+            if theorem5_applies(&lattice, &cl1, &cl2, a) {
+                saw_theorem5 += 1;
+                assert!(
+                    no_decomposition_exists(&lattice, &cl2, &cl1, a),
+                    "Theorem 5 violated: case {case}, element {a}"
+                );
+            }
+            let strongest = theorem6_strongest_safety(&lattice, &cl1, &cl2, a)
+                .unwrap_or_else(|e| panic!("Theorem 6 failed: case {case}, element {a}: {e:?}"));
+            assert_eq!(strongest, cl1.apply(a), "case {case}, element {a}");
+            match theorem7_weakest_liveness(&lattice, &cl1, &cl2, a) {
+                Ok(weakest) => {
+                    assert!(distributive, "Theorem 7 accepted M3 factor: case {case}");
+                    assert_eq!(
+                        lattice.meet(strongest, weakest),
+                        a,
+                        "Theorem 7 parts do not recompose: case {case}, element {a}"
+                    );
+                }
+                Err(LatticeError::HypothesisViolated("distributivity")) => {
+                    assert!(!distributive, "spurious refusal: case {case}, element {a}");
+                }
+                Err(e) => panic!("Theorem 7 failed: case {case}, element {a}: {e:?}"),
+            }
+        }
+    }
+    // The sweep must actually exercise both negative-control branches.
+    assert!(saw_nondistributive > 0, "no M3-factor lattice drawn");
+    assert!(saw_theorem5 > 0, "Theorem 5 hypotheses never held");
+}
+
+/// Negative controls for the randomized sweep: the pentagon N5 (not
+/// modular) and the explicit recipe `[M3]` (modular, not distributive)
+/// sit exactly on the two hypothesis boundaries, mirroring the paper's
+/// Figure 1 and Figure 2 counterexamples.
+#[test]
+fn n5_and_m3_negative_controls() {
+    // N5: complemented but not modular, so it is outside the recipe
+    // space, and Theorem 2's construction must fail somewhere.
+    let n5 = generators::n5();
+    assert!(n5.is_complemented() && !n5.is_modular());
+    let mut failures = 0;
+    for cl in enumerate_closures(&n5) {
+        for a in 0..n5.len() {
+            if decompose(&n5, &cl, a).is_err() {
+                failures += 1;
+            }
+        }
+    }
+    assert!(failures > 0, "N5 should defeat some decomposition");
+
+    // M3 via the recipe: modular and complemented, so Theorems 2/3/5/6
+    // all go through, but Theorem 7 issues its typed distributivity
+    // refusal for every element.
+    let recipe = LatticeCase {
+        factors: vec![Factor::M3],
+        fix2: vec![4],
+        extra1: vec![1],
+    };
+    let (m3, cl1, cl2) = recipe.build();
+    assert!(m3.is_modular() && m3.is_complemented() && !m3.is_distributive());
+    for a in 0..m3.len() {
+        let d = decompose_pair_checked(&m3, &cl1, &cl2, a).unwrap();
+        assert!(verify_decomposition(&m3, &cl1, &cl2, &a, &d));
+        assert!(matches!(
+            theorem7_weakest_liveness(&m3, &cl1, &cl2, a),
+            Err(LatticeError::HypothesisViolated("distributivity"))
+        ));
+    }
 }
