@@ -35,14 +35,16 @@ pub fn live_states(b: &Buchi) -> Vec<bool> {
             b.is_accepting(q) && (size[scc.component[q]] > 1 || b.all_successors(q).contains(&q))
         })
         .collect();
-    // Predecessor function (dense scan over the precomputed successor
-    // bitsets — one bit probe per candidate instead of a slice search).
-    let pred = |v: usize| -> Vec<usize> {
-        (0..b.num_states())
-            .filter(|&p| b.successor_bitset(p).contains(v))
-            .collect()
-    };
-    backward_reachable(b.num_states(), pred, &cores)
+    // Reverse adjacency in one pass over the successor lists: the old
+    // dense bit-probe scan paid O(n) per queried vertex, turning every
+    // `Monitor::new`/`classify` into an O(n²) walk.
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); b.num_states()];
+    for p in 0..b.num_states() {
+        for &q in b.all_successors(p) {
+            pred[q].push(p);
+        }
+    }
+    backward_reachable(&pred, &cores)
 }
 
 /// The closure automaton: restrict to live states, then make every state

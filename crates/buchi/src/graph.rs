@@ -115,13 +115,11 @@ pub(crate) fn on_cycle(graph: &Graph<'_>, scc: &SccResult, v: usize) -> bool {
 }
 
 /// Backward reachability: all nodes that can reach some node in `targets`
-/// (including the targets themselves). `pred` gives predecessors.
-pub(crate) fn backward_reachable(
-    n: usize,
-    pred: impl Fn(usize) -> Vec<usize>,
-    targets: &[usize],
-) -> Vec<bool> {
-    let mut seen = vec![false; n];
+/// (including the targets themselves). `pred[v]` lists the predecessors
+/// of `v` — callers build the reverse adjacency once (a single pass over
+/// the successor lists), so the walk is O(V + E).
+pub(crate) fn backward_reachable(pred: &[Vec<usize>], targets: &[usize]) -> Vec<bool> {
+    let mut seen = vec![false; pred.len()];
     let mut stack: Vec<usize> = Vec::new();
     for &t in targets {
         if !seen[t] {
@@ -130,7 +128,7 @@ pub(crate) fn backward_reachable(
         }
     }
     while let Some(v) = stack.pop() {
-        for p in pred(v) {
+        for &p in &pred[v] {
             if !seen[p] {
                 seen[p] = true;
                 stack.push(p);
@@ -202,17 +200,12 @@ mod tests {
 
     #[test]
     fn backward_reachability() {
-        let g = graph_from_edges(4, &[(0, 1), (1, 2), (3, 3)]);
-        // Predecessor function derived from the same edges.
-        let pred = |v: usize| -> Vec<usize> {
-            [(0usize, 1usize), (1, 2), (3, 3)]
-                .iter()
-                .filter(|&&(_, t)| t == v)
-                .map(|&(s, _)| s)
-                .collect()
-        };
-        let _ = g;
-        let seen = backward_reachable(4, pred, &[2]);
+        // Reverse adjacency of 0 -> 1 -> 2, 3 -> 3.
+        let mut pred = vec![Vec::new(); 4];
+        for (s, t) in [(0usize, 1usize), (1, 2), (3, 3)] {
+            pred[t].push(s);
+        }
+        let seen = backward_reachable(&pred, &[2]);
         assert_eq!(seen, vec![true, true, true, false]);
     }
 

@@ -47,6 +47,7 @@ pub mod antichain;
 pub mod automaton;
 pub mod classify;
 pub mod closure;
+pub mod compiled;
 pub mod complement;
 pub mod decompose;
 pub mod empty;
@@ -66,6 +67,7 @@ pub use antichain::{
 pub use automaton::{Buchi, BuchiBuilder, StateId};
 pub use classify::{classify, is_liveness, is_safety, Classification};
 pub use closure::{closure, is_closure_shaped, live_states};
+pub use compiled::{CompileError, CompiledMonitor, MonitorFleet};
 pub use complement::{
     complement, complement_budgeted, complement_safety, ComplementBudgetExceeded,
 };

@@ -46,13 +46,13 @@ pub enum Verdict {
 #[derive(Debug, Clone)]
 pub struct Monitor {
     /// `table[state][symbol]` = successor; `usize::MAX` = dead.
-    table: Vec<Vec<usize>>,
-    initial: usize,
+    pub(crate) table: Vec<Vec<usize>>,
+    pub(crate) initial: usize,
     /// Current state while running (`usize::MAX` once dead).
     current: usize,
 }
 
-const DEAD: usize = usize::MAX;
+pub(crate) const DEAD: usize = usize::MAX;
 /// Sentinel for "saw a symbol outside the alphabet": distinct from
 /// [`DEAD`] so `Unknown` and `Violation` stay distinguishable.
 const UNKNOWN: usize = usize::MAX - 1;
@@ -152,6 +152,25 @@ impl Monitor {
         }
     }
 
+    /// The verdict [`Monitor::step`] *would* return for `sym`, without
+    /// moving the monitor: a single table lookup, no allocation and no
+    /// state change, so enforcement can probe an action before
+    /// committing to it.
+    #[must_use]
+    pub fn peek(&self, sym: Symbol) -> Verdict {
+        if self.current == DEAD {
+            return Verdict::Violation;
+        }
+        if self.current == UNKNOWN {
+            return Verdict::Unknown;
+        }
+        match self.table[self.current].get(sym.index()) {
+            Some(&DEAD) => Verdict::Violation,
+            Some(_) => Verdict::Ok,
+            None => Verdict::Unknown,
+        }
+    }
+
     /// [`Monitor::step`] under a budget meter: charges one step first,
     /// so a hostile (or merely enormous) trace cannot consume unbounded
     /// monitor time. The monitor state is unchanged when the charge
@@ -247,11 +266,12 @@ impl SecurityAutomaton {
         if self.halted {
             return false;
         }
-        // Peek: would the action violate (or be uninterpretable)?
-        let mut probe = self.monitor.clone();
-        match probe.step(action) {
+        // Peek: would the action violate (or be uninterpretable)? A
+        // table lookup, not a clone — submit must stay O(1) however
+        // large the monitor is.
+        match self.monitor.peek(action) {
             Verdict::Ok => {
-                self.monitor = probe;
+                self.monitor.step(action);
                 true
             }
             Verdict::Violation | Verdict::Unknown => {
@@ -267,18 +287,28 @@ impl SecurityAutomaton {
         self.halted
     }
 
+    /// Number of states of the underlying monitor (excluding the
+    /// implicit dead state).
+    #[must_use]
+    pub fn monitor_states(&self) -> usize {
+        self.monitor.num_states()
+    }
+
     /// The longest prefix of `trace` the policy allows. Never panics:
     /// an uninterpretable symbol truncates the trace like a violation
     /// (fail-safe enforcement).
     pub fn enforce(&mut self, trace: &Word) -> Word {
-        let mut allowed = Word::empty();
+        // Accumulate into a plain Vec and build the Word once at the
+        // end: the persistent `Word::push` copies the whole prefix, so
+        // pushing per symbol would make enforcement quadratic.
+        let mut allowed: Vec<Symbol> = Vec::new();
         for &sym in trace.as_slice() {
             if !self.submit(sym) {
                 break;
             }
-            allowed = allowed.push(sym);
+            allowed.push(sym);
         }
-        allowed
+        Word::new(&allowed)
     }
 }
 
@@ -450,6 +480,94 @@ mod tests {
             .unwrap_err();
         assert!(err.is_budget_exceeded());
         assert_eq!(err.spent(), Some(4));
+    }
+
+    /// A long deterministic "at most `n-1` b's" chain: the monitor has
+    /// the same state count as the automaton, so it makes a good probe
+    /// for state-count-dependent work in the hot path.
+    fn chain(s: &Alphabet, n: usize) -> Buchi {
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        let mut builder = BuchiBuilder::new(s.clone());
+        let states: Vec<_> = (0..n).map(|_| builder.add_state(true)).collect();
+        for i in 0..n {
+            builder.add_transition(states[i], a, states[i]);
+            if i + 1 < n {
+                builder.add_transition(states[i], b, states[i + 1]);
+            }
+        }
+        builder.build(states[0])
+    }
+
+    #[test]
+    fn peek_matches_step_without_moving() {
+        let s = sigma();
+        let mut m = Monitor::new(&first_a(&s));
+        for sym in [s.symbol("a").unwrap(), s.symbol("b").unwrap(), sl_omega::Symbol(99)] {
+            let peeked = m.peek(sym);
+            let before = m.verdict();
+            assert_eq!(m.verdict(), before, "peek must not move the monitor");
+            let mut probe = m.clone();
+            assert_eq!(probe.step(sym), peeked, "peek disagrees with step on {sym:?}");
+        }
+        // After a violation, peek keeps reporting Violation.
+        m.run(&Word::parse(&s, "b"));
+        assert_eq!(m.peek(s.symbol("a").unwrap()), Verdict::Violation);
+        assert_eq!(m.peek(sl_omega::Symbol(7)), Verdict::Violation);
+    }
+
+    #[test]
+    fn submit_does_no_allocation_scale_work() {
+        // Regression: `submit` used to clone the whole monitor table
+        // per action. On a 4000-state monitor that is allocation-bound
+        // (minutes for this loop); a table-lookup peek finishes in
+        // well under a second even on slow CI.
+        let s = sigma();
+        let policy = chain(&s, 4000);
+        let mut sa = SecurityAutomaton::new(&policy);
+        assert!(sa.monitor_states() >= 4000);
+        let a = s.symbol("a").unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..50_000 {
+            assert!(sa.submit(a));
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "50k submits on a 4000-state monitor took {:?} — submit is doing \
+             state-count-proportional work again",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn enforce_handles_long_traces_linearly() {
+        // Regression: `enforce` used to rebuild the allowed prefix with
+        // the persistent `Word::push`, copying O(n²) symbols. 100k
+        // symbols would take minutes; linear accumulation is instant.
+        let s = sigma();
+        let policy = chain(&s, 4);
+        let a = s.symbol("a").unwrap();
+        let trace: Word = std::iter::repeat(a).take(100_000).collect();
+        let mut sa = SecurityAutomaton::new(&policy);
+        let start = std::time::Instant::now();
+        let allowed = sa.enforce(&trace);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "enforcing a 100k-symbol trace took {:?} — prefix rebuilding is quadratic again",
+            start.elapsed()
+        );
+        assert_eq!(allowed, trace);
+        assert!(!sa.halted());
+        // And a trace that dies midway still truncates correctly.
+        let b = s.symbol("b").unwrap();
+        let mixed: Word = std::iter::repeat(a)
+            .take(10)
+            .chain(std::iter::repeat(b).take(10))
+            .collect();
+        let mut sa = SecurityAutomaton::new(&policy);
+        let allowed = sa.enforce(&mixed);
+        assert_eq!(allowed.len(), 13, "3 b's pass, the 4th kills the chain");
+        assert!(sa.halted());
     }
 
     #[test]

@@ -196,6 +196,10 @@ pub enum Case {
     /// Monitor-vs-offline-classification differential (oracle
     /// `monitor`).
     Monitor(MonitorCase),
+    /// Compiled dense-table monitor vs `Monitor` vs NFA-set reference,
+    /// verdict-for-verdict, plus minimization correctness (oracle
+    /// `compiled`). Same shape as a monitor case.
+    Compiled(MonitorCase),
     /// Daemon replay equivalence (oracle `session`).
     Session(SessionCase),
 }
@@ -209,6 +213,7 @@ impl Case {
             Case::Lattice(_) => "lattice",
             Case::Hoa(_) => "hoa",
             Case::Monitor(_) => "monitor",
+            Case::Compiled(_) => "compiled",
             Case::Session(_) => "session",
         }
     }
@@ -247,9 +252,9 @@ impl Case {
                 ("oracle", Json::Str("hoa".into())),
                 ("text", Json::Str(c.text.clone())),
             ]),
-            Case::Monitor(c) => {
+            Case::Monitor(c) | Case::Compiled(c) => {
                 let mut pairs = vec![
-                    ("oracle", Json::Str("monitor".into())),
+                    ("oracle", Json::Str(self.oracle().into())),
                     ("policy", Json::Str(c.policy.clone())),
                     (
                         "trace",
@@ -353,6 +358,11 @@ impl Case {
                 trace: list_field("trace")?,
                 budget,
             })),
+            "compiled" => Ok(Case::Compiled(MonitorCase {
+                policy: text_field("policy")?,
+                trace: list_field("trace")?,
+                budget,
+            })),
             "session" => Ok(Case::Session(SessionCase {
                 lines: list_field("lines")?,
             })),
@@ -369,7 +379,7 @@ impl Case {
             Case::Incl(c) => states(&c.left) + states(&c.right),
             Case::Lattice(c) => c.len(),
             Case::Hoa(c) => c.text.lines().count(),
-            Case::Monitor(c) => states(&c.policy) + c.trace.len(),
+            Case::Monitor(c) | Case::Compiled(c) => states(&c.policy) + c.trace.len(),
             Case::Session(c) => c.lines.len(),
         }
     }
@@ -399,6 +409,11 @@ mod tests {
                 policy: "HOA: v1\n".into(),
                 trace: vec!["a".into(), "zz".into()],
                 budget: None,
+            }),
+            Case::Compiled(MonitorCase {
+                policy: "HOA: v1\n".into(),
+                trace: vec!["b".into(), "zz".into(), "a".into()],
+                budget: Some(9),
             }),
             Case::Session(SessionCase {
                 lines: vec!["{\"id\":1,\"verb\":\"stats\"}".into()],

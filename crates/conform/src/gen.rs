@@ -231,6 +231,40 @@ pub fn gen_monitor(rng: &mut SplitMix) -> MonitorCase {
     }
 }
 
+/// Compiled-oracle case: same shape as a monitor case, but judged by
+/// the three-way compiled/subset/NFA-set differential. Traces run a
+/// little longer (the dense table is a per-step artifact, so longer
+/// prefixes probe more of it) and allow slightly bigger policies so
+/// minimization has something to merge.
+pub fn gen_compiled(rng: &mut SplitMix) -> MonitorCase {
+    let alphabet = gen_alphabet(rng);
+    let policy = gen_buchi(rng, &alphabet, MAX_STATES + 2);
+    let names: Vec<String> = alphabet
+        .symbols()
+        .map(|s| alphabet.name(s).to_string())
+        .collect();
+    let len = rng.below(21);
+    let trace = (0..len)
+        .map(|_| {
+            if rng.percent() < 10 {
+                "zz".to_string()
+            } else {
+                names[rng.below(names.len())].clone()
+            }
+        })
+        .collect();
+    let budget = if rng.percent() < 25 {
+        Some(1 + rng.next_u64() % 32)
+    } else {
+        None
+    };
+    MonitorCase {
+        policy: hoa::to_hoa(&policy, "policy"),
+        trace,
+        budget,
+    }
+}
+
 /// Session-oracle case: a JSON-lines daemon session with 2–3 defines
 /// (LTL or HOA source) and 3–8 queries, including deliberate unknown
 /// names, malformed lines, tight budgets, and batches. The `stats`
@@ -389,6 +423,7 @@ pub fn gen_case(oracle: &str, rng: &mut SplitMix) -> Case {
         "lattice" => Case::Lattice(gen_lattice(rng)),
         "hoa" => Case::Hoa(gen_hoa(rng)),
         "monitor" => Case::Monitor(gen_monitor(rng)),
+        "compiled" => Case::Compiled(gen_compiled(rng)),
         "session" => Case::Session(gen_session(rng)),
         other => panic!("unknown oracle `{other}`"),
     }

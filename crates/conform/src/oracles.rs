@@ -14,14 +14,17 @@
 //! classify/decompose satisfy Theorems 2/3/5/6/7 on every generated
 //! lattice, `to_hoa ∘ from_hoa` is the identity with stable
 //! diagnostics, monitor verdict prefixes match an independent
-//! set-stepper over the safety closure, and daemon sessions replay
+//! set-stepper over the safety closure, the compiled dense-table
+//! monitor matches both the subset-construction `Monitor` and that
+//! set-stepper verdict-for-verdict (with minimization proven
+//! language-preserving per case), and daemon sessions replay
 //! equivalently across thread counts and cache configurations.
 
 use crate::case::{Case, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
 use sl_buchi::{
     accepts, closure, equivalent_antichain, equivalent_rank, hoa, included_antichain,
     included_antichain_budgeted, included_rank, live_states, universal_antichain, universal_rank,
-    Buchi, Inclusion, Monitor, Verdict,
+    Buchi, CompiledMonitor, Inclusion, Monitor, Verdict,
 };
 use sl_lattice::{
     classify, decompose, decompose_pair_checked, no_decomposition_exists, theorem5_applies,
@@ -33,7 +36,7 @@ use sl_service::{Json, Service, ServiceConfig};
 use sl_support::{fault, Budget, SlError};
 
 /// All oracle names, in registry order.
-pub const ORACLES: [&str; 5] = ["incl", "lattice", "hoa", "monitor", "session"];
+pub const ORACLES: [&str; 6] = ["incl", "lattice", "hoa", "monitor", "compiled", "session"];
 
 /// The result of judging one case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +57,7 @@ pub fn check(case: &Case) -> Outcome {
         Case::Lattice(c) => check_lattice(c),
         Case::Hoa(c) => check_hoa(c),
         Case::Monitor(c) => check_monitor(c),
+        Case::Compiled(c) => check_compiled(c),
         Case::Session(c) => check_session(c),
     }
 }
@@ -458,7 +462,123 @@ fn check_monitor(c: &MonitorCase) -> Outcome {
 }
 
 // ---------------------------------------------------------------------
-// Oracle 5: daemon replay equivalence
+// Oracle 5: compiled dense-table monitor vs Monitor vs NFA-set stepper
+// ---------------------------------------------------------------------
+
+fn check_compiled(c: &MonitorCase) -> Outcome {
+    let policy = match hoa::from_hoa(&c.policy) {
+        Ok(b) => b,
+        Err(e) => fail!("case corrupt: policy HOA does not parse: {e}"),
+    };
+    let alphabet = policy.alphabet().clone();
+    let symbols: Vec<Symbol> = c
+        .trace
+        .iter()
+        .map(|name| alphabet.symbol(name).unwrap_or(Symbol(u16::MAX)))
+        .collect();
+    let mut compiled = match CompiledMonitor::new(&policy) {
+        Ok(m) => m,
+        Err(e) => fail!("compile failed on a {}-state policy: {e}", policy.num_states()),
+    };
+    // Minimization correctness: the minimized table is no larger than
+    // the raw subset-construction DFA and language-equivalent to it.
+    match CompiledMonitor::without_minimization(&policy) {
+        Ok(raw) => {
+            if compiled.num_states() > raw.num_states() {
+                fail!(
+                    "minimized table has {} states, the raw DFA only {}",
+                    compiled.num_states(),
+                    raw.num_states()
+                );
+            }
+            if !compiled.agrees_with(&raw) {
+                fail!("minimization changed the verdict language");
+            }
+        }
+        Err(e) => fail!("unminimized compile failed: {e}"),
+    }
+    // Three-way step differential: compiled vs subset-construction
+    // Monitor vs the independent NFA-set reference, verdict for
+    // verdict (including out-of-alphabet and post-violation symbols).
+    let mut monitor = Monitor::new(&policy);
+    let mut reference = SetStepper::new(&policy);
+    let mut verdicts = Vec::with_capacity(symbols.len());
+    for (i, &sym) in symbols.iter().enumerate() {
+        let got = compiled.step(sym);
+        let subset = monitor.step(sym);
+        let want = reference.step(sym);
+        if got != subset {
+            fail!(
+                "compiled diverges from Monitor at step {i} on {:?}: compiled={got:?} monitor={subset:?}",
+                c.trace.get(i)
+            );
+        }
+        if got != want {
+            fail!(
+                "compiled diverges from the NFA-set reference at step {i} on {:?}: compiled={got:?} reference={want:?}",
+                c.trace.get(i)
+            );
+        }
+        if got != compiled.verdict() {
+            fail!("step() return and verdict() disagree at step {i}: {got:?} vs {:?}", compiled.verdict());
+        }
+        verdicts.push(got);
+    }
+    for pair in verdicts.windows(2) {
+        if pair[0] != Verdict::Ok && pair[1] != pair[0] {
+            fail!("settled verdict {:?} drifted to {:?}", pair[0], pair[1]);
+        }
+    }
+    // run() twins: same verdict AND same settle position as Monitor.
+    let word = Word::new(&symbols);
+    let (final_verdict, consumed) = compiled.run(&word);
+    let (monitor_verdict, monitor_consumed) = monitor.run(&word);
+    if (final_verdict, consumed) != (monitor_verdict, monitor_consumed) {
+        fail!(
+            "compiled run ({final_verdict:?}, {consumed}) disagrees with Monitor run ({monitor_verdict:?}, {monitor_consumed})"
+        );
+    }
+    let expected_final = verdicts.last().copied().unwrap_or_else(|| {
+        CompiledMonitor::new(&policy).expect("compiled above").verdict()
+    });
+    if !symbols.is_empty() && final_verdict != expected_final {
+        fail!("run() verdict {final_verdict:?} disagrees with stepped prefix {expected_final:?}");
+    }
+    if consumed > symbols.len() {
+        fail!("run() consumed {consumed} symbols of a {}-symbol trace", symbols.len());
+    }
+    // Budgeted twin: both implementations under the same budget either
+    // agree on the result or both exhaust.
+    if let Some(steps) = c.budget {
+        let budget = Budget::unlimited().with_steps(steps);
+        let ours = compiled.run_with_budget(&word, &budget);
+        let theirs = monitor.run_with_budget(&word, &budget);
+        match (ours, theirs) {
+            (Ok(a), Ok(b)) => {
+                if a != b {
+                    fail!("budgeted compiled run {a:?} disagrees with budgeted Monitor run {b:?}");
+                }
+                if a != (final_verdict, consumed) {
+                    fail!("budgeted run {a:?} disagrees with unbudgeted ({final_verdict:?}, {consumed})");
+                }
+            }
+            (Err(e1), Err(e2))
+                if (e1.is_budget_exceeded() || e1.is_fault_injected())
+                    && (e2.is_budget_exceeded() || e2.is_fault_injected()) =>
+            {
+                return Outcome::Accepted("monitor budget exhausted");
+            }
+            (Err(e), _) if !e.is_budget_exceeded() && !e.is_fault_injected() => {
+                fail!("budgeted compiled run returned a non-budget error: {e}");
+            }
+            (a, b) => fail!("budget exhaustion asymmetry: compiled={a:?} monitor={b:?}"),
+        }
+    }
+    Outcome::Pass
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6: daemon replay equivalence
 // ---------------------------------------------------------------------
 
 /// Error kinds that a budget, cancellation, or fault drill can
@@ -709,6 +829,21 @@ mod tests {
             budget: Some(100),
         };
         assert_eq!(check_monitor(&case), Outcome::Pass);
+    }
+
+    #[test]
+    fn compiled_oracle_accepts_handwritten_traces() {
+        let sigma = Alphabet::ab();
+        let mut b = sl_buchi::BuchiBuilder::new(sigma.clone());
+        let q = b.add_state(true);
+        b.add_transition(q, sigma.symbol("a").unwrap(), q);
+        let b = b.build(q); // safety: a^ω
+        let case = MonitorCase {
+            policy: hoa::to_hoa(&b, "ga"),
+            trace: vec!["a".into(), "zz".into(), "b".into(), "a".into()],
+            budget: Some(100),
+        };
+        assert_eq!(check_compiled(&case), Outcome::Pass);
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub fn shrink_case(case: &Case) -> Vec<Case> {
         Case::Incl(c) => shrink_incl(c),
         Case::Lattice(c) => shrink_lattice(c),
         Case::Hoa(c) => shrink_hoa(c),
-        Case::Monitor(c) => shrink_monitor(c),
+        Case::Monitor(c) => wrap_monitor_variants(c, Case::Monitor),
+        Case::Compiled(c) => wrap_monitor_variants(c, Case::Compiled),
         Case::Session(c) => shrink_session(c),
     }
 }
@@ -202,10 +203,13 @@ fn shrink_hoa(c: &HoaCase) -> Vec<Case> {
     out
 }
 
-fn shrink_monitor(c: &MonitorCase) -> Vec<Case> {
+/// Trace/policy/budget shrinks for a monitor-shaped case, re-wrapped
+/// into the originating oracle (`monitor` and `compiled` share the
+/// case shape, and a shrunk case must stay with its oracle).
+fn wrap_monitor_variants(c: &MonitorCase, wrap: fn(MonitorCase) -> Case) -> Vec<Case> {
     let mut out = Vec::new();
     for policy in shrink_buchi(&c.policy) {
-        out.push(Case::Monitor(MonitorCase {
+        out.push(wrap(MonitorCase {
             policy,
             trace: c.trace.clone(),
             budget: c.budget,
@@ -214,14 +218,14 @@ fn shrink_monitor(c: &MonitorCase) -> Vec<Case> {
     for i in 0..c.trace.len() {
         let mut trace = c.trace.clone();
         trace.remove(i);
-        out.push(Case::Monitor(MonitorCase {
+        out.push(wrap(MonitorCase {
             policy: c.policy.clone(),
             trace,
             budget: c.budget,
         }));
     }
     if c.budget.is_some() {
-        out.push(Case::Monitor(MonitorCase {
+        out.push(wrap(MonitorCase {
             policy: c.policy.clone(),
             trace: c.trace.clone(),
             budget: None,

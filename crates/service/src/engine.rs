@@ -43,7 +43,8 @@ use crate::proto::{
 use crate::registry::Registry;
 use sl_buchi::{
     classify, closure, decompose, engine_stats, equivalent, equivalent_budgeted, hoa, included,
-    included_budgeted, universal, Buchi, Classification, EngineStats, Inclusion, Monitor, Verdict,
+    included_budgeted, is_safety, universal, Buchi, Classification, CompiledMonitor, EngineStats,
+    Inclusion, Monitor, MonitorFleet, Verdict,
 };
 use sl_omega::Alphabet;
 use sl_support::par::{try_par_map_with, ItemOutcome};
@@ -86,12 +87,35 @@ impl Default for ServiceConfig {
 }
 
 /// A monitor session: the policy automaton's alphabet (for symbol
-/// lookup) plus the stepped monitor itself.
+/// lookup) plus where the stepped state lives.
 #[derive(Debug)]
 struct MonitorSession {
     target: String,
     alphabet: Alphabet,
-    monitor: Monitor,
+    backend: SessionBackend,
+}
+
+/// Where a session's monitor state lives. Safety-classified targets
+/// compile once into a shared dense table and the session is one `u16`
+/// slot in that table's [`MonitorFleet`] — the batched SoA hot path.
+/// Everything else (not cl-safety, table too big) keeps a private
+/// subset-construction [`Monitor`]; both backends are verdict-identical
+/// by construction (the `compiled` conform oracle holds them to it).
+#[derive(Debug)]
+enum SessionBackend {
+    /// Index into [`Service::fleets`] plus this session's slot.
+    Compiled { fleet: usize, slot: usize },
+    /// Private NFA-path monitor (the general fallback).
+    Nfa(Monitor),
+}
+
+/// One compiled table shared by every session monitoring the same
+/// registered automaton. Keyed by `Arc` identity: redefining a name
+/// makes a new `Arc`, so stale sessions keep their original table.
+#[derive(Debug)]
+struct FleetEntry {
+    source: Arc<Buchi>,
+    fleet: MonitorFleet,
 }
 
 /// One handled line's outcome.
@@ -123,6 +147,7 @@ pub struct Service {
     config: ServiceConfig,
     registry: Registry,
     monitors: HashMap<String, MonitorSession>,
+    fleets: Vec<FleetEntry>,
     cache: QueryCache,
     verb_counts: [u64; STATS_VERBS.len()],
     errors: u64,
@@ -147,6 +172,7 @@ impl Service {
             config,
             registry: Registry::new(),
             monitors: HashMap::new(),
+            fleets: Vec::new(),
             verb_counts: [0; STATS_VERBS.len()],
             errors: 0,
             engine_totals: EngineStats::default(),
@@ -405,6 +431,42 @@ impl Service {
 
     // ---- monitor-step ---------------------------------------------
 
+    /// Picks a session backend for a target: safety-classified targets
+    /// compile into a shared dense-table fleet (reusing the table when
+    /// other sessions already watch the same `Arc`); anything else —
+    /// not cl-safety, safety check over budget, or a table past the
+    /// `u16` cap — falls back to a private NFA-path [`Monitor`].
+    ///
+    /// The safety check deliberately bypasses the query cache and the
+    /// `engine_totals` bookkeeping: `monitor-step` has never touched
+    /// either, and keeping it that way preserves every existing golden
+    /// `stats` transcript byte-for-byte.
+    fn make_backend(&mut self, target: &Arc<Buchi>) -> SessionBackend {
+        if matches!(is_safety(target), Ok(true)) {
+            if let Some(i) = self
+                .fleets
+                .iter()
+                .position(|entry| Arc::ptr_eq(&entry.source, target))
+            {
+                let slot = self.fleets[i].fleet.spawn();
+                return SessionBackend::Compiled { fleet: i, slot };
+            }
+            if let Ok(compiled) = CompiledMonitor::new(target) {
+                let mut fleet = MonitorFleet::new(&compiled);
+                let slot = fleet.spawn();
+                self.fleets.push(FleetEntry {
+                    source: Arc::clone(target),
+                    fleet,
+                });
+                return SessionBackend::Compiled {
+                    fleet: self.fleets.len() - 1,
+                    slot,
+                };
+            }
+        }
+        SessionBackend::Nfa(Monitor::new(target))
+    }
+
     fn do_monitor_step(&mut self, request: &Request) -> Result<Json, ProtoError> {
         let session_name = require_str(&request.body, "monitor")?;
         if !self.monitors.contains_key(session_name) {
@@ -415,28 +477,31 @@ impl Service {
                 )
             })?;
             let target = self.resolve_object(&request.body, "target")?;
+            let backend = self.make_backend(&target);
             self.monitors.insert(
                 session_name.to_string(),
                 MonitorSession {
                     target: target_name.to_string(),
                     alphabet: target.alphabet().clone(),
-                    monitor: Monitor::new(&target),
+                    backend,
                 },
             );
         }
-        // Re-borrow mutably now that the session surely exists.
-        let session_target = self.monitors[session_name].target.clone();
+        // One lookup: the session surely exists now, and everything
+        // below reads through this borrow (the old double get + target
+        // clone was pure waste on the hot path).
+        let session = self.monitors.get_mut(session_name).expect("inserted above");
         if let Some(requested) = request.body.get("target").and_then(Json::as_str) {
-            if requested != session_target {
+            if requested != session.target {
                 return Err(ProtoError::new(
                     "invalid_input",
                     format!(
-                        "monitor session `{session_name}` watches `{session_target}`, not `{requested}`"
+                        "monitor session `{session_name}` watches `{}`, not `{requested}`",
+                        session.target
                     ),
                 ));
             }
         }
-        let session = self.monitors.get_mut(session_name).expect("inserted above");
         let symbols = match request.body.get("symbols") {
             None => &[][..],
             Some(v) => v
@@ -468,21 +533,34 @@ impl Service {
                 .charge(syms.len() as u64)
                 .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
         }
-        if request.body.get("reset").and_then(Json::as_bool) == Some(true) {
-            session.monitor.reset();
-        }
+        let reset = request.body.get("reset").and_then(Json::as_bool) == Some(true);
         let mut verdicts = Vec::with_capacity(syms.len());
-        for sym in syms {
-            verdicts.push(Json::Str(verdict_name(session.monitor.step(sym)).to_string()));
-        }
+        let final_verdict = match &mut session.backend {
+            SessionBackend::Compiled { fleet, slot } => {
+                let fleet = &mut self.fleets[*fleet].fleet;
+                if reset {
+                    fleet.reset(*slot);
+                }
+                for sym in syms {
+                    verdicts.push(Json::Str(verdict_name(fleet.step(*slot, sym)).to_string()));
+                }
+                fleet.verdict(*slot)
+            }
+            SessionBackend::Nfa(monitor) => {
+                if reset {
+                    monitor.reset();
+                }
+                for sym in syms {
+                    verdicts.push(Json::Str(verdict_name(monitor.step(sym)).to_string()));
+                }
+                monitor.verdict()
+            }
+        };
         Ok(Json::obj(vec![
             ("monitor", Json::Str(session_name.to_string())),
-            ("target", Json::Str(session_target)),
+            ("target", Json::Str(session.target.clone())),
             ("verdicts", Json::Arr(verdicts)),
-            (
-                "verdict",
-                Json::Str(verdict_name(session.monitor.verdict()).to_string()),
-            ),
+            ("verdict", Json::Str(verdict_name(final_verdict).to_string())),
         ]))
     }
 

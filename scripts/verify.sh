@@ -116,6 +116,44 @@ print(f"BENCH_svc.json ok: cache-hit speedup {cold / warm:.1f}x, "
 PY
 rm -rf "$svc_tmp"
 
+echo "== monitor: compiled fast path golden + E13 smoke =="
+# monitor-step sessions on safety targets ride the compiled dense-table
+# fleet; the golden transcript pins the wire behavior (verdict streams,
+# sticky unknown, atomic budget rejection, target-mismatch errors) at
+# any worker count.
+mon_tmp="$(mktemp -d)"
+for t in 1 8; do
+  echo "-- sld monitor transcript (SL_THREADS=$t)"
+  SL_THREADS=$t ./target/release/sld --stdin < scripts/monitor_session.jsonl \
+    > "$mon_tmp/monitor_t$t.out"
+  cmp "$mon_tmp/monitor_t$t.out" scripts/monitor_session.golden
+done
+# E13 smoke: the binary fails itself if the three steppers disagree on
+# any verdict, the fleet diverges from lone monitors, or the compiled
+# table loses its >=10x headroom over the NFA-set baseline.
+echo "-- e13_monitor_throughput (smoke)"
+SL_BENCH_SAMPLES=5 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$mon_tmp" \
+  ./target/release/e13_monitor_throughput
+python3 - "$mon_tmp/BENCH_monitor.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "monitor", doc
+records = {r["name"]: r for r in doc["records"]}
+for name in ("monitor/nfa_set/safety", "monitor/subset/safety",
+             "monitor/compiled/safety", "monitor/fleet/batch"):
+    r = records[name]
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+nfa = records["monitor/nfa_set/safety"]["median_ns"]
+compiled = records["monitor/compiled/safety"]["median_ns"]
+ratio = nfa / compiled
+assert ratio >= 10, f"compiled path only {ratio:.1f}x over the NFA-set baseline"
+steps = 10_000  # the e13 trace length
+print(f"BENCH_monitor.json ok: compiled {ratio:.1f}x over nfa_set, "
+      f"{steps / (compiled / 1e9):,.0f} steps/sec")
+PY
+rm -rf "$mon_tmp"
+
 echo "== conformance: corpus replay + differential fuzz + sabotage drill =="
 # The conformance fuzzer cross-checks every engine against the paper's
 # theorems: corpus replay first (regressions stay fixed forever), then a
@@ -144,7 +182,7 @@ for o in doc["oracles"]:
     assert acc <= run // 10, f"{o['name']}: {acc} accepted"
 assert doc["findings"] == [], doc["findings"]
 names = sorted(o["name"] for o in doc["oracles"])
-assert names == ["hoa", "incl", "lattice", "monitor", "session"], names
+assert names == ["compiled", "hoa", "incl", "lattice", "monitor", "session"], names
 print(f"BENCH_conform.json ok: {sum(o['cases'] for o in doc['oracles'])} "
       f"cases across {len(names)} oracles, 0 findings")
 PY
