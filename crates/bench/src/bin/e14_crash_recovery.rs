@@ -1,0 +1,223 @@
+//! E14 (perf) — crash recovery: write-ahead journal replay vs
+//! snapshot-assisted recovery across snapshot intervals.
+//!
+//! The durability layer journals every state-mutating request ahead of
+//! dispatch and periodically folds the journal into an atomic
+//! snapshot. Recovery cost is therefore a dial: with no snapshots the
+//! daemon replays the whole journal; with an interval of `e` it loads
+//! one snapshot and replays at most `e` records. This experiment
+//! populates identical daemon state under three intervals, crashes the
+//! daemon cold (drop, no drain), and measures full recovery
+//! (`Service::with_persistence`) per interval. Measured:
+//!
+//! * `persist/recover/journal_only` — interval 0: pure journal replay;
+//! * `persist/recover/snap64`      — interval 64;
+//! * `persist/recover/snap512`     — interval 512.
+//!
+//! Correctness gates come first: every recovered daemon must answer a
+//! probe suffix byte-identically to an uninterrupted twin, and the
+//! snapshot configurations must replay strictly fewer journal records
+//! than the journal-only one. `BENCH_persist.json` records the
+//! medians; `scripts/verify.sh` gates on this artifact.
+
+use sl_bench::{header, Scoreboard};
+use sl_service::{Json, PersistConfig, Service, ServiceConfig};
+use sl_support::bench::{black_box, Bench};
+use sl_support::{FaultPlan, SplitMix};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Requests in the populated session (journaled ones dominate).
+const SESSION: usize = 1200;
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        fault: FaultPlan::disabled(),
+        threads: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sl-e14-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The seeded session: three HOA-defined policies, then a stream of
+/// `monitor-step`s (each one a journal record) over eight concurrent
+/// monitor sessions, with occasional redefinitions and decompositions.
+fn session(seed: u64) -> Vec<String> {
+    let sigma = sl_omega::Alphabet::ab();
+    let mut rng = SplitMix::new(seed);
+    let mut lines = Vec::with_capacity(SESSION);
+    let names = ["p0", "p1", "p2"];
+    let define = |rng: &mut SplitMix, name: &str| {
+        let b = sl_buchi::random_buchi(
+            &sigma,
+            rng.next_u64(),
+            sl_buchi::RandomConfig {
+                states: 1 + rng.below(4),
+                density_percent: 60,
+                accepting_percent: 50,
+            },
+        );
+        let hoa = sl_buchi::hoa::to_hoa(&b, name)
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        format!("{{\"verb\":\"define\",\"name\":\"{name}\",\"hoa\":\"{hoa}\"}}")
+    };
+    for name in names {
+        lines.push(define(&mut rng, name));
+    }
+    while lines.len() < SESSION {
+        match rng.below(16) {
+            0 => {
+                let name = names[rng.below(names.len())];
+                lines.push(define(&mut rng, name));
+            }
+            1 => lines.push(format!(
+                "{{\"verb\":\"decompose\",\"target\":\"{}\"}}",
+                names[rng.below(names.len())]
+            )),
+            _ => {
+                let symbols: Vec<&str> = (0..1 + rng.below(3))
+                    .map(|_| if rng.flip() { "\"a\"" } else { "\"b\"" })
+                    .collect();
+                lines.push(format!(
+                    "{{\"verb\":\"monitor-step\",\"monitor\":\"m{}\",\"target\":\"{}\",\"symbols\":[{}]}}",
+                    rng.below(8),
+                    names[rng.below(names.len())],
+                    symbols.join(",")
+                ));
+            }
+        }
+    }
+    lines
+}
+
+/// Queries the recovered daemon must answer exactly like the twin.
+fn probe() -> Vec<String> {
+    let mut p: Vec<String> = ["p0", "p1", "p2"]
+        .iter()
+        .map(|n| format!("{{\"verb\":\"classify\",\"target\":\"{n}\"}}"))
+        .collect();
+    for m in 0..8 {
+        p.push(format!(
+            "{{\"verb\":\"monitor-step\",\"monitor\":\"m{m}\",\"target\":\"p0\",\"symbols\":[\"a\",\"b\"]}}"
+        ));
+    }
+    p
+}
+
+/// Journal records the last recovery replayed, per the daemon's own
+/// `stats` report.
+fn replayed_records(svc: &mut Service) -> u64 {
+    let stats = svc.handle_line(r#"{"verb":"stats"}"#).line;
+    sl_service::json::parse(&stats)
+        .ok()
+        .and_then(|doc| {
+            doc.get("result")?
+                .get("persist")?
+                .get("replayed_records")
+                .and_then(Json::as_u64)
+        })
+        .expect("persistent stats carry replayed_records")
+}
+
+fn main() -> ExitCode {
+    header(
+        "E14",
+        "Crash recovery: journal replay vs snapshot-assisted recovery",
+    );
+    let lines = session(2003);
+    let probe = probe();
+    let mut board = Scoreboard::new();
+
+    // The uninterrupted twin's probe answers are the contract.
+    let mut twin = Service::new(config());
+    for line in &lines {
+        twin.handle_line(line);
+    }
+    let want: Vec<String> = probe.iter().map(|l| twin.handle_line(l).line).collect();
+
+    // Populate one directory per snapshot interval, then crash cold.
+    let intervals: [(u64, &str); 3] = [(0, "journal_only"), (64, "snap64"), (512, "snap512")];
+    let mut dirs = Vec::new();
+    for &(every, tag) in &intervals {
+        let dir = scratch(tag);
+        let pc = PersistConfig {
+            dir: dir.clone(),
+            snapshot_every: every,
+        };
+        let mut svc = Service::with_persistence(config(), &pc).expect("populate");
+        for line in &lines {
+            svc.handle_line(line);
+        }
+        drop(svc); // crash: journal (+ snapshots), no drain
+        dirs.push((every, tag, dir));
+    }
+
+    // Correctness before clocks: every recovered daemon answers the
+    // probe byte-identically, and snapshots actually bound the replay.
+    let mut replayed = Vec::new();
+    for (every, tag, dir) in &dirs {
+        let pc = PersistConfig {
+            dir: dir.clone(),
+            snapshot_every: *every,
+        };
+        let mut svc = Service::with_persistence(config(), &pc).expect("recover");
+        let n = replayed_records(&mut svc);
+        let got: Vec<String> = probe.iter().map(|l| svc.handle_line(l).line).collect();
+        board.claim(
+            &format!("{tag}: recovered daemon answers the probe like the twin"),
+            got == want,
+        );
+        println!("  {tag:<12}: replayed {n} journal records");
+        replayed.push(n);
+    }
+    board.claim(
+        "snap64 replays fewer records than journal_only",
+        replayed[1] < replayed[0],
+    );
+    board.claim(
+        "snap512 replays fewer records than journal_only",
+        replayed[2] < replayed[0],
+    );
+    board.claim("journal_only replays every journaled request", replayed[0] > 900);
+
+    // Measured passes: a full recovery per call. Recovery does not
+    // mutate a clean directory, so repeated recoveries are identical
+    // work — exactly what the medians should capture.
+    let mut bench = Bench::from_env();
+    let mut medians = Vec::new();
+    for (every, tag, dir) in &dirs {
+        let pc = PersistConfig {
+            dir: dir.clone(),
+            snapshot_every: *every,
+        };
+        let med = bench.measure(&format!("persist/recover/{tag}"), || {
+            black_box(Service::with_persistence(config(), &pc).expect("recover"));
+        });
+        medians.push(med);
+    }
+
+    println!("\nrecovery (median):");
+    for ((_, tag, _), med) in dirs.iter().zip(&medians) {
+        println!("  {tag:<12}: {:>9.3} ms", med.as_secs_f64() * 1e3);
+    }
+    let rps = replayed[0] as f64 / medians[0].as_secs_f64().max(1e-12);
+    println!("journal replay rate: {rps:.0} records/sec");
+    board.claim(
+        "snapshot-assisted recovery (snap64) is no slower than full replay",
+        medians[1] <= medians[0],
+    );
+
+    for (_, _, dir) in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    bench.finish("persist");
+    board.finish()
+}

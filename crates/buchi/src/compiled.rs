@@ -539,6 +539,30 @@ impl MonitorFleet {
         }
     }
 
+    /// One session's raw table state (sentinel rows included) for
+    /// snapshot/restore — the table construction is deterministic, so
+    /// the index round-trips through a recompile of the same policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never spawned.
+    #[must_use]
+    pub fn save_state(&self, slot: usize) -> u16 {
+        self.states[slot]
+    }
+
+    /// Restores a slot's state captured by [`MonitorFleet::save_state`].
+    /// Returns `false` (slot unchanged) when `slot` was never spawned
+    /// or `raw` is beyond the table's sentinel rows — the fail-closed
+    /// answer for a corrupted snapshot.
+    pub fn load_state(&mut self, slot: usize, raw: u16) -> bool {
+        if slot >= self.states.len() || raw > self.table.unknown {
+            return false;
+        }
+        self.states[slot] = raw;
+        true
+    }
+
     /// Counts sessions by verdict: `(ok, violation, unknown)`.
     #[must_use]
     pub fn tally(&self) -> (usize, usize, usize) {
@@ -754,6 +778,32 @@ mod tests {
                 assert_eq!(single.step(sym), fleet.verdict(i), "slot {i} on {sym:?}");
             }
         }
+    }
+
+    #[test]
+    fn fleet_slot_state_round_trips_across_a_rebuild() {
+        let s = sigma();
+        let policy = first_a(&s);
+        let compiled = CompiledMonitor::new(&policy).unwrap();
+        let mut fleet = MonitorFleet::new(&compiled);
+        let (s0, s1, s2) = (fleet.spawn(), fleet.spawn(), fleet.spawn());
+        fleet.step(s0, s.symbol("a").unwrap());
+        fleet.step(s1, s.symbol("b").unwrap());
+        fleet.step(s2, Symbol(1000));
+        // Rebuild the table from the same policy (deterministic), spawn
+        // the same slots, restore the raw states: verdicts carry over.
+        let recompiled = CompiledMonitor::new(&policy).unwrap();
+        let mut restored = MonitorFleet::new(&recompiled);
+        for slot in [s0, s1, s2] {
+            let fresh = restored.spawn();
+            assert!(restored.load_state(fresh, fleet.save_state(slot)));
+        }
+        assert_eq!(restored.verdict(s0), Verdict::Ok);
+        assert_eq!(restored.verdict(s1), Verdict::Violation);
+        assert_eq!(restored.verdict(s2), Verdict::Unknown);
+        // Beyond-sentinel raw states and unspawned slots are rejected.
+        assert!(!restored.load_state(s0, u16::MAX));
+        assert!(!restored.load_state(99, 0));
     }
 
     #[test]

@@ -195,6 +195,41 @@ impl Monitor {
         }
     }
 
+    /// The current state as a portable `u64` for snapshot/restore:
+    /// `u64::MAX` encodes the dead (violation) state, `u64::MAX - 1`
+    /// the sticky unknown state, and anything else is a live subset
+    /// state index. The subset construction is deterministic, so the
+    /// encoding round-trips through a rebuild of the same policy.
+    #[must_use]
+    pub fn save_state(&self) -> u64 {
+        match self.current {
+            DEAD => u64::MAX,
+            UNKNOWN => u64::MAX - 1,
+            s => s as u64,
+        }
+    }
+
+    /// Restores a state captured by [`Monitor::save_state`]. Returns
+    /// `false` (monitor unchanged) when `raw` names no state of this
+    /// table — the fail-closed answer for a corrupted snapshot.
+    pub fn load_state(&mut self, raw: u64) -> bool {
+        if raw == u64::MAX {
+            self.current = DEAD;
+            return true;
+        }
+        if raw == u64::MAX - 1 {
+            self.current = UNKNOWN;
+            return true;
+        }
+        match usize::try_from(raw) {
+            Ok(s) if s < self.table.len() => {
+                self.current = s;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Runs a whole finite trace from the initial state, returning the
     /// final verdict and the number of symbols consumed before the run
     /// settled (violation or unknown), or the trace length if it stayed
@@ -568,6 +603,38 @@ mod tests {
         let allowed = sa.enforce(&mixed);
         assert_eq!(allowed.len(), 13, "3 b's pass, the 4th kills the chain");
         assert!(sa.halted());
+    }
+
+    #[test]
+    fn state_round_trips_across_a_rebuild() {
+        let s = sigma();
+        let policy = first_a(&s);
+        let a = s.symbol("a").unwrap();
+        let b = s.symbol("b").unwrap();
+        // Ok state mid-trace.
+        let mut m = Monitor::new(&policy);
+        m.step(a);
+        m.step(b);
+        let saved = m.save_state();
+        let mut fresh = Monitor::new(&policy);
+        assert!(fresh.load_state(saved));
+        assert_eq!(fresh.verdict(), Verdict::Ok);
+        assert_eq!(fresh.step(a), m.step(a), "restored monitor steps identically");
+        // Sentinels survive too.
+        let mut dead = Monitor::new(&policy);
+        dead.step(b);
+        let mut fresh = Monitor::new(&policy);
+        assert!(fresh.load_state(dead.save_state()));
+        assert_eq!(fresh.verdict(), Verdict::Violation);
+        let mut unk = Monitor::new(&policy);
+        unk.step(sl_omega::Symbol(999));
+        let mut fresh = Monitor::new(&policy);
+        assert!(fresh.load_state(unk.save_state()));
+        assert_eq!(fresh.verdict(), Verdict::Unknown);
+        // Out-of-range raw states are rejected without moving anything.
+        let before = fresh.save_state();
+        assert!(!fresh.load_state(1_000_000));
+        assert_eq!(fresh.save_state(), before);
     }
 
     #[test]

@@ -184,6 +184,20 @@ pub struct SessionCase {
     pub lines: Vec<String>,
 }
 
+/// Crash-oracle case: a JSON-lines daemon session driven through the
+/// deterministic crash drill — the persistent daemon is killed at
+/// every journal record boundary (and mid-record, via truncation) and
+/// the recovered daemon's remaining responses are diffed byte-for-byte
+/// against an uninterrupted twin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashCase {
+    /// The request lines, in order.
+    pub lines: Vec<String>,
+    /// Journal records between automatic snapshots (0 = none), so the
+    /// drill crosses snapshot rotations as well as plain appends.
+    pub snapshot_every: u64,
+}
+
 /// One conformance case, tagged with the oracle that judges it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Case {
@@ -202,6 +216,9 @@ pub enum Case {
     Compiled(MonitorCase),
     /// Daemon replay equivalence (oracle `session`).
     Session(SessionCase),
+    /// Crash-recovery equivalence: kill-at-every-record-boundary drill
+    /// against the persistence layer (oracle `crash`).
+    Crash(CrashCase),
 }
 
 impl Case {
@@ -215,6 +232,7 @@ impl Case {
             Case::Monitor(_) => "monitor",
             Case::Compiled(_) => "compiled",
             Case::Session(_) => "session",
+            Case::Crash(_) => "crash",
         }
     }
 
@@ -272,6 +290,14 @@ impl Case {
                     "lines",
                     Json::Arr(c.lines.iter().map(|l| Json::Str(l.clone())).collect()),
                 ),
+            ]),
+            Case::Crash(c) => Json::obj(vec![
+                ("oracle", Json::Str("crash".into())),
+                (
+                    "lines",
+                    Json::Arr(c.lines.iter().map(|l| Json::Str(l.clone())).collect()),
+                ),
+                ("snapshot_every", Json::Int(c.snapshot_every as i64)),
             ]),
         }
     }
@@ -366,6 +392,13 @@ impl Case {
             "session" => Ok(Case::Session(SessionCase {
                 lines: list_field("lines")?,
             })),
+            "crash" => Ok(Case::Crash(CrashCase {
+                lines: list_field("lines")?,
+                snapshot_every: doc
+                    .get("snapshot_every")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing integer field `snapshot_every`")?,
+            })),
             other => Err(format!("unknown oracle `{other}`")),
         }
     }
@@ -381,6 +414,7 @@ impl Case {
             Case::Hoa(c) => c.text.lines().count(),
             Case::Monitor(c) | Case::Compiled(c) => states(&c.policy) + c.trace.len(),
             Case::Session(c) => c.lines.len(),
+            Case::Crash(c) => c.lines.len(),
         }
     }
 }
@@ -417,6 +451,10 @@ mod tests {
             }),
             Case::Session(SessionCase {
                 lines: vec!["{\"id\":1,\"verb\":\"stats\"}".into()],
+            }),
+            Case::Crash(CrashCase {
+                lines: vec!["{\"id\":1,\"verb\":\"classify\",\"target\":\"p0\"}".into()],
+                snapshot_every: 3,
             }),
         ];
         for case in cases {

@@ -5,7 +5,7 @@
 //! [`sl_support::prop::case_rng`]), so a single case replays in
 //! isolation from its coordinates alone.
 
-use crate::case::{Case, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
 use sl_buchi::{hoa, random_buchi, Buchi, RandomConfig};
 use sl_ltl::Ltl;
 use sl_omega::Alphabet;
@@ -393,6 +393,126 @@ pub fn gen_session(rng: &mut SplitMix) -> SessionCase {
     SessionCase { lines }
 }
 
+/// Crash-oracle case: a session heavy on the *journaled* verbs
+/// (`define`, `decompose`, `monitor-step`) so the drill gets record
+/// boundaries to kill at, interleaved with queries whose responses the
+/// recovered daemon must reproduce byte-for-byte. `stats` is excluded
+/// (persistence metrics legitimately differ between a crashed-and-
+/// recovered daemon and its uninterrupted twin), as are `quit` and
+/// `shutdown` (the drill manages lifecycle itself). Budgets are
+/// omitted: the drill's contract is byte-identity, no degradation
+/// excuse. The snapshot interval is drawn small enough that rotations
+/// land inside the generated sessions.
+pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
+    let alphabet = Alphabet::ab();
+    let alphabet_json = "[\"a\",\"b\"]";
+    let mut lines = Vec::new();
+    let mut id = 0u64;
+    let mut next_id = |lines: &mut Vec<String>, body: String| {
+        id += 1;
+        lines.push(format!("{{\"id\":{id},{body}}}"));
+    };
+    let defines = 1 + rng.below(2);
+    let names: Vec<String> = (0..defines).map(|i| format!("p{i}")).collect();
+    for name in &names {
+        if rng.flip() {
+            let formula = gen_ltl(rng, &alphabet, 3);
+            let text = escape(&formula.display(&alphabet));
+            next_id(
+                &mut lines,
+                format!(
+                    "\"verb\":\"define\",\"name\":\"{name}\",\"ltl\":\"{text}\",\"alphabet\":{alphabet_json}"
+                ),
+            );
+        } else {
+            let b = gen_buchi(rng, &alphabet, MAX_STATES);
+            let text = escape(&sl_buchi::hoa::to_hoa(&b, name));
+            next_id(
+                &mut lines,
+                format!("\"verb\":\"define\",\"name\":\"{name}\",\"hoa\":\"{text}\""),
+            );
+        }
+    }
+    let pick = |rng: &mut SplitMix| -> String {
+        if rng.percent() < 8 {
+            "ghost".to_string() // deliberately undefined
+        } else {
+            names[rng.below(names.len())].clone()
+        }
+    };
+    let ops = 3 + rng.below(6);
+    for _ in 0..ops {
+        match rng.below(8) {
+            // Journaled verbs dominate: record boundaries are kill
+            // points, so sessions need plenty of them.
+            0 | 1 | 2 => {
+                let symbols: Vec<String> = (0..1 + rng.below(4))
+                    .map(|_| {
+                        if rng.percent() < 10 {
+                            "\"zz\"".to_string()
+                        } else if rng.flip() {
+                            "\"a\"".to_string()
+                        } else {
+                            "\"b\"".to_string()
+                        }
+                    })
+                    .collect();
+                let monitor = format!("m{}", rng.below(3));
+                next_id(
+                    &mut lines,
+                    format!(
+                        "\"verb\":\"monitor-step\",\"monitor\":\"{monitor}\",\"target\":\"{}\",\"symbols\":[{}]",
+                        pick(rng),
+                        symbols.join(",")
+                    ),
+                );
+            }
+            3 => next_id(
+                &mut lines,
+                format!("\"verb\":\"decompose\",\"target\":\"{}\"", pick(rng)),
+            ),
+            4 => {
+                // Redefinition mid-session: live monitor sessions keep
+                // their original automaton, and recovery must too.
+                let name = names[rng.below(names.len())].clone();
+                let b = gen_buchi(rng, &alphabet, MAX_STATES);
+                let text = escape(&sl_buchi::hoa::to_hoa(&b, &name));
+                next_id(
+                    &mut lines,
+                    format!("\"verb\":\"define\",\"name\":\"{name}\",\"hoa\":\"{text}\""),
+                );
+            }
+            5 => next_id(
+                &mut lines,
+                format!("\"verb\":\"classify\",\"target\":\"{}\"", pick(rng)),
+            ),
+            6 => next_id(
+                &mut lines,
+                format!(
+                    "\"verb\":\"include\",\"left\":\"{}\",\"right\":\"{}\"",
+                    pick(rng),
+                    pick(rng)
+                ),
+            ),
+            _ => {
+                if rng.percent() < 20 {
+                    lines.push("{not json".to_string()); // never journaled
+                } else {
+                    next_id(
+                        &mut lines,
+                        format!("\"verb\":\"universal\",\"target\":\"{}\"", pick(rng)),
+                    );
+                }
+            }
+        }
+    }
+    let snapshot_every = [0u64, 1, 2, 3, 5, 8][rng.below(6)];
+    CrashCase {
+        lines,
+        snapshot_every,
+    }
+}
+
 /// Minimal JSON string escaping for embedding generated text in
 /// hand-rendered request lines.
 fn escape(text: &str) -> String {
@@ -425,6 +545,7 @@ pub fn gen_case(oracle: &str, rng: &mut SplitMix) -> Case {
         "monitor" => Case::Monitor(gen_monitor(rng)),
         "compiled" => Case::Compiled(gen_compiled(rng)),
         "session" => Case::Session(gen_session(rng)),
+        "crash" => Case::Crash(gen_crash(rng)),
         other => panic!("unknown oracle `{other}`"),
     }
 }

@@ -13,9 +13,12 @@
 //! * [`case`] — the self-contained case model and JSONL codec;
 //! * [`gen`] — seed-deterministic generators (lattice recipes, LTL,
 //!   Büchi automata, HOA documents, daemon sessions);
-//! * [`oracles`] — the registry of five differential/metamorphic
-//!   oracles, where `Budget` exhaustion is accepted but a wrong answer
-//!   never is;
+//! * [`oracles`] — the registry of seven differential/metamorphic
+//!   oracles (including the `crash` drill, which kills a persistent
+//!   daemon at every journal record boundary and diffs the recovered
+//!   daemon's answers byte-for-byte against an uninterrupted twin),
+//!   where `Budget` exhaustion is accepted but a wrong answer never
+//!   is;
 //! * [`shrink`] — per-oracle [`sl_support::prop::Strategy`] shrinkers
 //!   driven by the shared greedy [`sl_support::prop::minimize`] loop;
 //! * [`corpus`] — the checked-in regression corpus CI replays forever;
@@ -32,6 +35,6 @@ pub mod oracles;
 pub mod run;
 pub mod shrink;
 
-pub use case::{Case, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
-pub use oracles::{check, Outcome, ORACLES};
+pub use case::{Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+pub use oracles::{check, crash_drill, Outcome, ORACLES};
 pub use run::{fuzz, Finding, FuzzOptions, OracleReport, RunReport};

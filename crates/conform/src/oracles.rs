@@ -20,7 +20,7 @@
 //! language-preserving per case), and daemon sessions replay
 //! equivalently across thread counts and cache configurations.
 
-use crate::case::{Case, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{Case, CrashCase, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
 use sl_buchi::{
     accepts, closure, equivalent_antichain, equivalent_rank, hoa, included_antichain,
     included_antichain_budgeted, included_rank, live_states, universal_antichain, universal_rank,
@@ -32,11 +32,13 @@ use sl_lattice::{
 };
 use sl_ltl::classify_formula;
 use sl_omega::{Alphabet, LassoWord, Symbol, Word};
-use sl_service::{Json, Service, ServiceConfig};
-use sl_support::{fault, Budget, SlError};
+use sl_service::{Json, PersistConfig, Service, ServiceConfig, Verb};
+use sl_support::{fault, Budget, FaultPlan, SlError};
 
 /// All oracle names, in registry order.
-pub const ORACLES: [&str; 6] = ["incl", "lattice", "hoa", "monitor", "compiled", "session"];
+pub const ORACLES: [&str; 7] = [
+    "incl", "lattice", "hoa", "monitor", "compiled", "session", "crash",
+];
 
 /// The result of judging one case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,7 @@ pub fn check(case: &Case) -> Outcome {
         Case::Monitor(c) => check_monitor(c),
         Case::Compiled(c) => check_compiled(c),
         Case::Session(c) => check_session(c),
+        Case::Crash(c) => check_crash(c),
     }
 }
 
@@ -618,6 +621,7 @@ fn replay(c: &SessionCase, threads: usize, cache_cap: usize) -> Vec<String> {
         threads,
         max_line: 1 << 20,
         cache_cap,
+        ..ServiceConfig::default()
     });
     c.lines
         .iter()
@@ -752,6 +756,196 @@ fn cross_check_classify(c: &SessionCase, replies: &[String]) -> Option<String> {
     None
 }
 
+// ---------------------------------------------------------------------
+// Oracle 7: crash-recovery equivalence
+// ---------------------------------------------------------------------
+
+/// Whether the daemon journals this request line ahead of dispatch.
+/// Mirrors the engine's rule exactly: the line must build a [`Request`]
+/// (malformed lines are answered, never journaled) and carry a
+/// state-mutating verb.
+fn is_journaled_line(line: &str) -> bool {
+    match sl_service::parse_request(line) {
+        Ok(req) => matches!(req.verb, Verb::Define | Verb::Decompose | Verb::MonitorStep),
+        Err(_) => false,
+    }
+}
+
+/// A fresh scratch directory for one recovery. The process id plus a
+/// process-wide counter keeps parallel test binaries and drill
+/// iterations apart.
+fn fresh_dir(tag: &str) -> Result<std::path::PathBuf, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "sl-crash-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Chops one byte off the highest-epoch journal in `dir`, forging the
+/// on-disk signature of a crash mid-`write`.
+fn truncate_active_journal(dir: &std::path::Path) -> Result<(), String> {
+    let mut active: Option<(u64, std::path::PathBuf)> = None;
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let epoch = name
+            .strip_prefix("journal-")
+            .and_then(|rest| rest.strip_suffix(".slj"))
+            .and_then(|g| g.parse::<u64>().ok());
+        if let Some(g) = epoch {
+            if active.as_ref().is_none_or(|(best, _)| g > *best) {
+                active = Some((g, entry.path()));
+            }
+        }
+    }
+    let (_, path) = active.ok_or("no journal file to truncate")?;
+    let len = std::fs::metadata(&path)
+        .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
+        .len();
+    if len == 0 {
+        return Err(format!("journal {} is unexpectedly empty", path.display()));
+    }
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .and_then(|f| f.set_len(len - 1))
+        .map_err(|e| format!("cannot truncate {}: {e}", path.display()))
+}
+
+/// The deterministic crash drill behind the `crash` oracle (public so
+/// the repo-level recovery test drives 200+-request sessions through
+/// it).
+///
+/// An uninterrupted non-persistent twin answers every line first. Then
+/// for every journal record boundary `k` the drill runs a persistent
+/// daemon over the prefix holding `k` records, drops it cold (no
+/// drain — the write-ahead journal is all that survives), recovers a
+/// successor from the directory, and requires the successor's answers
+/// for the remaining lines to be byte-identical to the twin's. A
+/// second pass re-runs every kill point with the journal truncated
+/// mid-record: the damaged record's request must be lost (unless a
+/// snapshot already absorbed it) and everything before it kept.
+///
+/// # Errors
+///
+/// A human-readable divergence description naming the kill point and
+/// the first differing line.
+pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> {
+    let config = || ServiceConfig {
+        fault: FaultPlan::disabled(),
+        ..ServiceConfig::default()
+    };
+    let mut twin = Service::new(config());
+    let twin_replies: Vec<String> = lines.iter().map(|l| twin.handle_line(l).line).collect();
+    let muts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, line)| is_journaled_line(line))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Pass 1: kill at every record boundary (k journal records on
+    // disk, the journal file otherwise intact).
+    for k in 0..=muts.len() {
+        let cut = if k == muts.len() { lines.len() } else { muts[k] };
+        let dir = fresh_dir("boundary")?;
+        let persist = PersistConfig {
+            dir: dir.clone(),
+            snapshot_every,
+        };
+        let result = (|| {
+            let mut doomed = Service::with_persistence(config(), &persist)
+                .map_err(|e| format!("boundary {k}: first open failed: {e}"))?;
+            for (i, line) in lines[..cut].iter().enumerate() {
+                let got = doomed.handle_line(line).line;
+                if got != twin_replies[i] {
+                    return Err(format!(
+                        "boundary {k}: persistent daemon diverges from twin at line {i} before any crash:\n  twin: {}\n  got:  {got}",
+                        twin_replies[i]
+                    ));
+                }
+            }
+            drop(doomed); // crash: journal only, no drain
+            let mut recovered = Service::with_persistence(config(), &persist)
+                .map_err(|e| format!("boundary {k}: recovery failed: {e}"))?;
+            for (i, line) in lines[cut..].iter().enumerate() {
+                let got = recovered.handle_line(line).line;
+                if got != twin_replies[cut + i] {
+                    return Err(format!(
+                        "boundary {k}: recovered daemon diverges at line {}:\n  twin: {}\n  got:  {got}",
+                        cut + i,
+                        twin_replies[cut + i]
+                    ));
+                }
+            }
+            Ok(())
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        result?;
+    }
+
+    // Pass 2: kill mid-record. The daemon journaled record k+1 and
+    // dispatched it, but the record's tail never hit the disk: the
+    // recovered daemon must have forgotten exactly that request —
+    // unless a snapshot rotation already absorbed it, in which case
+    // chopping a byte only grazes the fresh journal's magic.
+    for (k, &mutation) in muts.iter().enumerate() {
+        let cut = mutation + 1;
+        let absorbed = snapshot_every > 0 && (k as u64 + 1) % snapshot_every == 0;
+        let resume = if absorbed { cut } else { mutation };
+        let dir = fresh_dir("midrec")?;
+        let persist = PersistConfig {
+            dir: dir.clone(),
+            snapshot_every,
+        };
+        let result = (|| {
+            let mut doomed = Service::with_persistence(config(), &persist)
+                .map_err(|e| format!("midrec {k}: first open failed: {e}"))?;
+            for line in &lines[..cut] {
+                doomed.handle_line(line);
+            }
+            drop(doomed);
+            truncate_active_journal(&dir).map_err(|e| format!("midrec {k}: {e}"))?;
+            let mut recovered = Service::with_persistence(config(), &persist)
+                .map_err(|e| format!("midrec {k}: recovery failed: {e}"))?;
+            let notes = recovered.take_recovery_notes();
+            if !absorbed && !notes.iter().any(|n| n.contains("truncated")) {
+                return Err(format!(
+                    "midrec {k}: a truncated journal recovered without a truncation note: {notes:?}"
+                ));
+            }
+            for (i, line) in lines[resume..].iter().enumerate() {
+                let got = recovered.handle_line(line).line;
+                if got != twin_replies[resume + i] {
+                    return Err(format!(
+                        "midrec {k}: recovered daemon diverges at line {}:\n  twin: {}\n  got:  {got}",
+                        resume + i,
+                        twin_replies[resume + i]
+                    ));
+                }
+            }
+            Ok(())
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        result?;
+    }
+    Ok(())
+}
+
+fn check_crash(c: &CrashCase) -> Outcome {
+    match crash_drill(&c.lines, c.snapshot_every) {
+        Ok(()) => Outcome::Pass,
+        Err(msg) => Outcome::Fail(msg),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +1038,40 @@ mod tests {
             budget: Some(100),
         };
         assert_eq!(check_compiled(&case), Outcome::Pass);
+    }
+
+    #[test]
+    fn crash_oracle_accepts_a_handwritten_session() {
+        let lines: Vec<String> = [
+            r#"{"id":1,"verb":"define","name":"p0","ltl":"G a","alphabet":["a","b"]}"#,
+            r#"{"id":2,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a","a"]}"#,
+            r#"{"id":3,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["b"]}"#,
+            r#"{"id":4,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a"]}"#,
+            r#"{"id":5,"verb":"decompose","target":"p0"}"#,
+            r#"{"id":6,"verb":"classify","target":"p0.safety"}"#,
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        // The violation at line 3 must stay sticky across every kill
+        // point, including restarts landing between lines 3 and 4.
+        for snapshot_every in [0u64, 1, 2] {
+            crash_drill(&lines, snapshot_every).unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_drill_names_the_kill_point_on_divergence() {
+        // A `stats` line makes recovered and twin replies legitimately
+        // differ (the recovered daemon reports persistence metrics), so
+        // the drill must fail — proving it actually diffs bytes.
+        let lines: Vec<String> = vec![
+            r#"{"id":1,"verb":"define","name":"p0","ltl":"G a","alphabet":["a","b"]}"#.to_string(),
+            r#"{"id":2,"verb":"stats"}"#.to_string(),
+        ];
+        let err = crash_drill(&lines, 0).unwrap_err();
+        assert!(err.contains("boundary"), "{err}");
+        assert!(err.contains("diverges"), "{err}");
     }
 
     #[test]

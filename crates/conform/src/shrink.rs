@@ -8,7 +8,7 @@
 //! dropping entries. Candidates are ordered biggest-reduction-first so
 //! the greedy loop converges in few evaluations.
 
-use crate::case::{Case, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
 use crate::gen;
 use sl_buchi::{hoa, BuchiBuilder};
 use sl_support::prop::Strategy;
@@ -43,6 +43,7 @@ pub fn shrink_case(case: &Case) -> Vec<Case> {
         Case::Monitor(c) => wrap_monitor_variants(c, Case::Monitor),
         Case::Compiled(c) => wrap_monitor_variants(c, Case::Compiled),
         Case::Session(c) => shrink_session(c),
+        Case::Crash(c) => shrink_crash(c),
     }
 }
 
@@ -249,6 +250,37 @@ fn shrink_session(c: &SessionCase) -> Vec<Case> {
             continue;
         }
         out.push(Case::Session(SessionCase { lines }));
+    }
+    out
+}
+
+fn shrink_crash(c: &CrashCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    // Drop the tail half first, then single lines — the drill is
+    // O(records²), so shedding lines early pays twice.
+    if c.lines.len() > 1 {
+        out.push(Case::Crash(CrashCase {
+            lines: c.lines[..c.lines.len() / 2].to_vec(),
+            snapshot_every: c.snapshot_every,
+        }));
+    }
+    for i in 0..c.lines.len() {
+        let mut lines = c.lines.clone();
+        lines.remove(i);
+        if lines.is_empty() {
+            continue;
+        }
+        out.push(Case::Crash(CrashCase {
+            lines,
+            snapshot_every: c.snapshot_every,
+        }));
+    }
+    // Snapshot rotation off is the simpler-to-debug configuration.
+    if c.snapshot_every != 0 {
+        out.push(Case::Crash(CrashCase {
+            lines: c.lines.clone(),
+            snapshot_every: 0,
+        }));
     }
     out
 }

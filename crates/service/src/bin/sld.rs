@@ -1,28 +1,110 @@
 //! `sld` — the safety/liveness query daemon.
 //!
 //! ```text
-//! sld [--stdin]        serve newline-delimited JSON on stdin/stdout (default)
-//! sld --tcp ADDR       serve TCP connections sequentially on ADDR
+//! sld [--stdin]              serve newline-delimited JSON on stdin/stdout (default)
+//! sld --tcp ADDR             serve TCP connections sequentially on ADDR
+//! sld --persist DIR [...]    journal + snapshot state under DIR (crash-safe)
 //! ```
 //!
 //! stdout carries protocol lines only (golden transcripts diff it
 //! byte-for-byte); the banner and diagnostics go to stderr. Knobs via
 //! environment: `SL_THREADS` (batch fan-out width), `SL_INCL_ENGINE`
 //! (antichain/rank), `SL_FAULT_SEED`/`SL_FAULT_RATE` (seeded fault
-//! drill of the `sl.service.request` site and the engines' sites).
+//! drill of the `sl.service.request` site and the engines' sites),
+//! `SL_SNAPSHOT_EVERY` (journal records between automatic snapshots
+//! under `--persist`; default 256, 0 disables automatic snapshots).
 
-use sl_service::{serve_stdin, serve_tcp, Service};
+use sl_service::{serve_stdin, serve_tcp, PersistConfig, Service, ServiceConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: sld [--stdin | --tcp ADDR] [--persist DIR]";
+
+enum Mode {
+    Stdin,
+    Tcp(String),
+}
+
+/// Flushes, snapshots, and reports the drain on the way out. The
+/// shutdown verb already drained if the session ended that way; a
+/// second drain is a cheap no-op rotation, and an EOF-terminated
+/// session gets its only drain here.
+fn drain_at_exit(service: &mut Service) {
+    if !service.is_persistent() {
+        return;
+    }
+    match service.drain() {
+        Ok(_) => eprintln!("sld: state flushed and snapshotted"),
+        Err(e) => eprintln!("sld: drain failed: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut service = Service::from_env();
-    match args.first().map(String::as_str) {
-        None | Some("--stdin") => {
+    let mut mode = Mode::Stdin;
+    let mut persist_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdin" => mode = Mode::Stdin,
+            "--tcp" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("sld: --tcp needs an address (e.g. 127.0.0.1:7333)");
+                    return ExitCode::FAILURE;
+                };
+                mode = Mode::Tcp(addr.clone());
+                i += 1;
+            }
+            "--persist" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("sld: --persist needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                persist_dir = Some(dir.clone());
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sld: unknown argument `{other}` ({USAGE})");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let mut service = match &persist_dir {
+        None => Service::from_env(),
+        Some(dir) => {
+            let snapshot_every = std::env::var("SL_SNAPSHOT_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(256);
+            let persist = PersistConfig {
+                dir: dir.into(),
+                snapshot_every,
+            };
+            match Service::with_persistence(ServiceConfig::default(), &persist) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("sld: cannot recover state from {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    for note in service.take_recovery_notes() {
+        eprintln!("sld: {note}");
+    }
+
+    match mode {
+        Mode::Stdin => {
             eprintln!("sld: serving stdin (quit or EOF ends the session)");
             match serve_stdin(&mut service) {
                 Ok(summary) => {
+                    drain_at_exit(&mut service);
                     eprintln!(
                         "sld: session over ({} responses, {})",
                         summary.responses,
@@ -31,39 +113,32 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    drain_at_exit(&mut service);
                     eprintln!("sld: i/o error: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
-        Some("--tcp") => {
-            let Some(addr) = args.get(1) else {
-                eprintln!("sld: --tcp needs an address (e.g. 127.0.0.1:7333)");
-                return ExitCode::FAILURE;
-            };
-            let listener = match TcpListener::bind(addr) {
+        Mode::Tcp(addr) => {
+            let listener = match TcpListener::bind(&addr) {
                 Ok(l) => l,
                 Err(e) => {
                     eprintln!("sld: cannot bind {addr}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            eprintln!("sld: serving {addr} (a quit request shuts the daemon down)");
+            eprintln!("sld: serving {addr} (a quit or shutdown request shuts the daemon down)");
             match serve_tcp(&mut service, &listener) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => {
+                    drain_at_exit(&mut service);
+                    ExitCode::SUCCESS
+                }
                 Err(e) => {
+                    drain_at_exit(&mut service);
                     eprintln!("sld: accept error: {e}");
                     ExitCode::FAILURE
                 }
             }
-        }
-        Some("--help" | "-h") => {
-            eprintln!("usage: sld [--stdin | --tcp ADDR]");
-            ExitCode::SUCCESS
-        }
-        Some(other) => {
-            eprintln!("sld: unknown argument `{other}` (usage: sld [--stdin | --tcp ADDR])");
-            ExitCode::FAILURE
         }
     }
 }

@@ -37,6 +37,7 @@
 
 use crate::cache::{QueryCache, QueryCacheStats, QueryKind};
 use crate::json::Json;
+use crate::persist::{Persist, PersistConfig, PersistError, SessionSnap};
 use crate::proto::{
     err_value, kind_of, ok_value, request_from_value, BudgetSpec, ProtoError, Request, Verb,
 };
@@ -73,6 +74,10 @@ pub struct ServiceConfig {
     pub max_line: usize,
     /// Result-cache capacity (cap-and-clear past it).
     pub cache_cap: usize,
+    /// Bounded intake: the most items one `batch` may carry. Larger
+    /// batches are shed with a typed `overloaded` rejection instead of
+    /// letting one client grow the daemon's queue without bound.
+    pub max_batch: usize,
 }
 
 impl Default for ServiceConfig {
@@ -82,15 +87,20 @@ impl Default for ServiceConfig {
             threads: par::thread_count(),
             max_line: 1 << 20,
             cache_cap: 256,
+            max_batch: 1024,
         }
     }
 }
 
 /// A monitor session: the policy automaton's alphabet (for symbol
-/// lookup) plus where the stepped state lives.
+/// lookup), the automaton itself (snapshots serialize it per session,
+/// so sessions that outlive a redefinition of their target name stay
+/// bound to the automaton they actually watch), and where the stepped
+/// state lives.
 #[derive(Debug)]
 struct MonitorSession {
     target: String,
+    source: Arc<Buchi>,
     alphabet: Alphabet,
     backend: SessionBackend,
 }
@@ -128,7 +138,7 @@ pub struct Reply {
 }
 
 /// All verbs, in the fixed order the `stats` response reports them.
-const STATS_VERBS: [Verb; 10] = [
+const STATS_VERBS: [Verb; 11] = [
     Verb::Define,
     Verb::Classify,
     Verb::Decompose,
@@ -138,8 +148,38 @@ const STATS_VERBS: [Verb; 10] = [
     Verb::MonitorStep,
     Verb::Stats,
     Verb::Batch,
+    Verb::Shutdown,
     Verb::Quit,
 ];
+
+/// The verbs the write-ahead journal records: exactly those whose
+/// successful dispatch mutates durable state (`decompose` registers
+/// the two decomposition parts, so it mutates the registry too).
+fn is_journaled(verb: Verb) -> bool {
+    matches!(verb, Verb::Define | Verb::Decompose | Verb::MonitorStep)
+}
+
+/// The drain state machine: `Running` serves everything; `Stopped`
+/// (entered by the `shutdown` verb after the journal is flushed and a
+/// final snapshot is written) rejects every further request with a
+/// typed `shutting_down` error. The serving loop is sequential, so by
+/// the time `shutdown` is dispatched every earlier request has already
+/// been answered — accepting the verb *is* the drain barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    Running,
+    Stopped,
+}
+
+/// The durability attachment: the journal/snapshot manager plus the
+/// replay guard (recovery feeds journaled lines back through dispatch,
+/// and those must not be re-journaled).
+#[derive(Debug)]
+struct PersistState {
+    persist: Persist,
+    replaying: bool,
+    notes: Vec<String>,
+}
 
 /// The daemon state: registry, monitor sessions, cache, counters.
 #[derive(Debug)]
@@ -151,8 +191,11 @@ pub struct Service {
     cache: QueryCache,
     verb_counts: [u64; STATS_VERBS.len()],
     errors: u64,
+    io_errors: u64,
     engine_totals: EngineStats,
     next_request_index: u64,
+    persist: Option<PersistState>,
+    lifecycle: Lifecycle,
 }
 
 /// A resolved, cacheable query: what to compute and on what.
@@ -175,8 +218,11 @@ impl Service {
             fleets: Vec::new(),
             verb_counts: [0; STATS_VERBS.len()],
             errors: 0,
+            io_errors: 0,
             engine_totals: EngineStats::default(),
             next_request_index: 0,
+            persist: None,
+            lifecycle: Lifecycle::Running,
         }
     }
 
@@ -184,6 +230,89 @@ impl Service {
     #[must_use]
     pub fn from_env() -> Self {
         Service::new(ServiceConfig::default())
+    }
+
+    /// A durable service: recovers the newest loadable snapshot plus
+    /// the journal tail from `persist.dir` (an empty or missing
+    /// directory starts clean), then journals every state-mutating
+    /// request ahead of dispatch and snapshots every
+    /// `persist.snapshot_every` records. Recovery diagnostics are
+    /// collected for [`Service::take_recovery_notes`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when the directory is unusable, a journal
+    /// holds a damaged complete record, or a checksum-valid snapshot
+    /// decodes to state the engine rejects. Damaged snapshots fall
+    /// back to older ones; a truncated journal tail is dropped with a
+    /// note, not an error.
+    pub fn with_persistence(
+        config: ServiceConfig,
+        persist: &PersistConfig,
+    ) -> Result<Self, PersistError> {
+        let started = std::time::Instant::now();
+        let (persist, recovered) = Persist::open(persist)?;
+        let mut service = Service::new(config);
+        service.persist = Some(PersistState {
+            persist,
+            replaying: true,
+            notes: recovered.notes,
+        });
+        if let Some(snapshot) = &recovered.snapshot {
+            service.restore_snapshot(snapshot)?;
+        }
+        let mut replayed = 0u64;
+        for line in &recovered.tail {
+            service.replay_line(line);
+            replayed += 1;
+        }
+        let state = service.persist.as_mut().expect("attached above");
+        state.replaying = false;
+        state
+            .persist
+            .note_recovery(started.elapsed().as_millis() as u64, replayed);
+        Ok(service)
+    }
+
+    /// Whether this service journals and snapshots its state.
+    #[must_use]
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Drains recovery diagnostics (`[recovered]`-prefixed lines) for
+    /// the caller to log; empty on a clean start.
+    pub fn take_recovery_notes(&mut self) -> Vec<String> {
+        match self.persist.as_mut() {
+            Some(state) => std::mem::take(&mut state.notes),
+            None => Vec::new(),
+        }
+    }
+
+    /// Counts one dropped-connection (or otherwise failed) transport
+    /// I/O error; surfaced by `stats` as `io_errors`.
+    pub fn note_io_error(&mut self) {
+        self.io_errors += 1;
+    }
+
+    /// Flushes the journal to stable storage and writes a final
+    /// snapshot — the graceful half of shutdown, also used by the
+    /// listener-close path. Returns `true` when a snapshot was
+    /// written (`false` for a non-persistent service).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when the snapshot or sync fails; the journal
+    /// is still complete, so recovery remains possible.
+    pub fn drain(&mut self) -> Result<bool, PersistError> {
+        if self.persist.is_none() {
+            return Ok(false);
+        }
+        let (registry, sessions) = self.snapshot_state();
+        let state = self.persist.as_mut().expect("checked above");
+        state.persist.sync()?;
+        state.persist.write_snapshot(registry, sessions)?;
+        Ok(true)
     }
 
     /// The configured line cap (the framing layer enforces it).
@@ -217,6 +346,13 @@ impl Service {
             Ok(request) => request,
             Err(error) => return self.error_reply(id.as_ref(), &error),
         };
+        if self.lifecycle == Lifecycle::Stopped {
+            let error = ProtoError::new(
+                "shutting_down",
+                "the daemon has drained and accepts no further requests",
+            );
+            return self.error_reply(id.as_ref(), &error);
+        }
         self.count_verb(request.verb);
         let index = self.take_index();
         if let Err(err) = self.config.fault.inject_error(REQUEST_FAULT_SITE, index) {
@@ -229,11 +365,45 @@ impl Service {
                 quit: true,
             };
         }
+        if request.verb == Verb::Shutdown {
+            // Sequential serving means every earlier request is already
+            // answered: flush, snapshot, and refuse what follows.
+            let snapshotted = match self.drain() {
+                Ok(wrote) => wrote,
+                Err(e) => {
+                    eprintln!("sld: shutdown snapshot failed: {e}");
+                    false
+                }
+            };
+            self.lifecycle = Lifecycle::Stopped;
+            let body = Json::obj(vec![
+                ("bye", Json::Bool(true)),
+                ("drained", Json::Bool(true)),
+                ("snapshotted", Json::Bool(snapshotted)),
+            ]);
+            return Reply {
+                line: ok_value(id.as_ref(), body).render(),
+                quit: true,
+            };
+        }
+        // Write-ahead: a mutating request reaches dispatch only after
+        // it is durable, so a crash at any later point replays it.
+        if is_journaled(request.verb) {
+            if let Some(state) = self.persist.as_mut() {
+                if !state.replaying {
+                    if let Err(e) = state.persist.append(line) {
+                        let error =
+                            ProtoError::new("persist", format!("journal write failed: {e}"));
+                        return self.error_reply(id.as_ref(), &error);
+                    }
+                }
+            }
+        }
         // Dispatch-level panic boundary: every verb — not just the
         // query kernel — degrades to a typed `panic` error, keeping
         // the protocol contract that every failure is a response.
         let mut this = AssertUnwindSafe(&mut *self);
-        match catch_unwind(move || this.dispatch(&request)) {
+        let reply = match catch_unwind(move || this.dispatch(&request)) {
             Ok(Ok(result)) => Reply {
                 line: ok_value(id.as_ref(), result).render(),
                 quit: false,
@@ -243,7 +413,131 @@ impl Service {
                 let error = ProtoError::new("panic", panic_message(payload.as_ref()));
                 self.error_reply(id.as_ref(), &error)
             }
+        };
+        self.maybe_snapshot();
+        reply
+    }
+
+    /// Feeds one recovered journal line back through dispatch. Replay
+    /// skips the fault-injection gate — the journal records requests
+    /// that were already accepted — but keeps the verb counters and
+    /// index stream moving so a recovered daemon's bookkeeping stays
+    /// plausible. Outcomes are discarded: a line that failed when
+    /// first served fails identically here, which is the point.
+    fn replay_line(&mut self, line: &str) {
+        let Ok(doc) = crate::json::parse(line) else { return };
+        let Ok(request) = request_from_value(doc) else { return };
+        if !is_journaled(request.verb) {
+            return;
         }
+        self.count_verb(request.verb);
+        let _ = self.take_index();
+        let mut this = AssertUnwindSafe(&mut *self);
+        match catch_unwind(move || this.dispatch(&request)) {
+            Ok(Ok(_)) => {}
+            Ok(Err(_)) | Err(_) => self.errors += 1,
+        }
+    }
+
+    /// Writes an automatic snapshot when the journal has accumulated
+    /// `snapshot_every` records. A failed snapshot is a diagnostic,
+    /// not a request failure: the journal already holds everything.
+    fn maybe_snapshot(&mut self) {
+        let due = match &self.persist {
+            Some(state) => !state.replaying && state.persist.should_snapshot(),
+            None => false,
+        };
+        if due {
+            let (registry, sessions) = self.snapshot_state();
+            let state = self.persist.as_mut().expect("checked above");
+            if let Err(e) = state.persist.write_snapshot(registry, sessions) {
+                eprintln!("sld: snapshot failed: {e}");
+            }
+        }
+    }
+
+    /// Serializes the durable state: sorted registry bindings (HOA is
+    /// an exact codec — `from_hoa(to_hoa(b)) == b`) and sorted monitor
+    /// sessions with their raw backend state.
+    fn snapshot_state(&self) -> (Vec<(String, String)>, Vec<SessionSnap>) {
+        let mut registry: Vec<(String, String)> = self
+            .registry
+            .iter()
+            .map(|(name, automaton)| (name.to_string(), hoa::to_hoa(automaton, name)))
+            .collect();
+        registry.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut sessions: Vec<SessionSnap> = self
+            .monitors
+            .iter()
+            .map(|(name, session)| {
+                let state = match &session.backend {
+                    SessionBackend::Compiled { fleet, slot } => {
+                        u64::from(self.fleets[*fleet].fleet.save_state(*slot))
+                    }
+                    SessionBackend::Nfa(monitor) => monitor.save_state(),
+                };
+                SessionSnap {
+                    name: name.clone(),
+                    target: session.target.clone(),
+                    hoa: hoa::to_hoa(&session.source, &session.target),
+                    state,
+                }
+            })
+            .collect();
+        sessions.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        (registry, sessions)
+    }
+
+    /// Rebuilds registry and sessions from a snapshot. Automata are
+    /// reparsed from their HOA text (deduplicated by text, so sessions
+    /// watching the same automaton share one compiled fleet, as they
+    /// would have live); the deterministic monitor constructions make
+    /// the saved raw state indices valid against the rebuilt tables.
+    fn restore_snapshot(&mut self, snapshot: &crate::persist::Snapshot) -> Result<(), PersistError> {
+        let bad = |detail: String| PersistError::State { detail };
+        let mut by_hoa: HashMap<&str, Arc<Buchi>> = HashMap::new();
+        for (name, text) in &snapshot.registry {
+            let automaton = hoa::from_hoa(text)
+                .map_err(|e| bad(format!("registry entry `{name}`: {e}")))?;
+            let stored = self.registry.insert(name, automaton);
+            by_hoa.entry(text.as_str()).or_insert(stored);
+        }
+        for snap in &snapshot.sessions {
+            let source = match by_hoa.get(snap.hoa.as_str()) {
+                Some(arc) => Arc::clone(arc),
+                None => {
+                    let automaton = hoa::from_hoa(&snap.hoa)
+                        .map_err(|e| bad(format!("session `{}`: {e}", snap.name)))?;
+                    let arc = Arc::new(automaton);
+                    by_hoa.insert(snap.hoa.as_str(), Arc::clone(&arc));
+                    arc
+                }
+            };
+            let mut backend = self.make_backend(&source);
+            let loaded = match &mut backend {
+                SessionBackend::Compiled { fleet, slot } => match u16::try_from(snap.state) {
+                    Ok(raw) => self.fleets[*fleet].fleet.load_state(*slot, raw),
+                    Err(_) => false,
+                },
+                SessionBackend::Nfa(monitor) => monitor.load_state(snap.state),
+            };
+            if !loaded {
+                return Err(bad(format!(
+                    "session `{}` state {} is out of range for its monitor",
+                    snap.name, snap.state
+                )));
+            }
+            self.monitors.insert(
+                snap.name.clone(),
+                MonitorSession {
+                    target: snap.target.clone(),
+                    alphabet: source.alphabet().clone(),
+                    source,
+                    backend,
+                },
+            );
+        }
+        Ok(())
     }
 
     fn error_reply(&mut self, id: Option<&Json>, error: &ProtoError) -> Reply {
@@ -279,7 +573,9 @@ impl Service {
             Verb::MonitorStep => self.do_monitor_step(request),
             Verb::Stats => Ok(self.do_stats()),
             Verb::Batch => self.do_batch(request),
-            Verb::Quit => unreachable!("quit is handled before dispatch"),
+            Verb::Shutdown | Verb::Quit => {
+                unreachable!("shutdown and quit are handled before dispatch")
+            }
         }
     }
 
@@ -483,6 +779,7 @@ impl Service {
                 MonitorSession {
                     target: target_name.to_string(),
                     alphabet: target.alphabet().clone(),
+                    source: target,
                     backend,
                 },
             );
@@ -578,9 +875,10 @@ impl Service {
         ));
         let cache = self.cache.stats();
         let engine = &self.engine_totals;
-        Json::obj(vec![
+        let mut doc = vec![
             ("requests", Json::Obj(requests)),
             ("errors", Json::Int(self.errors as i64)),
+            ("io_errors", Json::Int(self.io_errors as i64)),
             (
                 "registry",
                 Json::obj(vec![
@@ -637,7 +935,28 @@ impl Service {
                     ),
                 ]),
             ),
-        ])
+        ];
+        if let Some(state) = &self.persist {
+            let p = state.persist.stats();
+            doc.push((
+                "persist",
+                Json::obj(vec![
+                    ("journal_bytes", Json::Int(p.journal_bytes as i64)),
+                    (
+                        "records_since_snapshot",
+                        Json::Int(p.records_since_snapshot as i64),
+                    ),
+                    ("snapshots_taken", Json::Int(p.snapshots_taken as i64)),
+                    (
+                        "snapshots_discarded",
+                        Json::Int(p.snapshots_discarded as i64),
+                    ),
+                    ("last_recovery_ms", Json::Int(p.last_recovery_ms as i64)),
+                    ("replayed_records", Json::Int(p.replayed_records as i64)),
+                ]),
+            ));
+        }
+        Json::obj(doc)
     }
 
     // ---- batch ----------------------------------------------------
@@ -653,6 +972,20 @@ impl Service {
             .and_then(Json::as_arr)
             .ok_or_else(|| ProtoError::new("parse", "batch needs a `requests` array"))?
             .to_vec();
+        // Bounded intake: shed oversized batches before any per-item
+        // bookkeeping, so an overloaded rejection has no side effects
+        // a retry would double-count.
+        if items.len() > self.config.max_batch {
+            return Err(ProtoError::new(
+                "overloaded",
+                format!(
+                    "batch carries {} requests; the daemon accepts at most {} per batch — \
+                     split the batch and retry",
+                    items.len(),
+                    self.config.max_batch
+                ),
+            ));
+        }
         let default_budget = request.budget;
 
         // Per-item slot: either an already-final response value or a

@@ -19,8 +19,18 @@
 //! * **`batch`** — fan query verbs through the panic-isolated parallel
 //!   sweep: one poisoned request degrades to a typed error response,
 //!   never a dead daemon;
-//! * **`stats`** — per-verb counters, result-cache effectiveness, and
-//!   the engines' [`sl_buchi::EngineStats`].
+//! * **`stats`** — per-verb counters, result-cache effectiveness,
+//!   transport `io_errors`, persistence metrics, and the engines'
+//!   [`sl_buchi::EngineStats`];
+//! * **`shutdown`** — the graceful drain: flush the write-ahead
+//!   journal, snapshot, refuse further requests, exit.
+//!
+//! A daemon built with [`Service::with_persistence`] is crash-safe:
+//! the [`persist`] module journals every state-mutating request ahead
+//! of dispatch and snapshots the registry plus all monitor sessions
+//! atomically, so a restart recovers byte-identical behaviour (the
+//! `crash` conformance oracle and `tests/crash_recovery.rs` hold it to
+//! that, killing the daemon at every record boundary).
 //!
 //! Every request may carry a `budget` (`steps`/`ms`) mapped onto
 //! [`sl_support::Budget`]; query results are memoized keyed by
@@ -52,6 +62,7 @@
 pub mod cache;
 pub mod engine;
 pub mod json;
+pub mod persist;
 pub mod proto;
 pub mod registry;
 pub mod server;
@@ -59,9 +70,12 @@ pub mod server;
 pub use cache::{QueryCache, QueryCacheStats, QueryKind};
 pub use engine::{Reply, Service, ServiceConfig, REQUEST_FAULT_SITE};
 pub use json::Json;
+pub use persist::{
+    Persist, PersistConfig, PersistError, PersistStats, Recovered, SessionSnap, Snapshot,
+};
 pub use proto::{
     err_response, ok_response, parse_request, read_frame, BudgetSpec, Frame, ProtoError, Request,
     Verb,
 };
 pub use registry::Registry;
-pub use server::{serve, serve_stdin, serve_tcp, SessionSummary};
+pub use server::{serve, serve_connection, serve_stdin, serve_tcp, SessionSummary};

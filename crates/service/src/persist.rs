@@ -1,0 +1,861 @@
+//! Durability for the daemon: a write-ahead journal of state-mutating
+//! requests plus atomic, checksummed snapshots with generation-based
+//! compaction. Zero dependencies — framing, checksums, and the
+//! snapshot codec are all hand-rolled here.
+//!
+//! # On-disk layout
+//!
+//! A persistence directory holds *epochs*. Epoch `g` is the pair
+//! `snap-<g>.slsnap` (the state as of the epoch's start; epoch 0 has
+//! no snapshot — it starts empty) and `journal-<g>.slj` (the
+//! state-mutating request lines accepted since). Taking a snapshot
+//! rotates to epoch `g+1` and prunes everything before epoch `g`, so
+//! at most two epochs exist at a time: the current one and one full
+//! fallback in case the newest snapshot is damaged.
+//!
+//! A journal file is the 8-byte magic `SLJRNL1\n` followed by records:
+//!
+//! ```text
+//! [len: u32 LE] [seq: u64 LE] [fnv64(seq ‖ payload): u64 LE] [payload]
+//! ```
+//!
+//! `payload` is the raw request line, journaled *before* dispatch.
+//! The reader distinguishes the two corruption shapes a crash can and
+//! cannot produce: a record extending past end-of-file is the normal
+//! signature of dying mid-append and is dropped with a `[recovered]`
+//! note; a *complete* record whose checksum fails means the file was
+//! damaged after the fact and is rejected with a typed diagnostic
+//! naming the byte offset.
+//!
+//! A snapshot file is the magic `SLSNAP1\n`, a `u64` payload length, a
+//! `u64` FNV-1a checksum, and a JSON payload. It is written to a
+//! temporary name, `fsync`ed, and renamed into place (with a directory
+//! `fsync` after), so a crash leaves either the old set of snapshots
+//! or the old set plus one complete new snapshot — never a torn one.
+//! Recovery walks snapshots newest-first and falls back on corruption.
+
+use crate::json::{self, Json};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First 8 bytes of every journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"SLJRNL1\n";
+/// First 8 bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SLSNAP1\n";
+/// Per-record header: length (4) + sequence (8) + checksum (8).
+const RECORD_HEADER: usize = 20;
+/// Hard cap on one record's payload — far above the daemon's own line
+/// cap, so hitting it means the length field itself is garbage.
+const MAX_RECORD: usize = 1 << 24;
+
+/// FNV-1a 64 over the record sequence number and payload.
+#[must_use]
+fn fnv64(seq: u64, payload: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in seq.to_le_bytes().iter().chain(payload) {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why persistence failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file (or directory) the operation touched.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A complete record or snapshot failed validation — damage a
+    /// crash cannot produce, so it is rejected, not repaired.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the damaged record or header.
+        offset: u64,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A checksum-valid snapshot decoded to a state the engine refuses
+    /// to adopt (e.g. a session state index out of range).
+    State {
+        /// What the engine rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, detail } => {
+                write!(f, "i/o error at {}: {detail}", path.display())
+            }
+            PersistError::Corrupt { path, offset, detail } => {
+                write!(f, "corrupt {} at byte {offset}: {detail}", path.display())
+            }
+            PersistError::State { detail } => write!(f, "snapshot rejected: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> PersistError {
+    PersistError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    }
+}
+
+/// Construction-time knobs for the durability layer.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// The persistence directory (created if missing).
+    pub dir: PathBuf,
+    /// Journal records between automatic snapshots; `0` disables
+    /// automatic snapshots (the journal still grows, and `shutdown` /
+    /// drain still snapshot).
+    pub snapshot_every: u64,
+}
+
+/// Counters the `stats` verb surfaces (all monotone within a process
+/// except `journal_bytes` / `records_since_snapshot`, which reset on
+/// rotation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistStats {
+    /// Bytes in the current journal file (magic included).
+    pub journal_bytes: u64,
+    /// Records appended to the current journal since its snapshot.
+    pub records_since_snapshot: u64,
+    /// Snapshots written by this process.
+    pub snapshots_taken: u64,
+    /// Snapshots found damaged and skipped during recovery.
+    pub snapshots_discarded: u64,
+    /// Wall-clock duration of the last startup recovery, milliseconds.
+    pub last_recovery_ms: u64,
+    /// Journal records replayed by the last startup recovery.
+    pub replayed_records: u64,
+}
+
+/// One monitor session's durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnap {
+    /// The session name (the `monitor` operand).
+    pub name: String,
+    /// The target name the session was created against.
+    pub target: String,
+    /// The session's own automaton as HOA text — per session, not a
+    /// registry lookup, so sessions that outlived a redefinition of
+    /// their target name restore against the automaton they actually
+    /// watch.
+    pub hoa: String,
+    /// The raw monitor state (backend-specific encoding; sentinels
+    /// included). Stored as a decimal string on the wire because the
+    /// NFA backend's sentinels do not fit a JSON `i64`.
+    pub state: u64,
+}
+
+/// Everything a daemon needs to resume: the registry and every monitor
+/// session, plus the journal sequence number the state reflects.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The next journal sequence number at snapshot time: records with
+    /// `seq >=` this are newer than the snapshot and must be replayed.
+    pub seq: u64,
+    /// `(name, HOA text)` bindings, sorted by name.
+    pub registry: Vec<(String, String)>,
+    /// Monitor sessions, sorted by session name.
+    pub sessions: Vec<SessionSnap>,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> Json {
+        let registry = self
+            .registry
+            .iter()
+            .map(|(name, hoa)| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("hoa", Json::Str(hoa.clone())),
+                ])
+            })
+            .collect();
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::Str(s.name.clone())),
+                    ("target", Json::Str(s.target.clone())),
+                    ("hoa", Json::Str(s.hoa.clone())),
+                    ("state", Json::Str(s.state.to_string())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("seq", Json::Int(self.seq as i64)),
+            ("registry", Json::Arr(registry)),
+            ("sessions", Json::Arr(sessions)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Snapshot, String> {
+        let seq = doc
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot needs a nonnegative integer `seq`")?;
+        let text = |item: &Json, key: &str| -> Result<String, String> {
+            item.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("snapshot entry needs a string `{key}`"))
+        };
+        let mut registry = Vec::new();
+        for item in doc
+            .get("registry")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot needs a `registry` array")?
+        {
+            registry.push((text(item, "name")?, text(item, "hoa")?));
+        }
+        let mut sessions = Vec::new();
+        for item in doc
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot needs a `sessions` array")?
+        {
+            let state = text(item, "state")?
+                .parse::<u64>()
+                .map_err(|_| "session `state` must be a decimal u64".to_string())?;
+            sessions.push(SessionSnap {
+                name: text(item, "name")?,
+                target: text(item, "target")?,
+                hoa: text(item, "hoa")?,
+                state,
+            });
+        }
+        Ok(Snapshot {
+            seq,
+            registry,
+            sessions,
+        })
+    }
+}
+
+/// What startup recovery reconstructed from disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest loadable snapshot, if any.
+    pub snapshot: Option<Snapshot>,
+    /// Journal lines newer than the snapshot, in append order — the
+    /// engine replays these through normal dispatch.
+    pub tail: Vec<String>,
+    /// Human-readable recovery diagnostics (truncated tails dropped,
+    /// damaged snapshots skipped). Lines start with `[recovered]`.
+    pub notes: Vec<String>,
+}
+
+/// One parsed journal file.
+struct JournalScan {
+    /// `(seq, line)` for every complete, checksum-valid record.
+    records: Vec<(u64, String)>,
+    /// Offset of a truncated tail, if the file ends mid-record.
+    truncated_at: Option<u64>,
+    /// Bytes of valid content (magic + complete records) — the length
+    /// to truncate to before appending.
+    valid_len: u64,
+}
+
+fn read_journal(path: &Path) -> Result<JournalScan, PersistError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, &e))?;
+    if bytes.is_empty() {
+        // A crash between `create` and the magic write: clean start.
+        return Ok(JournalScan {
+            records: Vec::new(),
+            truncated_at: None,
+            valid_len: 0,
+        });
+    }
+    if bytes.len() < JOURNAL_MAGIC.len() {
+        return Ok(JournalScan {
+            records: Vec::new(),
+            truncated_at: Some(0),
+            valid_len: 0,
+        });
+    }
+    if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(PersistError::Corrupt {
+            path: path.to_path_buf(),
+            offset: 0,
+            detail: "bad journal magic".to_string(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut off = JOURNAL_MAGIC.len();
+    while off < bytes.len() {
+        if bytes.len() - off < RECORD_HEADER {
+            return Ok(JournalScan {
+                records,
+                truncated_at: Some(off as u64),
+                valid_len: off as u64,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD {
+            return Err(PersistError::Corrupt {
+                path: path.to_path_buf(),
+                offset: off as u64,
+                detail: format!("record length {len} exceeds the {MAX_RECORD}-byte cap"),
+            });
+        }
+        let seq = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("8 bytes"));
+        let hash = u64::from_le_bytes(bytes[off + 12..off + 20].try_into().expect("8 bytes"));
+        if bytes.len() - off - RECORD_HEADER < len {
+            return Ok(JournalScan {
+                records,
+                truncated_at: Some(off as u64),
+                valid_len: off as u64,
+            });
+        }
+        let payload = &bytes[off + RECORD_HEADER..off + RECORD_HEADER + len];
+        if fnv64(seq, payload) != hash {
+            return Err(PersistError::Corrupt {
+                path: path.to_path_buf(),
+                offset: off as u64,
+                detail: format!("checksum mismatch in record seq {seq}"),
+            });
+        }
+        let line = std::str::from_utf8(payload).map_err(|_| PersistError::Corrupt {
+            path: path.to_path_buf(),
+            offset: off as u64,
+            detail: format!("record seq {seq} is not valid UTF-8"),
+        })?;
+        records.push((seq, line.to_string()));
+        off += RECORD_HEADER + len;
+    }
+    Ok(JournalScan {
+        records,
+        truncated_at: None,
+        valid_len: off as u64,
+    })
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+    let corrupt = |offset: u64, detail: String| PersistError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        detail,
+    };
+    let bytes = fs::read(path).map_err(|e| io_err(path, &e))?;
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 16 {
+        return Err(corrupt(0, "snapshot shorter than its header".to_string()));
+    }
+    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "bad snapshot magic".to_string()));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let hash = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let body = &bytes[24..];
+    if body.len() != len {
+        return Err(corrupt(
+            24,
+            format!("payload is {} bytes, header says {len}", body.len()),
+        ));
+    }
+    if fnv64(0, body) != hash {
+        return Err(corrupt(24, "snapshot checksum mismatch".to_string()));
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| corrupt(24, "snapshot payload is not valid UTF-8".to_string()))?;
+    let doc = json::parse(text).map_err(|e| corrupt(24, format!("snapshot JSON: {e}")))?;
+    Snapshot::from_json(&doc).map_err(|e| corrupt(24, e))
+}
+
+fn epoch_of(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+    let handle = File::open(dir).map_err(|e| io_err(dir, &e))?;
+    handle.sync_all().map_err(|e| io_err(dir, &e))
+}
+
+/// The journal writer plus snapshot/compaction bookkeeping for one
+/// persistence directory. Built by [`Persist::open`], which also
+/// performs recovery.
+#[derive(Debug)]
+pub struct Persist {
+    dir: PathBuf,
+    snapshot_every: u64,
+    /// Current epoch: records append to `journal-<epoch>.slj`.
+    epoch: u64,
+    /// Next record sequence number.
+    seq: u64,
+    journal: File,
+    journal_path: PathBuf,
+    stats: PersistStats,
+}
+
+impl Persist {
+    /// Opens (creating if needed) a persistence directory, recovering
+    /// whatever durable state it holds: the newest loadable snapshot
+    /// (older ones are fallbacks when the newest is damaged) plus the
+    /// journal tail to replay. Truncated journal tails — the normal
+    /// signature of a crash mid-append — are dropped with a
+    /// `[recovered]` note; a damaged *complete* record is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures;
+    /// [`PersistError::Corrupt`] when a journal holds a complete record
+    /// that fails validation (bad magic, oversized length field,
+    /// checksum mismatch — the diagnostic names the byte offset).
+    pub fn open(config: &PersistConfig) -> Result<(Persist, Recovered), PersistError> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, &e))?;
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        let mut journals: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&config.dir).map_err(|e| io_err(&config.dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&config.dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(g) = epoch_of(name, "snap-", ".slsnap") {
+                snaps.push((g, entry.path()));
+            } else if let Some(g) = epoch_of(name, "journal-", ".slj") {
+                journals.push((g, entry.path()));
+            }
+        }
+        snaps.sort_unstable_by_key(|(g, _)| *g);
+        journals.sort_unstable_by_key(|(g, _)| *g);
+
+        let mut recovered = Recovered::default();
+        let mut discarded = 0u64;
+        let mut snap_epoch = 0u64;
+        for (g, path) in snaps.iter().rev() {
+            match load_snapshot(path) {
+                Ok(snap) => {
+                    recovered.snapshot = Some(snap);
+                    snap_epoch = *g;
+                    break;
+                }
+                Err(e) => {
+                    discarded += 1;
+                    recovered
+                        .notes
+                        .push(format!("[recovered] snapshot discarded: {e}"));
+                }
+            }
+        }
+
+        // Replay journals from the chosen snapshot's epoch onward, in
+        // epoch order, keeping only records newer than the snapshot
+        // (and strictly increasing — overlap across a fallback is
+        // filtered by sequence number, not by file).
+        let mut next_seq = recovered.snapshot.as_ref().map_or(0, |s| s.seq);
+        let mut epoch = snap_epoch;
+        let mut valid_len: u64 = 0;
+        let mut tail_records_in_current = 0u64;
+        let mut have_journal = false;
+        for (g, path) in journals.iter().filter(|(g, _)| *g >= snap_epoch) {
+            let scan = read_journal(path)?;
+            if let Some(off) = scan.truncated_at {
+                recovered.notes.push(format!(
+                    "[recovered] journal {}: truncated tail at byte {off} dropped ({} complete records kept)",
+                    path.display(),
+                    scan.records.len()
+                ));
+            }
+            tail_records_in_current = 0;
+            for (seq, line) in scan.records {
+                if seq >= next_seq {
+                    next_seq = seq + 1;
+                    recovered.tail.push(line);
+                    tail_records_in_current += 1;
+                }
+            }
+            epoch = *g;
+            valid_len = scan.valid_len;
+            have_journal = true;
+        }
+
+        let journal_path = config.dir.join(format!("journal-{epoch}.slj"));
+        let journal = if have_journal {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&journal_path)
+                .map_err(|e| io_err(&journal_path, &e))?;
+            if valid_len < JOURNAL_MAGIC.len() as u64 {
+                f.set_len(0).map_err(|e| io_err(&journal_path, &e))?;
+                f.write_all(JOURNAL_MAGIC)
+                    .map_err(|e| io_err(&journal_path, &e))?;
+                valid_len = JOURNAL_MAGIC.len() as u64;
+            } else {
+                f.set_len(valid_len).map_err(|e| io_err(&journal_path, &e))?;
+                f.seek(SeekFrom::End(0)).map_err(|e| io_err(&journal_path, &e))?;
+            }
+            f
+        } else {
+            let mut f = File::create(&journal_path).map_err(|e| io_err(&journal_path, &e))?;
+            f.write_all(JOURNAL_MAGIC)
+                .map_err(|e| io_err(&journal_path, &e))?;
+            valid_len = JOURNAL_MAGIC.len() as u64;
+            f
+        };
+
+        let persist = Persist {
+            dir: config.dir.clone(),
+            snapshot_every: config.snapshot_every,
+            epoch,
+            seq: next_seq,
+            journal,
+            journal_path,
+            stats: PersistStats {
+                journal_bytes: valid_len,
+                records_since_snapshot: tail_records_in_current,
+                snapshots_discarded: discarded,
+                ..PersistStats::default()
+            },
+        };
+        Ok((persist, recovered))
+    }
+
+    /// Appends one request line to the journal (write-ahead: call this
+    /// *before* dispatching the request it records).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the write fails — the caller should
+    /// reject the request rather than mutate undurable state.
+    pub fn append(&mut self, line: &str) -> Result<(), PersistError> {
+        let payload = line.as_bytes();
+        if payload.len() > MAX_RECORD {
+            return Err(PersistError::Io {
+                path: self.journal_path.clone(),
+                detail: format!("record of {} bytes exceeds the journal cap", payload.len()),
+            });
+        }
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&fnv64(self.seq, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.journal
+            .write_all(&buf)
+            .map_err(|e| io_err(&self.journal_path, &e))?;
+        self.seq += 1;
+        self.stats.journal_bytes += buf.len() as u64;
+        self.stats.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Whether enough records have accumulated for an automatic
+    /// snapshot.
+    #[must_use]
+    pub fn should_snapshot(&self) -> bool {
+        self.snapshot_every > 0 && self.stats.records_since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes a snapshot of the given state atomically (temp file,
+    /// `fsync`, rename, directory `fsync`), rotates to a fresh journal
+    /// epoch, and prunes every epoch before the previous one (the
+    /// previous epoch is kept whole as the corruption fallback).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on any filesystem failure; the journal is
+    /// still intact, so the caller may continue without the snapshot.
+    pub fn write_snapshot(
+        &mut self,
+        registry: Vec<(String, String)>,
+        sessions: Vec<SessionSnap>,
+    ) -> Result<(), PersistError> {
+        let snap = Snapshot {
+            seq: self.seq,
+            registry,
+            sessions,
+        };
+        let next = self.epoch + 1;
+        let payload = snap.to_json().render().into_bytes();
+        let final_path = self.dir.join(format!("snap-{next}.slsnap"));
+        let tmp_path = self.dir.join(format!(".snap-{next}.tmp"));
+        {
+            let mut f = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, &e))?;
+            f.write_all(SNAPSHOT_MAGIC).map_err(|e| io_err(&tmp_path, &e))?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())
+                .map_err(|e| io_err(&tmp_path, &e))?;
+            f.write_all(&fnv64(0, &payload).to_le_bytes())
+                .map_err(|e| io_err(&tmp_path, &e))?;
+            f.write_all(&payload).map_err(|e| io_err(&tmp_path, &e))?;
+            f.sync_all().map_err(|e| io_err(&tmp_path, &e))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))?;
+        // Durable journal-so-far, then the fresh epoch's journal.
+        self.journal
+            .sync_all()
+            .map_err(|e| io_err(&self.journal_path, &e))?;
+        let journal_path = self.dir.join(format!("journal-{next}.slj"));
+        let mut journal = File::create(&journal_path).map_err(|e| io_err(&journal_path, &e))?;
+        journal
+            .write_all(JOURNAL_MAGIC)
+            .map_err(|e| io_err(&journal_path, &e))?;
+        journal.sync_all().map_err(|e| io_err(&journal_path, &e))?;
+        sync_dir(&self.dir)?;
+        self.journal = journal;
+        self.journal_path = journal_path;
+        self.epoch = next;
+        self.stats.snapshots_taken += 1;
+        self.stats.records_since_snapshot = 0;
+        self.stats.journal_bytes = JOURNAL_MAGIC.len() as u64;
+        self.prune(next.saturating_sub(1));
+        Ok(())
+    }
+
+    /// Removes epoch files older than `keep_from`. Best-effort: a
+    /// file that refuses to die only wastes disk, never correctness.
+    fn prune(&self, keep_from: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let epoch = epoch_of(name, "snap-", ".slsnap")
+                .or_else(|| epoch_of(name, "journal-", ".slj"));
+            if let Some(g) = epoch {
+                if g < keep_from {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    /// Forces the journal to stable storage (the per-record `write`
+    /// already survives a process kill; this also survives power loss).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the sync fails.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.journal
+            .sync_all()
+            .map_err(|e| io_err(&self.journal_path, &e))
+    }
+
+    /// Records the duration and replay size of a completed startup
+    /// recovery (the engine owns the clock — replay runs through it).
+    pub fn note_recovery(&mut self, ms: u64, replayed: u64) {
+        self.stats.last_recovery_ms = ms;
+        self.stats.replayed_records = replayed;
+    }
+
+    /// The counters the `stats` verb reports.
+    #[must_use]
+    pub fn stats(&self) -> &PersistStats {
+        &self.stats
+    }
+
+    /// The next record sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sl-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &Path) -> PersistConfig {
+        PersistConfig {
+            dir: dir.to_path_buf(),
+            snapshot_every: 0,
+        }
+    }
+
+    #[test]
+    fn journal_records_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let (mut p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.tail.is_empty());
+        assert!(rec.notes.is_empty(), "{:?}", rec.notes);
+        p.append("{\"verb\":\"define\"}").unwrap();
+        p.append("{\"verb\":\"monitor-step\"}").unwrap();
+        drop(p);
+        let (p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert_eq!(
+            rec.tail,
+            vec!["{\"verb\":\"define\"}", "{\"verb\":\"monitor-step\"}"]
+        );
+        assert_eq!(p.seq(), 2);
+        assert!(rec.notes.is_empty(), "{:?}", rec.notes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_with_a_recovered_note() {
+        let dir = temp_dir("truncate");
+        let (mut p, _) = Persist::open(&config(&dir)).unwrap();
+        p.append("first line").unwrap();
+        p.append("second line").unwrap();
+        drop(p);
+        let journal = dir.join("journal-0.slj");
+        let len = fs::metadata(&journal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&journal).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (mut p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert_eq!(rec.tail, vec!["first line"], "the torn record is dropped");
+        assert_eq!(rec.notes.len(), 1);
+        assert!(rec.notes[0].starts_with("[recovered]"), "{}", rec.notes[0]);
+        // The truncated bytes are gone: appending after recovery keeps
+        // the journal parseable.
+        p.append("third line").unwrap();
+        drop(p);
+        let (_, rec) = Persist::open(&config(&dir)).unwrap();
+        assert_eq!(rec.tail, vec!["first line", "third line"]);
+        assert!(rec.notes.is_empty(), "{:?}", rec.notes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_is_rejected_naming_the_byte_offset() {
+        let dir = temp_dir("corrupt");
+        let (mut p, _) = Persist::open(&config(&dir)).unwrap();
+        p.append("aaaa").unwrap();
+        p.append("bbbb").unwrap();
+        drop(p);
+        let journal = dir.join("journal-0.slj");
+        let mut bytes = fs::read(&journal).unwrap();
+        // Flip one payload byte of the FIRST record: a complete record
+        // with a bad checksum, which a crash cannot produce.
+        let first_payload = JOURNAL_MAGIC.len() + RECORD_HEADER;
+        bytes[first_payload] ^= 0xff;
+        fs::write(&journal, &bytes).unwrap();
+        let err = Persist::open(&config(&dir)).unwrap_err();
+        match err {
+            PersistError::Corrupt { offset, ref detail, .. } => {
+                assert_eq!(offset, JOURNAL_MAGIC.len() as u64);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        assert!(err.to_string().contains("at byte 8"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_journals_start_clean() {
+        let dir = temp_dir("clean");
+        // Missing directory entirely.
+        let (p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert!(rec.snapshot.is_none() && rec.tail.is_empty() && rec.notes.is_empty());
+        drop(p);
+        // Zero-length journal (crash between create and magic write).
+        fs::write(dir.join("journal-0.slj"), b"").unwrap();
+        let (mut p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert!(rec.snapshot.is_none() && rec.tail.is_empty() && rec.notes.is_empty());
+        p.append("x").unwrap();
+        drop(p);
+        let (_, rec) = Persist::open(&config(&dir)).unwrap();
+        assert_eq!(rec.tail, vec!["x"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotation_compacts_and_newest_corruption_falls_back() {
+        let dir = temp_dir("rotate");
+        let (mut p, _) = Persist::open(&config(&dir)).unwrap();
+        p.append("old record").unwrap();
+        p.write_snapshot(
+            vec![("a".to_string(), "HOA-a".to_string())],
+            vec![SessionSnap {
+                name: "m".to_string(),
+                target: "a".to_string(),
+                hoa: "HOA-a".to_string(),
+                state: u64::MAX,
+            }],
+        )
+        .unwrap();
+        p.append("new record").unwrap();
+        drop(p);
+        // The snapshot absorbed the old record: only the tail replays.
+        let (p, rec) = Persist::open(&config(&dir)).unwrap();
+        let snap = rec.snapshot.as_ref().unwrap();
+        assert_eq!(snap.registry, vec![("a".to_string(), "HOA-a".to_string())]);
+        assert_eq!(snap.sessions[0].state, u64::MAX);
+        assert_eq!(rec.tail, vec!["new record"]);
+        drop(p);
+        // Damage the newest snapshot: recovery falls back to replaying
+        // the previous epoch's journal from scratch, with a note.
+        let snap_path = dir.join("snap-1.slsnap");
+        let mut bytes = fs::read(&snap_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&snap_path, &bytes).unwrap();
+        let (p, rec) = Persist::open(&config(&dir)).unwrap();
+        assert!(rec.snapshot.is_none(), "no older snapshot exists");
+        assert_eq!(rec.tail, vec!["old record", "new record"]);
+        assert_eq!(p.stats().snapshots_discarded, 1);
+        assert!(rec.notes.iter().any(|n| n.contains("snapshot discarded")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_rotation_keeps_one_fallback_epoch() {
+        let dir = temp_dir("fallback");
+        let (mut p, _) = Persist::open(&config(&dir)).unwrap();
+        p.append("r0").unwrap();
+        p.write_snapshot(vec![("s1".to_string(), "h".to_string())], Vec::new())
+            .unwrap();
+        p.append("r1").unwrap();
+        p.write_snapshot(vec![("s2".to_string(), "h".to_string())], Vec::new())
+            .unwrap();
+        p.append("r2").unwrap();
+        drop(p);
+        // Epoch 0 is pruned; epochs 1 and 2 remain.
+        assert!(!dir.join("journal-0.slj").exists());
+        assert!(dir.join("snap-1.slsnap").exists());
+        assert!(dir.join("journal-1.slj").exists());
+        assert!(dir.join("snap-2.slsnap").exists());
+        // Newest snapshot damaged: epoch 1 carries the recovery.
+        fs::write(dir.join("snap-2.slsnap"), b"garbage").unwrap();
+        let (_, rec) = Persist::open(&config(&dir)).unwrap();
+        let snap = rec.snapshot.as_ref().unwrap();
+        assert_eq!(snap.registry[0].0, "s1");
+        assert_eq!(rec.tail, vec!["r1", "r2"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let snap = Snapshot {
+            seq: 42,
+            registry: vec![("n".to_string(), "hoa text\nwith lines".to_string())],
+            sessions: vec![SessionSnap {
+                name: "m1".to_string(),
+                target: "n".to_string(),
+                hoa: "hoa".to_string(),
+                state: u64::MAX - 1,
+            }],
+        };
+        let doc = snap.to_json();
+        let back = Snapshot::from_json(&json::parse(&doc.render()).unwrap()).unwrap();
+        assert_eq!(back.seq, snap.seq);
+        assert_eq!(back.registry, snap.registry);
+        assert_eq!(back.sessions, snap.sessions);
+    }
+}

@@ -18,7 +18,10 @@
 //! Error kinds mirror the [`SlError`] taxonomy (`budget_exceeded`,
 //! `cancelled`, `fault_injected`, `invalid_input`, `domain`) plus the
 //! protocol-level `parse`, `unknown_verb`, `unknown_object`,
-//! `oversized_frame`, `unsupported`, and `panic`.
+//! `oversized_frame`, `unsupported`, `panic`, and the lifecycle and
+//! durability kinds `overloaded` (bounded intake shed the request),
+//! `shutting_down` (the daemon has drained), and `persist` (the
+//! write-ahead journal refused a mutating request).
 
 use crate::json::{self, Json};
 use sl_support::{Budget, SlError};
@@ -46,7 +49,9 @@ pub enum Verb {
     Stats,
     /// Fan a list of query requests through the parallel sweep.
     Batch,
-    /// Graceful shutdown.
+    /// Drain in-flight work, flush the journal, snapshot, and exit.
+    Shutdown,
+    /// End the session without the durability ceremony.
     Quit,
 }
 
@@ -64,6 +69,7 @@ impl Verb {
             "monitor-step" => Verb::MonitorStep,
             "stats" => Verb::Stats,
             "batch" => Verb::Batch,
+            "shutdown" => Verb::Shutdown,
             "quit" => Verb::Quit,
             _ => return None,
         })
@@ -82,6 +88,7 @@ impl Verb {
             Verb::MonitorStep => "monitor-step",
             Verb::Stats => "stats",
             Verb::Batch => "batch",
+            Verb::Shutdown => "shutdown",
             Verb::Quit => "quit",
         }
     }
@@ -189,7 +196,7 @@ pub fn request_from_value(doc: Json) -> Result<Request, ProtoError> {
             "unknown_verb",
             format!(
                 "`{verb_name}` is not a verb (accepted: define, classify, decompose, include, \
-                 equivalent, universal, monitor-step, stats, batch, quit)"
+                 equivalent, universal, monitor-step, stats, batch, shutdown, quit)"
             ),
         )
     })?;
@@ -368,6 +375,7 @@ mod tests {
             Verb::MonitorStep,
             Verb::Stats,
             Verb::Batch,
+            Verb::Shutdown,
             Verb::Quit,
         ] {
             assert_eq!(Verb::from_wire(verb.wire_name()), Some(verb));

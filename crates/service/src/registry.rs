@@ -48,6 +48,12 @@ impl Registry {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// All bindings, in no particular order (snapshot serialization
+    /// sorts by name itself to keep snapshot bytes deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Buchi>)> {
+        self.map.iter().map(|(name, b)| (name.as_str(), b))
+    }
 }
 
 #[cfg(test)]

@@ -75,11 +75,30 @@ pub fn serve_stdin(service: &mut Service) -> std::io::Result<SessionSummary> {
     serve(service, &mut stdin.lock(), &mut stdout.lock())
 }
 
+/// Serves one connection's session, absorbing (and counting) its I/O
+/// errors: a mid-session disconnect is a client problem, and the only
+/// daemon-side trace it leaves is the `io_errors` counter `stats`
+/// reports. Returns the summary accumulated before the failure.
+pub fn serve_connection<R: BufRead, W: Write>(
+    service: &mut Service,
+    reader: &mut R,
+    writer: &mut W,
+) -> SessionSummary {
+    match serve(service, reader, writer) {
+        Ok(summary) => summary,
+        Err(_) => {
+            service.note_io_error();
+            SessionSummary::default()
+        }
+    }
+}
+
 /// Serves TCP connections sequentially (one session at a time — the
 /// registry and cache are session-shared daemon state, and sequential
-/// accept keeps responses deterministic). A `quit` from any client
-/// shuts the daemon down; a client disconnect moves on to the next
-/// `accept`.
+/// accept keeps responses deterministic). A `quit` or `shutdown` from
+/// any client shuts the daemon down; a client disconnect is counted
+/// (`stats` reports it as `io_errors`) and the daemon moves on to the
+/// next `accept`.
 ///
 /// # Errors
 ///
@@ -90,11 +109,8 @@ pub fn serve_tcp(service: &mut Service, listener: &TcpListener) -> std::io::Resu
         let stream = stream?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
-        match serve(service, &mut reader, &mut writer) {
-            Ok(summary) if summary.quit => return Ok(()),
-            // A dropped connection is a client problem, not a daemon
-            // problem: keep accepting.
-            Ok(_) | Err(_) => {}
+        if serve_connection(service, &mut reader, &mut writer).quit {
+            return Ok(());
         }
     }
     Ok(())

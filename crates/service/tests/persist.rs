@@ -1,0 +1,254 @@
+//! Durability and lifecycle integration tests: crash recovery, the
+//! graceful shutdown drain, bounded intake, transport error counting,
+//! and the persistence metrics surfaced by `stats`.
+
+use sl_service::{
+    serve_connection, serve_tcp, Json, PersistConfig, PersistError, Service, ServiceConfig,
+};
+use sl_support::FaultPlan;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sl-persist-it-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quiet() -> ServiceConfig {
+    ServiceConfig {
+        fault: FaultPlan::disabled(),
+        threads: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+fn open(dir: &PathBuf, snapshot_every: u64) -> Service {
+    Service::with_persistence(
+        quiet(),
+        &PersistConfig {
+            dir: dir.clone(),
+            snapshot_every,
+        },
+    )
+    .expect("open persistent service")
+}
+
+const DEFINE_GA: &str = r#"{"id":1,"verb":"define","name":"p0","ltl":"G a","alphabet":["a","b"]}"#;
+
+#[test]
+fn restart_resumes_monitor_sessions_with_sticky_verdicts() {
+    let dir = temp_dir("sticky");
+    // The twin sees the whole session uninterrupted.
+    let lines = [
+        DEFINE_GA,
+        r#"{"id":2,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a","a"]}"#,
+        r#"{"id":3,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["b"]}"#,
+        r#"{"id":4,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a"]}"#,
+    ];
+    let mut twin = Service::new(quiet());
+    let twin_replies: Vec<String> = lines.iter().map(|l| twin.handle_line(l).line).collect();
+    assert!(twin_replies[2].contains("violation"), "{}", twin_replies[2]);
+    assert!(twin_replies[3].contains("violation"), "sticky: {}", twin_replies[3]);
+
+    // Crash after the violation landed in the journal; the restarted
+    // daemon must keep the verdict sticky without re-seeing line 3.
+    let mut svc = open(&dir, 0);
+    for line in &lines[..3] {
+        svc.handle_line(line);
+    }
+    drop(svc);
+    let mut svc = open(&dir, 0);
+    assert_eq!(svc.handle_line(lines[3]).line, twin_replies[3]);
+    // A second restart keeps it sticky still.
+    drop(svc);
+    let mut svc = open(&dir, 0);
+    assert_eq!(svc.handle_line(lines[3]).line, twin_replies[3]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_define_and_first_monitor_step_matches_a_fresh_daemon() {
+    // The define fails at dispatch (unbalanced formula) but is
+    // journaled anyway — the journal records accepted *requests*, not
+    // successes. After a crash, the recovered daemon must give the
+    // first monitor-step exactly the typed error a fresh daemon gives.
+    let bad_define = r#"{"id":1,"verb":"define","name":"p0","ltl":"G (","alphabet":["a","b"]}"#;
+    let step = r#"{"id":2,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a"]}"#;
+
+    let mut fresh = Service::new(quiet());
+    let fresh_define = fresh.handle_line(bad_define).line;
+    assert!(fresh_define.contains("\"ok\":false"), "{fresh_define}");
+    let fresh_step = fresh.handle_line(step).line;
+
+    let dir = temp_dir("baddefine");
+    let mut svc = open(&dir, 0);
+    assert_eq!(svc.handle_line(bad_define).line, fresh_define);
+    drop(svc); // crash before any monitor-step
+    let mut recovered = open(&dir, 0);
+    assert_eq!(recovered.handle_line(step).line, fresh_step);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_snapshots_and_refuses_further_work() {
+    let dir = temp_dir("shutdown");
+    let mut svc = open(&dir, 0);
+    assert!(svc.handle_line(DEFINE_GA).line.contains("\"ok\":true"));
+    let reply = svc.handle_line(r#"{"id":2,"verb":"shutdown"}"#);
+    assert!(reply.quit, "shutdown ends the session");
+    assert!(reply.line.contains("\"bye\":true"), "{}", reply.line);
+    assert!(reply.line.contains("\"drained\":true"), "{}", reply.line);
+    assert!(reply.line.contains("\"snapshotted\":true"), "{}", reply.line);
+    // The drained daemon sheds anything that still arrives.
+    let late = svc.handle_line(r#"{"id":3,"verb":"classify","target":"p0"}"#);
+    assert!(late.line.contains("\"shutting_down\""), "{}", late.line);
+    drop(svc);
+    // Clean shutdown means the snapshot carries everything: recovery
+    // replays zero journal records.
+    let mut svc = open(&dir, 0);
+    let stats = svc.handle_line(r#"{"id":4,"verb":"stats"}"#).line;
+    let doc = sl_service::json::parse(&stats).unwrap();
+    let persist = doc.get("result").and_then(|r| r.get("persist")).expect("persist metrics");
+    assert_eq!(persist.get("replayed_records").and_then(Json::as_u64), Some(0), "{stats}");
+    assert!(
+        svc.handle_line(r#"{"id":5,"verb":"classify","target":"p0"}"#)
+            .line
+            .contains("\"class\""),
+        "the definition survived via the snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_batches_are_shed_with_a_typed_overloaded_error() {
+    let mut svc = Service::new(ServiceConfig {
+        max_batch: 2,
+        ..quiet()
+    });
+    let ok = svc.handle_line(
+        r#"{"id":1,"verb":"batch","requests":[{"verb":"classify","target":"g"},{"verb":"classify","target":"g"}]}"#,
+    );
+    assert!(ok.line.contains("\"results\""), "{}", ok.line);
+    let over = svc.handle_line(
+        r#"{"id":2,"verb":"batch","requests":[{"verb":"classify","target":"g"},{"verb":"classify","target":"g"},{"verb":"classify","target":"g"}]}"#,
+    );
+    assert!(over.line.contains("\"overloaded\""), "{}", over.line);
+    assert!(over.line.contains("split the batch"), "{}", over.line);
+}
+
+#[test]
+fn corrupt_mid_journal_record_is_a_typed_recovery_error() {
+    let dir = temp_dir("corrupt");
+    let mut svc = open(&dir, 0);
+    svc.handle_line(DEFINE_GA);
+    drop(svc);
+    // Flip a payload byte inside the only record: the checksum breaks,
+    // and unlike a truncated tail this is damage, not a crash
+    // signature — recovery must refuse with the byte offset.
+    let journal = dir.join("journal-0.slj");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = 8 + 20 + 5; // magic + header + a few payload bytes
+    bytes[mid] ^= 0x40;
+    std::fs::write(&journal, &bytes).unwrap();
+    let err = Service::with_persistence(
+        quiet(),
+        &PersistConfig {
+            dir: dir.clone(),
+            snapshot_every: 0,
+        },
+    )
+    .err()
+    .expect("corrupt journal must not recover silently");
+    match &err {
+        PersistError::Corrupt { offset, .. } => assert_eq!(*offset, 8, "{err}"),
+        other => panic!("expected Corrupt, got {other}"),
+    }
+    assert!(err.to_string().contains("at byte 8"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn io_errors_are_counted_and_reported_by_stats() {
+    struct FailingReader;
+    impl Read for FailingReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer reset"))
+        }
+    }
+    let mut svc = Service::new(quiet());
+    let mut reader = std::io::BufReader::new(FailingReader);
+    let mut sink = Vec::new();
+    let summary = serve_connection(&mut svc, &mut reader, &mut sink);
+    assert!(!summary.quit, "an I/O error is not a quit");
+    let stats = svc.handle_line(r#"{"id":1,"verb":"stats"}"#).line;
+    let doc = sl_service::json::parse(&stats).unwrap();
+    assert_eq!(
+        doc.get("result").and_then(|r| r.get("io_errors")).and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+}
+
+#[test]
+fn mid_session_disconnect_leaves_the_daemon_serving_the_next_connection() {
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut svc = Service::new(quiet());
+        serve_tcp(&mut svc, &listener).unwrap();
+    });
+    // Connection 1: send a define, read its reply, then vanish without
+    // a quit — mid-session as far as the daemon is concerned.
+    {
+        let mut c1 = TcpStream::connect(addr).unwrap();
+        c1.write_all(DEFINE_GA.as_bytes()).unwrap();
+        c1.write_all(b"\n").unwrap();
+        let mut reply = [0u8; 1];
+        c1.read_exact(&mut reply).unwrap(); // daemon answered; now drop
+    }
+    // Connection 2: the daemon is still there, with connection 1's
+    // state (the registry is daemon-shared).
+    let mut c2 = TcpStream::connect(addr).unwrap();
+    c2.write_all(b"{\"id\":2,\"verb\":\"classify\",\"target\":\"p0\"}\n{\"id\":3,\"verb\":\"quit\"}\n")
+        .unwrap();
+    let mut replies = String::new();
+    c2.read_to_string(&mut replies).unwrap();
+    assert!(replies.contains("\"class\":\"safety\""), "{replies}");
+    assert!(replies.contains("\"bye\":true"), "{replies}");
+    server.join().unwrap();
+}
+
+#[test]
+fn stats_reports_persistence_metrics() {
+    let dir = temp_dir("metrics");
+    let mut svc = open(&dir, 2);
+    svc.handle_line(DEFINE_GA);
+    let stats = svc.handle_line(r#"{"id":2,"verb":"stats"}"#).line;
+    let doc = sl_service::json::parse(&stats).unwrap();
+    let persist = doc
+        .get("result")
+        .and_then(|r| r.get("persist"))
+        .expect("persist metrics present for a durable daemon");
+    for key in [
+        "journal_bytes",
+        "records_since_snapshot",
+        "snapshots_taken",
+        "snapshots_discarded",
+        "last_recovery_ms",
+        "replayed_records",
+    ] {
+        assert!(persist.get(key).and_then(Json::as_u64).is_some(), "missing {key}: {stats}");
+    }
+    assert_eq!(persist.get("records_since_snapshot").and_then(Json::as_u64), Some(1));
+    // A transient daemon reports no persist block at all.
+    let mut transient = Service::new(quiet());
+    let stats = transient.handle_line(r#"{"id":1,"verb":"stats"}"#).line;
+    assert!(!stats.contains("\"persist\""), "{stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

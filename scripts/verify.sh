@@ -182,7 +182,7 @@ for o in doc["oracles"]:
     assert acc <= run // 10, f"{o['name']}: {acc} accepted"
 assert doc["findings"] == [], doc["findings"]
 names = sorted(o["name"] for o in doc["oracles"])
-assert names == ["compiled", "hoa", "incl", "lattice", "monitor", "session"], names
+assert names == ["compiled", "crash", "hoa", "incl", "lattice", "monitor", "session"], names
 print(f"BENCH_conform.json ok: {sum(o['cases'] for o in doc['oracles'])} "
       f"cases across {len(names)} oracles, 0 findings")
 PY
@@ -216,6 +216,47 @@ print(f"sabotage drill ok: {len(findings)} findings, "
       f"smallest shrunk reproducer weight {smallest}")
 PY
 rm -rf "$conf_tmp"
+
+echo "== persist: crash drill, recovery corpus, E14 smoke =="
+# The acceptance drill for the durability layer: a 200+-request seeded
+# session, killed at every journal record boundary and once more
+# mid-record (journal truncated), must recover byte-identically to an
+# uninterrupted twin — at both worker counts, since recovery rebuilds
+# the batch fan-out.
+for t in 1 8; do
+  echo "-- crash drill (SL_THREADS=$t)"
+  SL_THREADS=$t cargo test -q --offline --release --test crash_recovery
+done
+# Shrunk recovery reproducers replay with the rest of the corpus above;
+# this re-run isolates the crash oracle so a persistence regression is
+# named as such.
+echo "-- crash-oracle corpus + fixed-seed sweep"
+./target/release/slfuzz --seed 2003 --cases 200 --oracle crash \
+  --corpus scripts/conform_corpus.jsonl
+# E14 smoke: the binary fails itself if a recovered daemon diverges
+# from its twin or snapshots stop bounding the replay.
+persist_tmp="$(mktemp -d)"
+echo "-- e14_crash_recovery (smoke)"
+SL_BENCH_SAMPLES=5 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$persist_tmp" \
+  ./target/release/e14_crash_recovery
+python3 - "$persist_tmp/BENCH_persist.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "persist", doc
+records = {r["name"]: r for r in doc["records"]}
+for name in ("persist/recover/journal_only", "persist/recover/snap64",
+             "persist/recover/snap512"):
+    r = records[name]
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+full = records["persist/recover/journal_only"]["median_ns"]
+snap = records["persist/recover/snap64"]["median_ns"]
+assert snap <= full, f"snapshot recovery ({snap}ns) slower than full replay ({full}ns)"
+replayed = 1200  # e14 journals 1200 requests under interval 0
+print(f"BENCH_persist.json ok: snapshot recovery {full / snap:.1f}x faster, "
+      f"journal replay {replayed / (full / 1e9):,.0f} records/sec")
+PY
+rm -rf "$persist_tmp"
 
 echo "== fault-injection smoke (SL_FAULT_RATE=0.05, seeded) =="
 # The same tier-1 suite and sweeps must pass *via degradation* while a
