@@ -137,7 +137,7 @@ fn main() -> ExitCode {
     let mut board = Scoreboard::new();
 
     // The uninterrupted twin's probe answers are the contract.
-    let mut twin = Service::new(config());
+    let twin = Service::new(config());
     for line in &lines {
         twin.handle_line(line);
     }
@@ -152,7 +152,7 @@ fn main() -> ExitCode {
             dir: dir.clone(),
             snapshot_every: every,
         };
-        let mut svc = Service::with_persistence(config(), &pc).expect("populate");
+        let svc = Service::with_persistence(config(), &pc).expect("populate");
         for line in &lines {
             svc.handle_line(line);
         }

@@ -19,14 +19,17 @@
 //!
 //! Rank-based complements are expensive, and the exhaustive verifiers
 //! may call the rank engine over small corpora where the same automata
-//! recur constantly. A per-thread memoizing [`ComplementCache`]
-//! therefore backs the rank-based deciders — keyed by
-//! [`Buchi::structural_hash`] with an equality collision check, so a
-//! lookup hashes 8 bytes instead of a whole automaton — and the
-//! cache's [`ComplementCacheStats`] make the deciders' complement
-//! behavior observable (e.g. that [`equivalent_rank`] short-circuits
-//! after a failed first inclusion without ever complementing the
-//! second operand).
+//! recur constantly. A process-wide memoizing [`ComplementCache`] —
+//! sharded by [`Buchi::structural_hash`] into striped locks so
+//! concurrent sessions share every complement instead of re-deriving
+//! it per thread — therefore backs the rank-based deciders, with an
+//! equality collision check so a lookup hashes 8 bytes instead of a
+//! whole automaton. The cache's [`ComplementCacheStats`] make the
+//! deciders' complement behavior observable (e.g. that
+//! [`equivalent_rank`] short-circuits after a failed first inclusion
+//! without ever complementing the second operand — pinned through the
+//! explicit-cache entry points like [`equivalent_rank_with_cache`],
+//! which measure an isolated instance instead of the shared shards).
 
 use crate::antichain::{
     antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
@@ -38,9 +41,8 @@ use crate::empty::{find_accepted_word, is_empty};
 use crate::ops::intersection;
 use sl_omega::LassoWord;
 use sl_support::{fault, Budget, SlError};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Which engine backs the dispatching deciders [`included`],
 /// [`equivalent`], and [`universal`].
@@ -90,9 +92,16 @@ pub fn incl_engine() -> InclEngine {
     })
 }
 
-/// Entry cap for the per-thread complement cache; past it the cache is
-/// cleared rather than grown, bounding memory on unbounded corpora.
+/// Global entry cap for the shared complement cache; past it a shard
+/// is cleared rather than grown, bounding memory on unbounded corpora.
+/// The budget is split evenly across [`COMPLEMENT_CACHE_SHARDS`].
 const COMPLEMENT_CACHE_CAP: usize = 256;
+
+/// Stripe count for the shared complement cache. Shard selection is
+/// `structural_hash % shards`, so repeat queries for one automaton
+/// always land on (and serialize through) the same stripe while
+/// distinct automata complement concurrently.
+const COMPLEMENT_CACHE_SHARDS: usize = 8;
 
 /// Counters describing how a [`ComplementCache`] has been used.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,11 +138,14 @@ struct CacheEntry {
 /// re-hashing the whole transition relation — with the stored automaton
 /// equality-checked to rule out collisions. The rank-based deciders
 /// [`included_rank`], [`equivalent_rank`], and [`universal_rank`] share
-/// one instance per thread (see [`with_complement_cache`]); explicit
-/// instances can be created for isolated measurements.
-#[derive(Debug, Default)]
+/// one process-wide sharded instance (see
+/// [`shared_complement_cache_stats`]); explicit instances can be
+/// created for isolated measurements via the `*_with_cache` entry
+/// points.
+#[derive(Debug)]
 pub struct ComplementCache {
     map: HashMap<u64, CacheEntry>,
+    cap: usize,
     hits: usize,
     misses: usize,
     invalidations: usize,
@@ -141,11 +153,34 @@ pub struct ComplementCache {
     lookups: u64,
 }
 
+impl Default for ComplementCache {
+    fn default() -> Self {
+        Self::with_cap(COMPLEMENT_CACHE_CAP)
+    }
+}
+
 impl ComplementCache {
-    /// An empty cache.
+    /// An empty cache with the default entry cap.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache clearing itself past `cap` entries (the shared
+    /// shards use `COMPLEMENT_CACHE_CAP / COMPLEMENT_CACHE_SHARDS`
+    /// each, so the global bound stays where the thread-local cache's
+    /// was).
+    #[must_use]
+    pub fn with_cap(cap: usize) -> Self {
+        ComplementCache {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            collisions: 0,
+            lookups: 0,
+        }
     }
 
     /// The complement of `b`, computed at most once per distinct
@@ -189,7 +224,7 @@ impl ComplementCache {
         }
         self.misses += 1;
         let result = complement(b);
-        if self.map.len() >= COMPLEMENT_CACHE_CAP {
+        if self.map.len() >= self.cap {
             self.map.clear();
         }
         self.map.insert(
@@ -225,24 +260,62 @@ impl ComplementCache {
     }
 }
 
-thread_local! {
-    static THREAD_CACHE: RefCell<ComplementCache> = RefCell::new(ComplementCache::new());
+/// The process-wide complement cache: striped `Mutex`-guarded shards
+/// selected by structural hash, so every session and worker thread
+/// shares one memoization pool instead of each thread re-deriving the
+/// same complements (the pre-concurrency design was `thread_local!`).
+fn shared_shards() -> &'static [Mutex<ComplementCache>] {
+    static SHARDS: OnceLock<Vec<Mutex<ComplementCache>>> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        let per_shard = (COMPLEMENT_CACHE_CAP / COMPLEMENT_CACHE_SHARDS).max(1);
+        (0..COMPLEMENT_CACHE_SHARDS)
+            .map(|_| Mutex::new(ComplementCache::with_cap(per_shard)))
+            .collect()
+    })
 }
 
-/// Runs `f` with this thread's shared complement cache — the one
-/// [`included`], [`equivalent`], and [`universal`] use. Tests use it to
-/// reset the counters and to assert how many complements a decider
-/// actually computed.
-pub fn with_complement_cache<R>(f: impl FnOnce(&mut ComplementCache) -> R) -> R {
-    THREAD_CACHE.with(|cache| f(&mut cache.borrow_mut()))
+/// The shard responsible for `b`, locked. Mutex poisoning is absorbed:
+/// the cache is semantically transparent, so state abandoned by a
+/// panicking thread is still a valid (possibly stale) memo table.
+fn shard_for(b: &Buchi) -> MutexGuard<'static, ComplementCache> {
+    let shards = shared_shards();
+    let index = (b.structural_hash() % shards.len() as u64) as usize;
+    shards[index].lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// A combined snapshot of both inclusion engines' instrumentation on
-/// the current thread: the rank path's complement-cache counters and
-/// the antichain path's iteration counters. The `sld` daemon's `stats`
-/// verb and the `e12_service_throughput` bench report these instead of
-/// guessing at cache effectiveness; per-query costs come from
-/// snapshotting before and after a call and diffing with
+/// Summed counters of the shared sharded complement cache — what the
+/// `sld` daemon's `stats` verb reports under `engine.complement_cache`.
+/// `entries` is the total resident across shards.
+#[must_use]
+pub fn shared_complement_cache_stats() -> ComplementCacheStats {
+    let mut total = ComplementCacheStats::default();
+    for shard in shared_shards() {
+        let stats = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
+        total.hits += stats.hits;
+        total.misses += stats.misses;
+        total.entries += stats.entries;
+        total.invalidations += stats.invalidations;
+        total.collisions += stats.collisions;
+    }
+    total
+}
+
+/// Empties every shard of the shared complement cache and zeroes its
+/// counters (bench cold/warm isolation).
+pub fn reset_shared_complement_cache() {
+    for shard in shared_shards() {
+        shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).reset();
+    }
+}
+
+/// A combined snapshot of both inclusion engines' instrumentation: the
+/// rank path's complement-cache counters (process-shared, summed over
+/// the shards) and the antichain path's iteration counters (still
+/// thread-local — a pure function of the queries this thread ran). The
+/// `sld` daemon's `stats` verb and the `e12_service_throughput` bench
+/// report these instead of guessing at cache effectiveness; per-query
+/// antichain costs come from snapshotting before and after a call on
+/// the thread that ran it and diffing with
 /// [`EngineStats::delta_since`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -295,14 +368,18 @@ impl EngineStats {
     }
 }
 
-/// This thread's [`EngineStats`] snapshot. Both underlying stores are
-/// thread-local, so callers that fan work out across a sweep must
-/// snapshot on the worker thread that ran the query (as the `sld`
-/// daemon does) rather than on the coordinating thread.
+/// An [`EngineStats`] snapshot: the **process-wide** shared complement
+/// cache plus **this thread's** antichain counters. The antichain store
+/// is thread-local (a pure function of the queries this thread ran), so
+/// callers that fan work out across a sweep must still snapshot on the
+/// worker thread that ran the query (as the `sld` daemon does) rather
+/// than on the coordinating thread; the complement half is shared, so
+/// deltas of it are only meaningful while no other thread is driving
+/// the rank engine.
 #[must_use]
 pub fn engine_stats() -> EngineStats {
     EngineStats {
-        complement_cache: with_complement_cache(|cache| cache.stats()),
+        complement_cache: shared_complement_cache_stats(),
         antichain: antichain_stats(),
     }
 }
@@ -343,15 +420,35 @@ pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExcee
 }
 
 /// Decides `L(a) ⊆ L(b)` with the rank-based engine, regardless of
-/// `SL_INCL_ENGINE`: complement `b` (through the per-thread
-/// [`ComplementCache`]) and test `L(a) ∩ ¬L(b)` for emptiness.
+/// `SL_INCL_ENGINE`: complement `b` (through the shared sharded
+/// [`ComplementCache`]) and test `L(a) ∩ ¬L(b)` for emptiness. The
+/// shard lock is held for the complement lookup only, so concurrent
+/// duplicate queries serialize through one construction while distinct
+/// automata proceed on other stripes.
 ///
 /// # Errors
 ///
 /// Propagates [`ComplementBudgetExceeded`] if complementing `b` blows
 /// up.
 pub fn included_rank(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
-    let not_b = with_complement_cache(|cache| cache.complement(b))?;
+    let not_b = shard_for(b).complement(b)?;
+    Ok(included_with_complement(a, &not_b))
+}
+
+/// [`included_rank`] against an explicit, caller-owned cache instead of
+/// the shared shards — isolated measurements (how many complements did
+/// this decider compute?) without cross-talk from concurrent threads.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`] if complementing `b` blows
+/// up.
+pub fn included_rank_with_cache(
+    cache: &mut ComplementCache,
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Inclusion, ComplementBudgetExceeded> {
+    let not_b = cache.complement(b)?;
     Ok(included_with_complement(a, &not_b))
 }
 
@@ -403,6 +500,27 @@ pub fn equivalent_rank(
     Ok(Ok(()))
 }
 
+/// [`equivalent_rank`] against an explicit, caller-owned cache; both
+/// directions' complements land in the one instance, so the
+/// short-circuit behavior is observable through its stats.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn equivalent_rank_with_cache(
+    cache: &mut ComplementCache,
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    if let Inclusion::CounterExample(w) = included_rank_with_cache(cache, a, b)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included_rank_with_cache(cache, b, a)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
+}
+
 /// Decides `L(b) = Σ^ω` with the engine selected by `SL_INCL_ENGINE`,
 /// returning a rejected word if not.
 ///
@@ -423,7 +541,23 @@ pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExc
 ///
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn universal_rank(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
-    let not_b = with_complement_cache(|cache| cache.complement(b))?;
+    let not_b = shard_for(b).complement(b)?;
+    Ok(match find_accepted_word(&not_b) {
+        None => Ok(()),
+        Some(w) => Err(w),
+    })
+}
+
+/// [`universal_rank`] against an explicit, caller-owned cache.
+///
+/// # Errors
+///
+/// Propagates [`ComplementBudgetExceeded`].
+pub fn universal_rank_with_cache(
+    cache: &mut ComplementCache,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    let not_b = cache.complement(b)?;
     Ok(match find_accepted_word(&not_b) {
         None => Ok(()),
         Some(w) => Err(w),
@@ -569,9 +703,10 @@ mod tests {
         assert_eq!(holds_delta.antichain.searches, 1);
         assert!(holds_delta.antichain.insert_attempts > 0);
         assert_eq!(holds_delta.antichain.counterexamples, 0);
-        // The antichain path never touches the complement cache.
-        assert_eq!(holds_delta.complement_cache.hits, 0);
-        assert_eq!(holds_delta.complement_cache.misses, 0);
+        // (The antichain path never touches the complement cache, but
+        // that cache is now process-shared — concurrent tests driving
+        // the rank engine would make a delta assertion here flaky; the
+        // isolation is pinned below with an explicit cache instead.)
 
         let mid = engine_stats();
         let inc = included_antichain(&inf_a(&s), &only_a(&s)).unwrap();
@@ -707,30 +842,38 @@ mod tests {
         // L(universal) ⊄ L(inf_a): the first inclusion fails, so
         // `equivalent_rank` must stop after complementing only inf_a —
         // the complement of the universal automaton is never computed.
+        // An explicit cache isolates the count from the shared shards
+        // (which concurrent tests mutate freely).
         let big = Buchi::universal(s.clone());
         let small = inf_a(&s);
-        with_complement_cache(ComplementCache::reset);
-        let verdict = equivalent_rank(&big, &small).unwrap();
+        let mut cache = ComplementCache::new();
+        let verdict = equivalent_rank_with_cache(&mut cache, &big, &small).unwrap();
         assert!(verdict.is_err(), "languages differ");
-        let stats = with_complement_cache(|cache| cache.stats());
+        let stats = cache.stats();
         assert_eq!(
-            stats.misses, 1,
-            "only ¬inf_a may be computed on the early exit"
+            stats.misses,
+            1 + stats.invalidations,
+            "only ¬inf_a may be computed on the early exit \
+             (modulo injected invalidations)"
         );
         assert_eq!(stats.entries, 1);
+        // The shared-shard decider agrees on the verdict itself.
+        assert!(equivalent_rank(&big, &small).unwrap().is_err());
     }
 
     #[test]
     fn complement_cache_memoizes_repeat_queries() {
         let s = sigma();
         let m = inf_a(&s);
-        with_complement_cache(ComplementCache::reset);
-        assert!(universal_rank(&m).unwrap().is_err());
-        assert!(universal_rank(&m).unwrap().is_err());
-        assert!(!included_rank(&Buchi::universal(s.clone()), &m)
-            .unwrap()
-            .holds());
-        let stats = with_complement_cache(|cache| cache.stats());
+        let mut cache = ComplementCache::new();
+        assert!(universal_rank_with_cache(&mut cache, &m).unwrap().is_err());
+        assert!(universal_rank_with_cache(&mut cache, &m).unwrap().is_err());
+        assert!(
+            !included_rank_with_cache(&mut cache, &Buchi::universal(s.clone()), &m)
+                .unwrap()
+                .holds()
+        );
+        let stats = cache.stats();
         // A process-wide fault drill may invalidate entries, turning a
         // hit into a recomputation — one for one, never changing answers.
         assert_eq!(
@@ -739,6 +882,29 @@ mod tests {
             "one distinct automaton complemented (modulo injected invalidations)"
         );
         assert_eq!(stats.hits, 2 - stats.invalidations);
+    }
+
+    #[test]
+    fn shared_shards_answer_like_an_isolated_cache() {
+        // The sharded shared cache is semantically transparent: the
+        // deciders that route through it agree with explicit-cache and
+        // uncached runs, and its rolled-up stats move monotonically.
+        let s = sigma();
+        let m = inf_a(&s);
+        let before = shared_complement_cache_stats();
+        assert!(universal_rank(&m).unwrap().is_err());
+        assert!(universal_rank(&m).unwrap().is_err());
+        let after = shared_complement_cache_stats();
+        assert!(
+            after.hits + after.misses + after.collisions
+                >= before.hits + before.misses + before.collisions + 2,
+            "two lookups must be accounted somewhere: {before:?} -> {after:?}"
+        );
+        let mut isolated = ComplementCache::new();
+        assert_eq!(
+            universal_rank_with_cache(&mut isolated, &m).unwrap(),
+            universal_rank(&m).unwrap()
+        );
     }
 
     #[test]

@@ -74,10 +74,11 @@ pub use complement::{
 pub use decompose::{decompose, BuchiDecomposition};
 pub use empty::{find_accepted_word, is_empty};
 pub use incl::{
-    engine_stats, equivalent, equivalent_budgeted, equivalent_rank, incl_engine, included,
-    included_budgeted, included_rank, included_rank_budgeted, included_with_complement, universal,
-    universal_rank, with_complement_cache, ComplementCache, ComplementCacheStats, EngineStats,
-    InclEngine, Inclusion,
+    engine_stats, equivalent, equivalent_budgeted, equivalent_rank, equivalent_rank_with_cache,
+    incl_engine, included, included_budgeted, included_rank, included_rank_budgeted,
+    included_rank_with_cache, included_with_complement, reset_shared_complement_cache,
+    shared_complement_cache_stats, universal, universal_rank, universal_rank_with_cache,
+    ComplementCache, ComplementCacheStats, EngineStats, InclEngine, Inclusion,
 };
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};

@@ -191,11 +191,21 @@ pub struct SessionCase {
 /// against an uninterrupted twin.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrashCase {
-    /// The request lines, in order.
+    /// The request lines, in order. For `clients > 1` this is the
+    /// *interleaved* view of several concurrent sessions: line `i`
+    /// belongs to client `i mod clients` (round-robin), and each
+    /// client's sub-session touches only its own namespaced targets
+    /// and monitors.
     pub lines: Vec<String>,
     /// Journal records between automatic snapshots (0 = none), so the
     /// drill crosses snapshot rotations as well as plain appends.
     pub snapshot_every: u64,
+    /// How many concurrent clients the lines interleave (1 = the
+    /// classic single-session drill; omitted from the corpus encoding
+    /// when 1). Beyond the crash drill on the interleaved journal,
+    /// multi-client cases also check transcript independence: each
+    /// client's replies must be byte-identical to a solo run.
+    pub clients: u32,
 }
 
 /// One conformance case, tagged with the oracle that judges it.
@@ -291,14 +301,20 @@ impl Case {
                     Json::Arr(c.lines.iter().map(|l| Json::Str(l.clone())).collect()),
                 ),
             ]),
-            Case::Crash(c) => Json::obj(vec![
-                ("oracle", Json::Str("crash".into())),
-                (
-                    "lines",
-                    Json::Arr(c.lines.iter().map(|l| Json::Str(l.clone())).collect()),
-                ),
-                ("snapshot_every", Json::Int(c.snapshot_every as i64)),
-            ]),
+            Case::Crash(c) => {
+                let mut pairs = vec![
+                    ("oracle", Json::Str("crash".into())),
+                    (
+                        "lines",
+                        Json::Arr(c.lines.iter().map(|l| Json::Str(l.clone())).collect()),
+                    ),
+                    ("snapshot_every", Json::Int(c.snapshot_every as i64)),
+                ];
+                if c.clients > 1 {
+                    pairs.push(("clients", Json::Int(i64::from(c.clients))));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 
@@ -398,6 +414,13 @@ impl Case {
                     .get("snapshot_every")
                     .and_then(Json::as_u64)
                     .ok_or("missing integer field `snapshot_every`")?,
+                clients: match doc.get("clients") {
+                    None => 1,
+                    Some(v) => match v.as_u64() {
+                        Some(n @ 1..) => n as u32,
+                        _ => return Err("`clients` must be a positive integer".into()),
+                    },
+                },
             })),
             other => Err(format!("unknown oracle `{other}`")),
         }
@@ -455,6 +478,15 @@ mod tests {
             Case::Crash(CrashCase {
                 lines: vec!["{\"id\":1,\"verb\":\"classify\",\"target\":\"p0\"}".into()],
                 snapshot_every: 3,
+                clients: 1,
+            }),
+            Case::Crash(CrashCase {
+                lines: vec![
+                    "{\"id\":1,\"verb\":\"classify\",\"target\":\"c0_p0\"}".into(),
+                    "{\"id\":1,\"verb\":\"classify\",\"target\":\"c1_p0\"}".into(),
+                ],
+                snapshot_every: 0,
+                clients: 2,
             }),
         ];
         for case in cases {
@@ -497,6 +529,13 @@ mod tests {
             Case::from_line("{\"oracle\":\"lattice\",\"factors\":[],\"fix2\":[],\"extra1\":[]}")
                 .is_err(),
             "empty recipes are rejected"
+        );
+        assert!(
+            Case::from_line(
+                "{\"oracle\":\"crash\",\"lines\":[\"x\"],\"snapshot_every\":0,\"clients\":0}"
+            )
+            .is_err(),
+            "zero clients is rejected"
         );
     }
 }

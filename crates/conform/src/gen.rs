@@ -403,7 +403,44 @@ pub fn gen_session(rng: &mut SplitMix) -> SessionCase {
 /// omitted: the drill's contract is byte-identity, no degradation
 /// excuse. The snapshot interval is drawn small enough that rotations
 /// land inside the generated sessions.
+///
+/// Some cases are **multi-client**: `k > 1` independent sessions over
+/// namespaced targets (`c{j}_p0`, monitors `c{j}_m0`) interleaved
+/// round-robin, line `i` belonging to client `i mod k` — the shape a
+/// concurrent daemon's journal takes when several connections mutate
+/// state at once. Every client contributes the same number of lines so
+/// the positional assignment is total.
 pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
+    let clients = [1, 1, 1, 1, 2, 2, 3][rng.below(7)];
+    // Multi-client sessions are kept shorter per client: the drill is
+    // O(records²) in the *interleaved* length.
+    let defines = 1 + rng.below(2);
+    let ops = if clients == 1 { 3 + rng.below(6) } else { 2 + rng.below(3) };
+    let sessions: Vec<Vec<String>> = (0..clients)
+        .map(|j| {
+            let ns = if clients == 1 { String::new() } else { format!("c{j}_") };
+            gen_crash_session(rng, &ns, defines, ops)
+        })
+        .collect();
+    let per_client = defines + ops;
+    let mut lines = Vec::with_capacity(clients * per_client);
+    for round in 0..per_client {
+        for session in &sessions {
+            lines.push(session[round].clone());
+        }
+    }
+    let snapshot_every = [0u64, 1, 2, 3, 5, 8][rng.below(6)];
+    CrashCase {
+        lines,
+        snapshot_every,
+        clients: clients as u32,
+    }
+}
+
+/// One client's crash-drill sub-session: `defines` definitions then
+/// `ops` operations (exactly one line each), every target and monitor
+/// name prefixed with `ns` so concurrent clients never share state.
+fn gen_crash_session(rng: &mut SplitMix, ns: &str, defines: usize, ops: usize) -> Vec<String> {
     let alphabet = Alphabet::ab();
     let alphabet_json = "[\"a\",\"b\"]";
     let mut lines = Vec::new();
@@ -412,8 +449,7 @@ pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
         id += 1;
         lines.push(format!("{{\"id\":{id},{body}}}"));
     };
-    let defines = 1 + rng.below(2);
-    let names: Vec<String> = (0..defines).map(|i| format!("p{i}")).collect();
+    let names: Vec<String> = (0..defines).map(|i| format!("{ns}p{i}")).collect();
     for name in &names {
         if rng.flip() {
             let formula = gen_ltl(rng, &alphabet, 3);
@@ -435,12 +471,11 @@ pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
     }
     let pick = |rng: &mut SplitMix| -> String {
         if rng.percent() < 8 {
-            "ghost".to_string() // deliberately undefined
+            format!("{ns}ghost") // deliberately undefined
         } else {
             names[rng.below(names.len())].clone()
         }
     };
-    let ops = 3 + rng.below(6);
     for _ in 0..ops {
         match rng.below(8) {
             // Journaled verbs dominate: record boundaries are kill
@@ -457,7 +492,7 @@ pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
                         }
                     })
                     .collect();
-                let monitor = format!("m{}", rng.below(3));
+                let monitor = format!("{ns}m{}", rng.below(3));
                 next_id(
                     &mut lines,
                     format!(
@@ -506,11 +541,7 @@ pub fn gen_crash(rng: &mut SplitMix) -> CrashCase {
             }
         }
     }
-    let snapshot_every = [0u64, 1, 2, 3, 5, 8][rng.below(6)];
-    CrashCase {
-        lines,
-        snapshot_every,
-    }
+    lines
 }
 
 /// Minimal JSON string escaping for embedding generated text in

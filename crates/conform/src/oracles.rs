@@ -616,7 +616,7 @@ fn is_degraded(line: &str) -> bool {
 }
 
 fn replay(c: &SessionCase, threads: usize, cache_cap: usize) -> Vec<String> {
-    let mut service = Service::new(ServiceConfig {
+    let service = Service::new(ServiceConfig {
         fault: *fault::global(),
         threads,
         max_line: 1 << 20,
@@ -842,7 +842,7 @@ pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> 
         fault: FaultPlan::disabled(),
         ..ServiceConfig::default()
     };
-    let mut twin = Service::new(config());
+    let twin = Service::new(config());
     let twin_replies: Vec<String> = lines.iter().map(|l| twin.handle_line(l).line).collect();
     let muts: Vec<usize> = lines
         .iter()
@@ -861,7 +861,7 @@ pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> 
             snapshot_every,
         };
         let result = (|| {
-            let mut doomed = Service::with_persistence(config(), &persist)
+            let doomed = Service::with_persistence(config(), &persist)
                 .map_err(|e| format!("boundary {k}: first open failed: {e}"))?;
             for (i, line) in lines[..cut].iter().enumerate() {
                 let got = doomed.handle_line(line).line;
@@ -873,7 +873,7 @@ pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> 
                 }
             }
             drop(doomed); // crash: journal only, no drain
-            let mut recovered = Service::with_persistence(config(), &persist)
+            let recovered = Service::with_persistence(config(), &persist)
                 .map_err(|e| format!("boundary {k}: recovery failed: {e}"))?;
             for (i, line) in lines[cut..].iter().enumerate() {
                 let got = recovered.handle_line(line).line;
@@ -906,14 +906,14 @@ pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> 
             snapshot_every,
         };
         let result = (|| {
-            let mut doomed = Service::with_persistence(config(), &persist)
+            let doomed = Service::with_persistence(config(), &persist)
                 .map_err(|e| format!("midrec {k}: first open failed: {e}"))?;
             for line in &lines[..cut] {
                 doomed.handle_line(line);
             }
             drop(doomed);
             truncate_active_journal(&dir).map_err(|e| format!("midrec {k}: {e}"))?;
-            let mut recovered = Service::with_persistence(config(), &persist)
+            let recovered = Service::with_persistence(config(), &persist)
                 .map_err(|e| format!("midrec {k}: recovery failed: {e}"))?;
             let notes = recovered.take_recovery_notes();
             if !absorbed && !notes.iter().any(|n| n.contains("truncated")) {
@@ -940,6 +940,38 @@ pub fn crash_drill(lines: &[String], snapshot_every: u64) -> Result<(), String> 
 }
 
 fn check_crash(c: &CrashCase) -> Outcome {
+    let clients = c.clients.max(1) as usize;
+    if clients > 1 {
+        // Transcript independence: the interleaved run (one shared
+        // daemon answering line i for client i mod k) must give each
+        // client exactly the replies a solo run of its sub-session
+        // gives — concurrent clients over disjoint names cannot
+        // observe each other. This is the multi-client half of the
+        // tentpole guarantee; the crash drill below then holds the
+        // *interleaved journal* to recovery byte-identity.
+        let config = || ServiceConfig {
+            fault: FaultPlan::disabled(),
+            ..ServiceConfig::default()
+        };
+        let shared = Service::new(config());
+        let interleaved: Vec<String> =
+            c.lines.iter().map(|l| shared.handle_line(l).line).collect();
+        for j in 0..clients {
+            let solo = Service::new(config());
+            for (i, line) in c.lines.iter().enumerate() {
+                if i % clients != j {
+                    continue;
+                }
+                let got = solo.handle_line(line).line;
+                if got != interleaved[i] {
+                    fail!(
+                        "client {j} of {clients}: interleaved reply at line {i} differs from a solo run:\n  solo:        {got}\n  interleaved: {}",
+                        interleaved[i]
+                    );
+                }
+            }
+        }
+    }
     match crash_drill(&c.lines, c.snapshot_every) {
         Ok(()) => Outcome::Pass,
         Err(msg) => Outcome::Fail(msg),

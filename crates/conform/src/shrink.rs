@@ -256,12 +256,53 @@ fn shrink_session(c: &SessionCase) -> Vec<Case> {
 
 fn shrink_crash(c: &CrashCase) -> Vec<Case> {
     let mut out = Vec::new();
+    let clients = c.clients.max(1) as usize;
+    if clients > 1 {
+        // The round-robin assignment is positional (line i → client
+        // i mod k), so interior removal would silently reassign every
+        // later line. Shrink along the moves that preserve it: keep
+        // one client's sub-session as a single-client case, or drop
+        // whole tail rounds.
+        for j in 0..clients {
+            let lines: Vec<String> = c
+                .lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == j)
+                .map(|(_, l)| l.clone())
+                .collect();
+            if !lines.is_empty() {
+                out.push(Case::Crash(CrashCase {
+                    lines,
+                    snapshot_every: c.snapshot_every,
+                    clients: 1,
+                }));
+            }
+        }
+        if c.lines.len() > clients {
+            let keep = (c.lines.len() / 2 / clients).max(1) * clients;
+            out.push(Case::Crash(CrashCase {
+                lines: c.lines[..keep].to_vec(),
+                snapshot_every: c.snapshot_every,
+                clients: c.clients,
+            }));
+        }
+        if c.snapshot_every != 0 {
+            out.push(Case::Crash(CrashCase {
+                lines: c.lines.clone(),
+                snapshot_every: 0,
+                clients: c.clients,
+            }));
+        }
+        return out;
+    }
     // Drop the tail half first, then single lines — the drill is
     // O(records²), so shedding lines early pays twice.
     if c.lines.len() > 1 {
         out.push(Case::Crash(CrashCase {
             lines: c.lines[..c.lines.len() / 2].to_vec(),
             snapshot_every: c.snapshot_every,
+            clients: 1,
         }));
     }
     for i in 0..c.lines.len() {
@@ -273,6 +314,7 @@ fn shrink_crash(c: &CrashCase) -> Vec<Case> {
         out.push(Case::Crash(CrashCase {
             lines,
             snapshot_every: c.snapshot_every,
+            clients: 1,
         }));
     }
     // Snapshot rotation off is the simpler-to-debug configuration.
@@ -280,6 +322,7 @@ fn shrink_crash(c: &CrashCase) -> Vec<Case> {
         out.push(Case::Crash(CrashCase {
             lines: c.lines.clone(),
             snapshot_every: 0,
+            clients: 1,
         }));
     }
     out

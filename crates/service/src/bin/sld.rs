@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! sld [--stdin]              serve newline-delimited JSON on stdin/stdout (default)
-//! sld --tcp ADDR             serve TCP connections sequentially on ADDR
+//! sld --tcp ADDR             serve concurrent TCP connections on ADDR
+//! sld --max-conns N          concurrent-connection cap for --tcp (default 64)
 //! sld --persist DIR [...]    journal + snapshot state under DIR (crash-safe)
 //! ```
+//!
+//! Under `--tcp` every connection is served on its own thread against
+//! the shared daemon state; `quit` ends the issuing connection only,
+//! `shutdown` drains the whole daemon (flush, final snapshot, refuse
+//! further work, close every connection).
 //!
 //! stdout carries protocol lines only (golden transcripts diff it
 //! byte-for-byte); the banner and diagnostics go to stderr. Knobs via
@@ -18,7 +24,7 @@ use sl_service::{serve_stdin, serve_tcp, PersistConfig, Service, ServiceConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sld [--stdin | --tcp ADDR] [--persist DIR]";
+const USAGE: &str = "usage: sld [--stdin | --tcp ADDR] [--max-conns N] [--persist DIR]";
 
 enum Mode {
     Stdin,
@@ -29,7 +35,7 @@ enum Mode {
 /// shutdown verb already drained if the session ended that way; a
 /// second drain is a cheap no-op rotation, and an EOF-terminated
 /// session gets its only drain here.
-fn drain_at_exit(service: &mut Service) {
+fn drain_at_exit(service: &Service) {
     if !service.is_persistent() {
         return;
     }
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = Mode::Stdin;
     let mut persist_dir: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +60,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 mode = Mode::Tcp(addr.clone());
+                i += 1;
+            }
+            "--max-conns" => {
+                let parsed = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+                let Some(cap) = parsed.filter(|&cap| cap > 0) else {
+                    eprintln!("sld: --max-conns needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                max_conns = Some(cap);
                 i += 1;
             }
             "--persist" => {
@@ -75,8 +91,12 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let mut service = match &persist_dir {
-        None => Service::from_env(),
+    let mut config = ServiceConfig::default();
+    if let Some(cap) = max_conns {
+        config.max_conns = cap;
+    }
+    let service = match &persist_dir {
+        None => Service::new(config),
         Some(dir) => {
             let snapshot_every = std::env::var("SL_SNAPSHOT_EVERY")
                 .ok()
@@ -86,7 +106,7 @@ fn main() -> ExitCode {
                 dir: dir.into(),
                 snapshot_every,
             };
-            match Service::with_persistence(ServiceConfig::default(), &persist) {
+            match Service::with_persistence(config, &persist) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("sld: cannot recover state from {dir}: {e}");
@@ -102,9 +122,9 @@ fn main() -> ExitCode {
     match mode {
         Mode::Stdin => {
             eprintln!("sld: serving stdin (quit or EOF ends the session)");
-            match serve_stdin(&mut service) {
+            match serve_stdin(&service) {
                 Ok(summary) => {
-                    drain_at_exit(&mut service);
+                    drain_at_exit(&service);
                     eprintln!(
                         "sld: session over ({} responses, {})",
                         summary.responses,
@@ -113,7 +133,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    drain_at_exit(&mut service);
+                    drain_at_exit(&service);
                     eprintln!("sld: i/o error: {e}");
                     ExitCode::FAILURE
                 }
@@ -127,14 +147,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            eprintln!("sld: serving {addr} (a quit or shutdown request shuts the daemon down)");
-            match serve_tcp(&mut service, &listener) {
+            // The resolved address matters when the caller bound port
+            // 0; tests parse it off this line to find the daemon.
+            let bound = listener
+                .local_addr()
+                .map_or(addr.clone(), |a| a.to_string());
+            eprintln!(
+                "sld: serving {bound} (max {} connections; quit ends one connection, \
+                 shutdown drains the daemon)",
+                service.max_conns()
+            );
+            match serve_tcp(&service, &listener) {
                 Ok(()) => {
-                    drain_at_exit(&mut service);
+                    drain_at_exit(&service);
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    drain_at_exit(&mut service);
+                    drain_at_exit(&service);
                     eprintln!("sld: accept error: {e}");
                     ExitCode::FAILURE
                 }

@@ -6,6 +6,14 @@
 //! corpora — and a stored-operand equality check that turns 64-bit
 //! hash collisions into cache misses instead of wrong answers.
 //!
+//! Since the daemon serves connections concurrently, the map is
+//! **sharded into striped locks** keyed by the left operand's
+//! structural hash: every session shares one result pool (a cold query
+//! computed for one client is a warm hit for every other), while
+//! probes for distinct automata proceed on distinct stripes without
+//! contending. All methods take `&self`; a shard's lock is held only
+//! for the probe or store itself, never across a compute.
+//!
 //! Only successful results are cached: a query that failed on a small
 //! budget must be recomputed when the client retries with a larger
 //! one, and fault-injected failures must not poison later sessions.
@@ -15,7 +23,12 @@
 use crate::json::Json;
 use sl_buchi::Buchi;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default stripe count for [`QueryCache::new`]. Shard selection is
+/// `left.structural_hash() % shards`, so repeat queries land on (and
+/// serialize through) one stripe while distinct operands parallelize.
+pub const QUERY_CACHE_SHARDS: usize = 8;
 
 /// Cache-key verb tags. Only pure query verbs are cacheable: `define`
 /// and `decompose` mutate the registry, `monitor-step` is stateful.
@@ -32,6 +45,11 @@ pub enum QueryKind {
     Universal,
 }
 
+/// The full cache key: verb tag plus the operands' structural hashes
+/// (0 for an absent right operand). Shared with the engine's in-flight
+/// compute deduplication, which tracks pending computes by this key.
+pub(crate) type QueryKey = (QueryKind, u64, u64);
+
 #[derive(Debug)]
 struct Entry {
     left: Arc<Buchi>,
@@ -40,7 +58,8 @@ struct Entry {
 }
 
 /// Counters describing how the cache has been used (levels and
-/// monotone counts; `entries` is a gauge).
+/// monotone counts; `entries` is a gauge). For a sharded cache this is
+/// the roll-up; [`QueryCache::shard_stats`] has the per-stripe split.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryCacheStats {
     /// Lookups answered from the cache.
@@ -49,7 +68,7 @@ pub struct QueryCacheStats {
     pub misses: u64,
     /// Results currently stored.
     pub entries: usize,
-    /// Times the map hit its cap and was cleared wholesale.
+    /// Times a shard hit its cap and was cleared wholesale.
     pub clears: u64,
     /// Lookups whose hash matched a stored entry for different
     /// operands; recomputed uncached, costing time but never
@@ -57,92 +76,18 @@ pub struct QueryCacheStats {
     pub collisions: u64,
 }
 
-/// The bounded query-result cache.
-#[derive(Debug)]
-pub struct QueryCache {
-    map: HashMap<(QueryKind, u64, u64), Entry>,
-    cap: usize,
+/// One stripe: a bounded map plus its counters, guarded by one lock.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<QueryKey, Entry>,
     hits: u64,
     misses: u64,
     clears: u64,
     collisions: u64,
 }
 
-impl QueryCache {
-    /// An empty cache holding at most `cap` results.
-    #[must_use]
-    pub fn new(cap: usize) -> Self {
-        QueryCache {
-            map: HashMap::new(),
-            cap: cap.max(1),
-            hits: 0,
-            misses: 0,
-            clears: 0,
-            collisions: 0,
-        }
-    }
-
-    fn key(kind: QueryKind, left: &Buchi, right: Option<&Buchi>) -> (QueryKind, u64, u64) {
-        (
-            kind,
-            left.structural_hash(),
-            right.map_or(0, Buchi::structural_hash),
-        )
-    }
-
-    /// Looks up a result, verifying the stored operands are *equal* to
-    /// the probe's (hash collisions count as misses, tallied
-    /// separately). Updates the hit/miss counters.
-    pub fn probe(
-        &mut self,
-        kind: QueryKind,
-        left: &Arc<Buchi>,
-        right: Option<&Arc<Buchi>>,
-    ) -> Option<Json> {
-        match self.map.get(&Self::key(kind, left, right.map(Arc::as_ref))) {
-            Some(entry) => {
-                let same = entry.left.as_ref() == left.as_ref()
-                    && match (&entry.right, right) {
-                        (None, None) => true,
-                        (Some(stored), Some(probe)) => stored.as_ref() == probe.as_ref(),
-                        _ => false,
-                    };
-                if same {
-                    self.hits += 1;
-                    Some(entry.result.clone())
-                } else {
-                    self.collisions += 1;
-                    self.misses += 1;
-                    None
-                }
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Stores a computed result, clearing the whole map first if it is
-    /// at capacity (cap-and-clear, as the complement cache does).
-    pub fn store(
-        &mut self,
-        kind: QueryKind,
-        left: Arc<Buchi>,
-        right: Option<Arc<Buchi>>,
-        result: Json,
-    ) {
-        let key = Self::key(kind, &left, right.as_deref());
-        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
-            self.map.clear();
-            self.clears += 1;
-        }
-        self.map.insert(key, Entry { left, right, result });
-    }
-
-    /// A snapshot of the counters.
-    #[must_use]
-    pub fn stats(&self) -> QueryCacheStats {
+impl Shard {
+    fn stats(&self) -> QueryCacheStats {
         QueryCacheStats {
             hits: self.hits,
             misses: self.misses,
@@ -151,14 +96,135 @@ impl QueryCache {
             collisions: self.collisions,
         }
     }
+}
+
+/// The bounded, sharded query-result cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry cap (the construction cap split evenly).
+    shard_cap: usize,
+}
+
+impl QueryCache {
+    /// An empty cache holding at most `cap` results across
+    /// [`QUERY_CACHE_SHARDS`] stripes.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self::with_shards(cap, QUERY_CACHE_SHARDS)
+    }
+
+    /// An empty cache with an explicit stripe count (tests pin 1 shard
+    /// to observe the cap-and-clear policy exactly).
+    #[must_use]
+    pub fn with_shards(cap: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        QueryCache {
+            shard_cap: (cap / shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    pub(crate) fn key(kind: QueryKind, left: &Buchi, right: Option<&Buchi>) -> QueryKey {
+        (
+            kind,
+            left.structural_hash(),
+            right.map_or(0, Buchi::structural_hash),
+        )
+    }
+
+    /// The stripe responsible for `key`, locked. Poisoning is absorbed:
+    /// the cache is semantically transparent, so state abandoned by a
+    /// panicking thread is still a valid memo table.
+    fn shard(&self, key: &QueryKey) -> MutexGuard<'_, Shard> {
+        let index = (key.1 % self.shards.len() as u64) as usize;
+        self.shards[index].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a result, verifying the stored operands are *equal* to
+    /// the probe's (hash collisions count as misses, tallied
+    /// separately). Updates the hit/miss counters.
+    pub fn probe(
+        &self,
+        kind: QueryKind,
+        left: &Arc<Buchi>,
+        right: Option<&Arc<Buchi>>,
+    ) -> Option<Json> {
+        let key = Self::key(kind, left, right.map(Arc::as_ref));
+        let mut shard = self.shard(&key);
+        match shard.map.get(&key) {
+            Some(entry) => {
+                let same = entry.left.as_ref() == left.as_ref()
+                    && match (&entry.right, right) {
+                        (None, None) => true,
+                        (Some(stored), Some(probe)) => stored.as_ref() == probe.as_ref(),
+                        _ => false,
+                    };
+                if same {
+                    let result = entry.result.clone();
+                    shard.hits += 1;
+                    Some(result)
+                } else {
+                    shard.collisions += 1;
+                    shard.misses += 1;
+                    None
+                }
+            }
+            None => {
+                shard.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a computed result, clearing the whole stripe first if it
+    /// is at capacity (cap-and-clear, as the complement cache does).
+    pub fn store(
+        &self,
+        kind: QueryKind,
+        left: Arc<Buchi>,
+        right: Option<Arc<Buchi>>,
+        result: Json,
+    ) {
+        let key = Self::key(kind, &left, right.as_deref());
+        let mut shard = self.shard(&key);
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_cap {
+            shard.map.clear();
+            shard.clears += 1;
+        }
+        shard.map.insert(key, Entry { left, right, result });
+    }
+
+    /// A roll-up of the counters across every stripe.
+    #[must_use]
+    pub fn stats(&self) -> QueryCacheStats {
+        let mut total = QueryCacheStats::default();
+        for stats in self.shard_stats() {
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.entries += stats.entries;
+            total.clears += stats.clears;
+            total.collisions += stats.collisions;
+        }
+        total
+    }
+
+    /// Per-stripe counters, in shard order — `stats` surfaces these so
+    /// a workload thrashing one stripe is visible without a profiler.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<QueryCacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap_or_else(PoisonError::into_inner).stats())
+            .collect()
+    }
 
     /// Empties the cache and zeroes the counters (bench isolation).
-    pub fn reset(&mut self) {
-        self.map.clear();
-        self.hits = 0;
-        self.misses = 0;
-        self.clears = 0;
-        self.collisions = 0;
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            *shard = Shard::default();
+        }
     }
 }
 
@@ -173,7 +239,7 @@ mod tests {
 
     #[test]
     fn probe_miss_store_hit() {
-        let mut cache = QueryCache::new(8);
+        let cache = QueryCache::new(8);
         let u = arc(Buchi::universal(Alphabet::ab()));
         assert!(cache.probe(QueryKind::Universal, &u, None).is_none());
         cache.store(QueryKind::Universal, Arc::clone(&u), None, Json::Bool(true));
@@ -186,7 +252,9 @@ mod tests {
 
     #[test]
     fn cap_and_clear_bounds_the_map() {
-        let mut cache = QueryCache::new(2);
+        // One shard pins the clear policy exactly: the sharded default
+        // would spread the three operands across stripes.
+        let cache = QueryCache::with_shards(2, 1);
         let sigma = Alphabet::ab();
         let automata: Vec<Arc<Buchi>> = (0..3)
             .map(|seed| {
@@ -206,5 +274,74 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert!(cache.probe(QueryKind::Classify, &automata[2], None).is_some());
         assert!(cache.probe(QueryKind::Classify, &automata[0], None).is_none());
+    }
+
+    #[test]
+    fn rollup_sums_per_shard_counters() {
+        let cache = QueryCache::new(64);
+        let sigma = Alphabet::ab();
+        for seed in 0..16 {
+            let b = arc(sl_buchi::random_buchi(
+                &sigma,
+                seed,
+                sl_buchi::RandomConfig::default(),
+            ));
+            assert!(cache.probe(QueryKind::Classify, &b, None).is_none());
+            cache.store(QueryKind::Classify, Arc::clone(&b), None, Json::Int(seed as i64));
+            assert!(cache.probe(QueryKind::Classify, &b, None).is_some());
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), QUERY_CACHE_SHARDS);
+        let rollup = cache.stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), rollup.hits);
+        assert_eq!(per_shard.iter().map(|s| s.misses).sum::<u64>(), rollup.misses);
+        assert_eq!(per_shard.iter().map(|s| s.entries).sum::<usize>(), rollup.entries);
+        assert_eq!((rollup.hits, rollup.misses, rollup.entries), (16, 16, 16));
+        // 16 distinct random automata should not all pile onto one
+        // stripe — the hash actually spreads.
+        assert!(
+            per_shard.iter().filter(|s| s.entries > 0).count() > 1,
+            "{per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_probes_and_stores_stay_consistent() {
+        let cache = QueryCache::new(256);
+        let sigma = Alphabet::ab();
+        let automata: Vec<Arc<Buchi>> = (0..8)
+            .map(|seed| {
+                arc(sl_buchi::random_buchi(
+                    &sigma,
+                    seed,
+                    sl_buchi::RandomConfig::default(),
+                ))
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                let automata = &automata;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let b = &automata[(t + round) % automata.len()];
+                        match cache.probe(QueryKind::Universal, b, None) {
+                            Some(result) => {
+                                assert_eq!(result, Json::Int(b.num_states() as i64))
+                            }
+                            None => cache.store(
+                                QueryKind::Universal,
+                                Arc::clone(b),
+                                None,
+                                Json::Int(b.num_states() as i64),
+                            ),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.entries <= automata.len());
     }
 }

@@ -1,12 +1,47 @@
 //! The service core: verb dispatch over a registry, memoizing query
 //! cache, per-request budgets, batch fan-out, and fault drills.
 //!
+//! # Concurrency model
+//!
+//! A [`Service`] is a cheap cloneable handle over one shared daemon
+//! core, so any number of connection threads can serve requests
+//! against the same state. What is shared and how (see DESIGN S10 for
+//! the full protocol):
+//!
+//! * the **registry** sits behind an `RwLock` — queries take read
+//!   locks and run concurrently, `define`/`decompose` take the write
+//!   lock only for the insert itself;
+//! * the **query cache** and the rank engine's complement cache are
+//!   sharded into striped locks keyed by structural hash (see
+//!   [`crate::cache`]); an in-flight table additionally deduplicates
+//!   concurrent computes of the same cold query — the first claimant
+//!   computes, everyone else waits on a condvar and re-probes;
+//! * **monitor sessions and compiled fleets** share one mutex (they
+//!   are one namespace daemon-wide, so a snapshot taken by any
+//!   connection captures every session);
+//! * counters are atomics; engine totals aggregate under their own
+//!   mutex.
+//!
+//! Mutating verbs (`define`, `decompose`, `monitor-step`) serialize
+//! through the **mutation lock** — the persist slot's mutex — so the
+//! journal's append order *is* dispatch order and crash recovery
+//! replays exactly the interleaving that was served. Lock order is
+//! persist → registry → sessions → cache shard → engine totals;
+//! `stats` takes its locks one at a time and never nests them.
+//!
+//! `shutdown` drains under the mutation lock: it flips the stopped
+//! flag, flushes the journal, writes a final snapshot, and every
+//! later request — including one that was already waiting on the
+//! mutation lock — gets a typed `shutting_down` rejection. `quit`
+//! ends only the issuing connection.
+//!
 //! # Determinism contract
 //!
-//! For a fixed request script (and the default antichain engine), the
-//! response byte stream is identical at any `SL_THREADS` — the golden
-//! transcripts in `tests/service_protocol.rs` and the verify.sh
-//! `service` stage hold the daemon to this. The load-bearing choices:
+//! For a fixed request script served over a *single* connection (and
+//! the default antichain engine), the response byte stream is
+//! identical at any `SL_THREADS` — the golden transcripts in
+//! `tests/service_protocol.rs` and the verify.sh `service` stage hold
+//! the daemon to this. The load-bearing choices:
 //!
 //! * requests — and the items of a `batch` — are assigned fault-site
 //!   indices sequentially at intake, so whether `sl.service.request`
@@ -19,10 +54,16 @@
 //!   worker thread that ran it* and the deltas are summed in item
 //!   order. Antichain counters are a pure function of the query, so
 //!   the totals reported by `stats` are deterministic under the
-//!   default engine. (The rank engine's complement cache is
-//!   per-thread, so its hit/miss split does depend on scheduling —
-//!   transcripts that pin `SL_INCL_ENGINE=rank` should not diff a
-//!   `stats` response.)
+//!   default engine. (The rank engine's complement cache is shared
+//!   process-wide, so its hit/miss split depends on what else is
+//!   running — transcripts that pin `SL_INCL_ENGINE=rank` should not
+//!   diff a `stats` response.)
+//!
+//! With multiple connections, the guarantee each client keeps is
+//! *transcript independence*: for sessions that touch disjoint names
+//! and skip `stats`, the response stream is byte-for-byte what a solo
+//! run of the same script would have produced, no matter how many
+//! other clients are connected (`tests/concurrency.rs` pins this).
 //!
 //! # Fault tolerance
 //!
@@ -31,11 +72,13 @@
 //! `par.worker` drill site — degrades to a typed `panic` error
 //! response; the daemon, its registry, and its cache survive. (Batch
 //! items additionally carry their own per-item boundary so one
-//! poisoned item cannot take down its siblings.) The
+//! poisoned item cannot take down its siblings.) Because the daemon
+//! outlives panics, every lock acquisition absorbs mutex poisoning —
+//! each critical section leaves its structure valid. The
 //! `sl.service.request` site makes request intake itself drillable
 //! under `SL_FAULT_RATE`.
 
-use crate::cache::{QueryCache, QueryCacheStats, QueryKind};
+use crate::cache::{QueryCache, QueryCacheStats, QueryKey, QueryKind};
 use crate::json::Json;
 use crate::persist::{Persist, PersistConfig, PersistError, SessionSnap};
 use crate::proto::{
@@ -44,15 +87,16 @@ use crate::proto::{
 use crate::registry::Registry;
 use sl_buchi::{
     classify, closure, decompose, engine_stats, equivalent, equivalent_budgeted, hoa, included,
-    included_budgeted, is_safety, universal, Buchi, Classification, CompiledMonitor, EngineStats,
-    Inclusion, Monitor, MonitorFleet, Verdict,
+    included_budgeted, is_safety, shared_complement_cache_stats, universal, Buchi, Classification,
+    CompiledMonitor, EngineStats, Inclusion, Monitor, MonitorFleet, Verdict,
 };
 use sl_omega::Alphabet;
 use sl_support::par::{try_par_map_with, ItemOutcome};
 use sl_support::{fault, par, FaultPlan, SlError};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// The fault-injection site charged once per request (batch items
 /// included), indexed by intake order.
@@ -78,6 +122,11 @@ pub struct ServiceConfig {
     /// batches are shed with a typed `overloaded` rejection instead of
     /// letting one client grow the daemon's queue without bound.
     pub max_batch: usize,
+    /// Bounded admission: the most concurrent connections the TCP
+    /// supervisor serves. Connections beyond the cap get one typed
+    /// `overloaded` rejection line and are closed (the `--max-conns`
+    /// flag).
+    pub max_conns: usize,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +137,7 @@ impl Default for ServiceConfig {
             max_line: 1 << 20,
             cache_cap: 256,
             max_batch: 1024,
+            max_conns: 64,
         }
     }
 }
@@ -113,7 +163,7 @@ struct MonitorSession {
 /// by construction (the `compiled` conform oracle holds them to it).
 #[derive(Debug)]
 enum SessionBackend {
-    /// Index into [`Service::fleets`] plus this session's slot.
+    /// Index into [`Sessions::fleets`] plus this session's slot.
     Compiled { fleet: usize, slot: usize },
     /// Private NFA-path monitor (the general fallback).
     Nfa(Monitor),
@@ -128,12 +178,63 @@ struct FleetEntry {
     fleet: MonitorFleet,
 }
 
+/// The monitor-session half of the daemon state: one namespace shared
+/// by every connection (so a snapshot captures all sessions), guarded
+/// by one mutex because fleets and the sessions indexing into them
+/// must move together.
+#[derive(Debug, Default)]
+struct Sessions {
+    monitors: HashMap<String, MonitorSession>,
+    fleets: Vec<FleetEntry>,
+}
+
+impl Sessions {
+    /// Picks a session backend for a target: safety-classified targets
+    /// compile into a shared dense-table fleet (reusing the table when
+    /// other sessions already watch the same `Arc`); anything else —
+    /// not cl-safety, safety check over budget, or a table past the
+    /// `u16` cap — falls back to a private NFA-path [`Monitor`].
+    ///
+    /// The safety check deliberately bypasses the query cache and the
+    /// engine totals: `monitor-step` has never touched either, and
+    /// keeping it that way preserves every existing golden `stats`
+    /// transcript byte-for-byte.
+    fn make_backend(&mut self, target: &Arc<Buchi>) -> SessionBackend {
+        if matches!(is_safety(target), Ok(true)) {
+            if let Some(i) = self
+                .fleets
+                .iter()
+                .position(|entry| Arc::ptr_eq(&entry.source, target))
+            {
+                let slot = self.fleets[i].fleet.spawn();
+                return SessionBackend::Compiled { fleet: i, slot };
+            }
+            if let Ok(compiled) = CompiledMonitor::new(target) {
+                let mut fleet = MonitorFleet::new(&compiled);
+                let slot = fleet.spawn();
+                self.fleets.push(FleetEntry {
+                    source: Arc::clone(target),
+                    fleet,
+                });
+                return SessionBackend::Compiled {
+                    fleet: self.fleets.len() - 1,
+                    slot,
+                };
+            }
+        }
+        SessionBackend::Nfa(Monitor::new(target))
+    }
+}
+
 /// One handled line's outcome.
 #[derive(Debug)]
 pub struct Reply {
     /// The response line (no trailing newline).
     pub line: String,
-    /// Whether this request asked the daemon to shut down.
+    /// Whether this request ends the issuing session: `true` for
+    /// `quit` (connection-local) and `shutdown` (which additionally
+    /// drains the whole daemon — the serving loop tells them apart by
+    /// [`Service::is_stopped`]).
     pub quit: bool,
 }
 
@@ -159,18 +260,6 @@ fn is_journaled(verb: Verb) -> bool {
     matches!(verb, Verb::Define | Verb::Decompose | Verb::MonitorStep)
 }
 
-/// The drain state machine: `Running` serves everything; `Stopped`
-/// (entered by the `shutdown` verb after the journal is flushed and a
-/// final snapshot is written) rejects every further request with a
-/// typed `shutting_down` error. The serving loop is sequential, so by
-/// the time `shutdown` is dispatched every earlier request has already
-/// been answered — accepting the verb *is* the drain barrier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lifecycle {
-    Running,
-    Stopped,
-}
-
 /// The durability attachment: the journal/snapshot manager plus the
 /// replay guard (recovery feeds journaled lines back through dispatch,
 /// and those must not be re-journaled).
@@ -181,21 +270,60 @@ struct PersistState {
     notes: Vec<String>,
 }
 
-/// The daemon state: registry, monitor sessions, cache, counters.
+/// Request/error/session tallies, all atomics so any connection can
+/// bump them without a lock.
 #[derive(Debug)]
-pub struct Service {
+struct Counters {
+    verb_counts: [AtomicU64; STATS_VERBS.len()],
+    errors: AtomicU64,
+    io_errors: AtomicU64,
+    /// Sessions ever started (monotone; the `connections` gauge).
+    connections: AtomicU64,
+    /// Sessions currently being served.
+    active_sessions: AtomicU64,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            verb_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            active_sessions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The daemon core every [`Service`] handle points at.
+#[derive(Debug)]
+struct Shared {
     config: ServiceConfig,
-    registry: Registry,
-    monitors: HashMap<String, MonitorSession>,
-    fleets: Vec<FleetEntry>,
+    registry: RwLock<Registry>,
+    sessions: Mutex<Sessions>,
     cache: QueryCache,
-    verb_counts: [u64; STATS_VERBS.len()],
-    errors: u64,
-    io_errors: u64,
-    engine_totals: EngineStats,
-    next_request_index: u64,
-    persist: Option<PersistState>,
-    lifecycle: Lifecycle,
+    counters: Counters,
+    engine_totals: Mutex<EngineStats>,
+    next_request_index: AtomicU64,
+    /// The mutation lock: journaled verbs append and dispatch under
+    /// it, so journal order is dispatch order (`None` when the
+    /// service is not persistent — the lock still serializes
+    /// mutators).
+    persist: Mutex<Option<PersistState>>,
+    /// Set by `shutdown` under the mutation lock; every later request
+    /// is refused with `shutting_down`.
+    stopped: AtomicBool,
+    /// In-flight compute dedup: cache keys currently being computed.
+    /// A probe miss claims its key here or waits for the claimant.
+    pending: Mutex<HashSet<QueryKey>>,
+    pending_done: Condvar,
+}
+
+/// The daemon state: registry, monitor sessions, cache, counters —
+/// a cloneable handle, one per connection thread.
+#[derive(Debug, Clone)]
+pub struct Service {
+    shared: Arc<Shared>,
 }
 
 /// A resolved, cacheable query: what to compute and on what.
@@ -206,23 +334,31 @@ struct QueryJob {
     budget: Option<BudgetSpec>,
 }
 
+/// Absorbs mutex poisoning: the daemon survives panics (dispatch is a
+/// catch_unwind boundary), so a lock a panicking thread abandoned
+/// still guards structurally valid state.
+fn relock<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Service {
     /// A service with the given configuration.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         Service {
-            cache: QueryCache::new(config.cache_cap),
-            config,
-            registry: Registry::new(),
-            monitors: HashMap::new(),
-            fleets: Vec::new(),
-            verb_counts: [0; STATS_VERBS.len()],
-            errors: 0,
-            io_errors: 0,
-            engine_totals: EngineStats::default(),
-            next_request_index: 0,
-            persist: None,
-            lifecycle: Lifecycle::Running,
+            shared: Arc::new(Shared {
+                cache: QueryCache::new(config.cache_cap),
+                config,
+                registry: RwLock::new(Registry::new()),
+                sessions: Mutex::new(Sessions::default()),
+                counters: Counters::default(),
+                engine_totals: Mutex::new(EngineStats::default()),
+                next_request_index: AtomicU64::new(0),
+                persist: Mutex::new(None),
+                stopped: AtomicBool::new(false),
+                pending: Mutex::new(HashSet::new()),
+                pending_done: Condvar::new(),
+            }),
         }
     }
 
@@ -252,8 +388,8 @@ impl Service {
     ) -> Result<Self, PersistError> {
         let started = std::time::Instant::now();
         let (persist, recovered) = Persist::open(persist)?;
-        let mut service = Service::new(config);
-        service.persist = Some(PersistState {
+        let service = Service::new(config);
+        *service.lock_persist() = Some(PersistState {
             persist,
             replaying: true,
             notes: recovered.notes,
@@ -266,24 +402,106 @@ impl Service {
             service.replay_line(line);
             replayed += 1;
         }
-        let state = service.persist.as_mut().expect("attached above");
+        let mut guard = service.lock_persist();
+        let state = guard.as_mut().expect("attached above");
         state.replaying = false;
         state
             .persist
             .note_recovery(started.elapsed().as_millis() as u64, replayed);
+        drop(guard);
         Ok(service)
     }
+
+    // ---- lock helpers (poison-absorbing, in lock order) ------------
+
+    fn lock_persist(&self) -> MutexGuard<'_, Option<PersistState>> {
+        relock(self.shared.persist.lock())
+    }
+
+    fn read_registry(&self) -> std::sync::RwLockReadGuard<'_, Registry> {
+        relock(self.shared.registry.read())
+    }
+
+    fn write_registry(&self) -> std::sync::RwLockWriteGuard<'_, Registry> {
+        relock(self.shared.registry.write())
+    }
+
+    fn lock_sessions(&self) -> MutexGuard<'_, Sessions> {
+        relock(self.shared.sessions.lock())
+    }
+
+    /// Folds a per-query engine delta into the daemon totals. The
+    /// complement-cache half is dropped: that cache is process-shared
+    /// now, so `stats` reports it live instead of summing deltas that
+    /// other threads' activity would skew.
+    fn absorb_engine(&self, delta: &EngineStats) {
+        let mut antichain_only = *delta;
+        antichain_only.complement_cache = Default::default();
+        relock(self.shared.engine_totals.lock()).absorb(&antichain_only);
+    }
+
+    // ---- lifecycle and session accounting --------------------------
 
     /// Whether this service journals and snapshots its state.
     #[must_use]
     pub fn is_persistent(&self) -> bool {
-        self.persist.is_some()
+        self.lock_persist().is_some()
+    }
+
+    /// Whether `shutdown` has drained the daemon (every further
+    /// request gets a typed `shutting_down` rejection).
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::SeqCst)
+    }
+
+    /// The configured concurrent-connection cap.
+    #[must_use]
+    pub fn max_conns(&self) -> usize {
+        self.shared.config.max_conns
+    }
+
+    /// Sessions currently being served (the `active_sessions` gauge).
+    #[must_use]
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.counters.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Counts a session in (serving loops bracket every session with
+    /// [`Service::begin_session`]/[`Service::end_session`]).
+    pub(crate) fn begin_session(&self) {
+        self.shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .counters
+            .active_sessions
+            .fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts a session out.
+    pub(crate) fn end_session(&self) {
+        self.shared
+            .counters
+            .active_sessions
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Renders (and counts) the one-line `overloaded` rejection the
+    /// TCP supervisor writes to connections beyond `max_conns`.
+    pub(crate) fn overloaded_reply(&self) -> String {
+        let error = ProtoError::new(
+            "overloaded",
+            format!(
+                "the daemon is at its connection cap ({}); retry later",
+                self.shared.config.max_conns
+            ),
+        );
+        self.error_reply(None, &error).line
     }
 
     /// Drains recovery diagnostics (`[recovered]`-prefixed lines) for
     /// the caller to log; empty on a clean start.
-    pub fn take_recovery_notes(&mut self) -> Vec<String> {
-        match self.persist.as_mut() {
+    pub fn take_recovery_notes(&self) -> Vec<String> {
+        match self.lock_persist().as_mut() {
             Some(state) => std::mem::take(&mut state.notes),
             None => Vec::new(),
         }
@@ -291,8 +509,8 @@ impl Service {
 
     /// Counts one dropped-connection (or otherwise failed) transport
     /// I/O error; surfaced by `stats` as `io_errors`.
-    pub fn note_io_error(&mut self) {
-        self.io_errors += 1;
+    pub fn note_io_error(&self) {
+        self.shared.counters.io_errors.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Flushes the journal to stable storage and writes a final
@@ -304,12 +522,18 @@ impl Service {
     ///
     /// [`PersistError`] when the snapshot or sync fails; the journal
     /// is still complete, so recovery remains possible.
-    pub fn drain(&mut self) -> Result<bool, PersistError> {
-        if self.persist.is_none() {
+    pub fn drain(&self) -> Result<bool, PersistError> {
+        let mut persist = self.lock_persist();
+        self.drain_with(&mut persist)
+    }
+
+    /// The drain body, for callers already holding the mutation lock.
+    fn drain_with(&self, persist: &mut Option<PersistState>) -> Result<bool, PersistError> {
+        if persist.is_none() {
             return Ok(false);
         }
         let (registry, sessions) = self.snapshot_state();
-        let state = self.persist.as_mut().expect("checked above");
+        let state = persist.as_mut().expect("checked above");
         state.persist.sync()?;
         state.persist.write_snapshot(registry, sessions)?;
         Ok(true)
@@ -318,23 +542,25 @@ impl Service {
     /// The configured line cap (the framing layer enforces it).
     #[must_use]
     pub fn max_line(&self) -> usize {
-        self.config.max_line
+        self.shared.config.max_line
     }
 
     /// Cache counters (bench reporting).
     #[must_use]
     pub fn cache_stats(&self) -> QueryCacheStats {
-        self.cache.stats()
+        self.shared.cache.stats()
     }
 
     /// Empties the result cache and zeroes its counters (bench
     /// cold/warm isolation).
-    pub fn reset_cache(&mut self) {
-        self.cache.reset();
+    pub fn reset_cache(&self) {
+        self.shared.cache.reset();
     }
 
+    // ---- the request path ------------------------------------------
+
     /// Handles one request line, producing exactly one response line.
-    pub fn handle_line(&mut self, line: &str) -> Reply {
+    pub fn handle_line(&self, line: &str) -> Reply {
         let doc = match crate::json::parse(line) {
             Ok(doc) => doc,
             Err(message) => {
@@ -346,50 +572,44 @@ impl Service {
             Ok(request) => request,
             Err(error) => return self.error_reply(id.as_ref(), &error),
         };
-        if self.lifecycle == Lifecycle::Stopped {
-            let error = ProtoError::new(
-                "shutting_down",
-                "the daemon has drained and accepts no further requests",
-            );
-            return self.error_reply(id.as_ref(), &error);
+        if self.is_stopped() {
+            return self.error_reply(id.as_ref(), &shutting_down());
         }
         self.count_verb(request.verb);
         let index = self.take_index();
-        if let Err(err) = self.config.fault.inject_error(REQUEST_FAULT_SITE, index) {
+        if let Err(err) = self
+            .shared
+            .config
+            .fault
+            .inject_error(REQUEST_FAULT_SITE, index)
+        {
             let error = ProtoError::new(kind_of(&err), err.to_string());
             return self.error_reply(id.as_ref(), &error);
         }
         if request.verb == Verb::Quit {
+            // Connection-local: the serving loop ends this session and
+            // the daemon keeps serving everyone else.
             return Reply {
                 line: ok_value(id.as_ref(), Json::obj(vec![("bye", Json::Bool(true))])).render(),
                 quit: true,
             };
         }
         if request.verb == Verb::Shutdown {
-            // Sequential serving means every earlier request is already
-            // answered: flush, snapshot, and refuse what follows.
-            let snapshotted = match self.drain() {
-                Ok(wrote) => wrote,
-                Err(e) => {
-                    eprintln!("sld: shutdown snapshot failed: {e}");
-                    false
-                }
-            };
-            self.lifecycle = Lifecycle::Stopped;
-            let body = Json::obj(vec![
-                ("bye", Json::Bool(true)),
-                ("drained", Json::Bool(true)),
-                ("snapshotted", Json::Bool(snapshotted)),
-            ]);
-            return Reply {
-                line: ok_value(id.as_ref(), body).render(),
-                quit: true,
-            };
+            return self.do_shutdown(id.as_ref());
         }
-        // Write-ahead: a mutating request reaches dispatch only after
-        // it is durable, so a crash at any later point replays it.
         if is_journaled(request.verb) {
-            if let Some(state) = self.persist.as_mut() {
+            // The mutation lock: write-ahead append and dispatch form
+            // one critical section, so the journal's total order is
+            // exactly the order mutations were applied — recovery
+            // replays the served interleaving even when it came from
+            // many connections.
+            let mut persist = self.lock_persist();
+            if self.is_stopped() {
+                // `shutdown` won the lock while this request waited:
+                // the final snapshot is already on disk.
+                return self.error_reply(id.as_ref(), &shutting_down());
+            }
+            if let Some(state) = persist.as_mut() {
                 if !state.replaying {
                     if let Err(e) = state.persist.append(line) {
                         let error =
@@ -398,24 +618,54 @@ impl Service {
                     }
                 }
             }
+            let reply = self.dispatch_isolated(&request, id.as_ref());
+            self.maybe_snapshot(&mut persist);
+            reply
+        } else {
+            self.dispatch_isolated(&request, id.as_ref())
         }
-        // Dispatch-level panic boundary: every verb — not just the
-        // query kernel — degrades to a typed `panic` error, keeping
-        // the protocol contract that every failure is a response.
-        let mut this = AssertUnwindSafe(&mut *self);
-        let reply = match catch_unwind(move || this.dispatch(&request)) {
-            Ok(Ok(result)) => Reply {
-                line: ok_value(id.as_ref(), result).render(),
-                quit: false,
-            },
-            Ok(Err(error)) => self.error_reply(id.as_ref(), &error),
-            Err(payload) => {
-                let error = ProtoError::new("panic", panic_message(payload.as_ref()));
-                self.error_reply(id.as_ref(), &error)
+    }
+
+    /// `shutdown`: drain the whole daemon. Taking the mutation lock
+    /// first means no journaled verb is mid-dispatch when the stopped
+    /// flag flips, so the final snapshot captures a complete state.
+    fn do_shutdown(&self, id: Option<&Json>) -> Reply {
+        let mut persist = self.lock_persist();
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        let snapshotted = match self.drain_with(&mut persist) {
+            Ok(wrote) => wrote,
+            Err(e) => {
+                eprintln!("sld: shutdown snapshot failed: {e}");
+                false
             }
         };
-        self.maybe_snapshot();
-        reply
+        drop(persist);
+        let body = Json::obj(vec![
+            ("bye", Json::Bool(true)),
+            ("drained", Json::Bool(true)),
+            ("snapshotted", Json::Bool(snapshotted)),
+        ]);
+        Reply {
+            line: ok_value(id, body).render(),
+            quit: true,
+        }
+    }
+
+    /// Dispatch inside the panic boundary: every verb — not just the
+    /// query kernel — degrades to a typed `panic` error, keeping the
+    /// protocol contract that every failure is a response.
+    fn dispatch_isolated(&self, request: &Request, id: Option<&Json>) -> Reply {
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(request))) {
+            Ok(Ok(result)) => Reply {
+                line: ok_value(id, result).render(),
+                quit: false,
+            },
+            Ok(Err(error)) => self.error_reply(id, &error),
+            Err(payload) => {
+                let error = ProtoError::new("panic", panic_message(payload.as_ref()));
+                self.error_reply(id, &error)
+            }
+        }
     }
 
     /// Feeds one recovered journal line back through dispatch. Replay
@@ -424,7 +674,7 @@ impl Service {
     /// index stream moving so a recovered daemon's bookkeeping stays
     /// plausible. Outcomes are discarded: a line that failed when
     /// first served fails identically here, which is the point.
-    fn replay_line(&mut self, line: &str) {
+    fn replay_line(&self, line: &str) {
         let Ok(doc) = crate::json::parse(line) else { return };
         let Ok(request) = request_from_value(doc) else { return };
         if !is_journaled(request.verb) {
@@ -432,24 +682,25 @@ impl Service {
         }
         self.count_verb(request.verb);
         let _ = self.take_index();
-        let mut this = AssertUnwindSafe(&mut *self);
-        match catch_unwind(move || this.dispatch(&request)) {
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(&request))) {
             Ok(Ok(_)) => {}
-            Ok(Err(_)) | Err(_) => self.errors += 1,
+            Ok(Err(_)) | Err(_) => {
+                self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
     /// Writes an automatic snapshot when the journal has accumulated
     /// `snapshot_every` records. A failed snapshot is a diagnostic,
     /// not a request failure: the journal already holds everything.
-    fn maybe_snapshot(&mut self) {
-        let due = match &self.persist {
+    fn maybe_snapshot(&self, persist: &mut Option<PersistState>) {
+        let due = match persist {
             Some(state) => !state.replaying && state.persist.should_snapshot(),
             None => false,
         };
         if due {
             let (registry, sessions) = self.snapshot_state();
-            let state = self.persist.as_mut().expect("checked above");
+            let state = persist.as_mut().expect("checked above");
             if let Err(e) = state.persist.write_snapshot(registry, sessions) {
                 eprintln!("sld: snapshot failed: {e}");
             }
@@ -458,21 +709,24 @@ impl Service {
 
     /// Serializes the durable state: sorted registry bindings (HOA is
     /// an exact codec — `from_hoa(to_hoa(b)) == b`) and sorted monitor
-    /// sessions with their raw backend state.
+    /// sessions with their raw backend state. Called with the mutation
+    /// lock held, so no mutator is mid-flight; queries may interleave
+    /// freely (they never touch durable state).
     fn snapshot_state(&self) -> (Vec<(String, String)>, Vec<SessionSnap>) {
         let mut registry: Vec<(String, String)> = self
-            .registry
+            .read_registry()
             .iter()
             .map(|(name, automaton)| (name.to_string(), hoa::to_hoa(automaton, name)))
             .collect();
         registry.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        let mut sessions: Vec<SessionSnap> = self
+        let guard = self.lock_sessions();
+        let mut sessions: Vec<SessionSnap> = guard
             .monitors
             .iter()
             .map(|(name, session)| {
                 let state = match &session.backend {
                     SessionBackend::Compiled { fleet, slot } => {
-                        u64::from(self.fleets[*fleet].fleet.save_state(*slot))
+                        u64::from(guard.fleets[*fleet].fleet.save_state(*slot))
                     }
                     SessionBackend::Nfa(monitor) => monitor.save_state(),
                 };
@@ -484,6 +738,7 @@ impl Service {
                 }
             })
             .collect();
+        drop(guard);
         sessions.sort_unstable_by(|a, b| a.name.cmp(&b.name));
         (registry, sessions)
     }
@@ -493,15 +748,18 @@ impl Service {
     /// watching the same automaton share one compiled fleet, as they
     /// would have live); the deterministic monitor constructions make
     /// the saved raw state indices valid against the rebuilt tables.
-    fn restore_snapshot(&mut self, snapshot: &crate::persist::Snapshot) -> Result<(), PersistError> {
+    fn restore_snapshot(&self, snapshot: &crate::persist::Snapshot) -> Result<(), PersistError> {
         let bad = |detail: String| PersistError::State { detail };
         let mut by_hoa: HashMap<&str, Arc<Buchi>> = HashMap::new();
+        let mut registry = self.write_registry();
         for (name, text) in &snapshot.registry {
             let automaton = hoa::from_hoa(text)
                 .map_err(|e| bad(format!("registry entry `{name}`: {e}")))?;
-            let stored = self.registry.insert(name, automaton);
+            let stored = registry.insert(name, automaton);
             by_hoa.entry(text.as_str()).or_insert(stored);
         }
+        drop(registry);
+        let mut sessions = self.lock_sessions();
         for snap in &snapshot.sessions {
             let source = match by_hoa.get(snap.hoa.as_str()) {
                 Some(arc) => Arc::clone(arc),
@@ -513,10 +771,10 @@ impl Service {
                     arc
                 }
             };
-            let mut backend = self.make_backend(&source);
+            let mut backend = sessions.make_backend(&source);
             let loaded = match &mut backend {
                 SessionBackend::Compiled { fleet, slot } => match u16::try_from(snap.state) {
-                    Ok(raw) => self.fleets[*fleet].fleet.load_state(*slot, raw),
+                    Ok(raw) => sessions.fleets[*fleet].fleet.load_state(*slot, raw),
                     Err(_) => false,
                 },
                 SessionBackend::Nfa(monitor) => monitor.load_state(snap.state),
@@ -527,7 +785,7 @@ impl Service {
                     snap.name, snap.state
                 )));
             }
-            self.monitors.insert(
+            sessions.monitors.insert(
                 snap.name.clone(),
                 MonitorSession {
                     target: snap.target.clone(),
@@ -540,29 +798,27 @@ impl Service {
         Ok(())
     }
 
-    fn error_reply(&mut self, id: Option<&Json>, error: &ProtoError) -> Reply {
-        self.errors += 1;
+    fn error_reply(&self, id: Option<&Json>, error: &ProtoError) -> Reply {
+        self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
         Reply {
             line: err_value(id, error).render(),
             quit: false,
         }
     }
 
-    fn take_index(&mut self) -> u64 {
-        let index = self.next_request_index;
-        self.next_request_index += 1;
-        index
+    fn take_index(&self) -> u64 {
+        self.shared.next_request_index.fetch_add(1, Ordering::SeqCst)
     }
 
-    fn count_verb(&mut self, verb: Verb) {
+    fn count_verb(&self, verb: Verb) {
         let slot = STATS_VERBS
             .iter()
             .position(|&v| v == verb)
             .expect("every verb has a stats slot");
-        self.verb_counts[slot] += 1;
+        self.shared.counters.verb_counts[slot].fetch_add(1, Ordering::SeqCst);
     }
 
-    fn dispatch(&mut self, request: &Request) -> Result<Json, ProtoError> {
+    fn dispatch(&self, request: &Request) -> Result<Json, ProtoError> {
         match request.verb {
             Verb::Define => self.do_define(request),
             Verb::Classify | Verb::Include | Verb::Equivalent | Verb::Universal => {
@@ -581,7 +837,7 @@ impl Service {
 
     // ---- define ---------------------------------------------------
 
-    fn do_define(&mut self, request: &Request) -> Result<Json, ProtoError> {
+    fn do_define(&self, request: &Request) -> Result<Json, ProtoError> {
         let name = require_str(&request.body, "name")?;
         let budget = request.budget.map(BudgetSpec::to_budget);
         let (automaton, source) = if let Some(formula) = request.body.get("ltl") {
@@ -612,7 +868,7 @@ impl Service {
                 "define needs `ltl` (with `alphabet`) or `hoa`",
             ));
         };
-        let stored = self.registry.insert(name, automaton);
+        let stored = self.write_registry().insert(name, automaton);
         Ok(Json::obj(vec![
             ("name", Json::Str(name.to_string())),
             ("source", Json::Str(source.to_string())),
@@ -631,11 +887,13 @@ impl Service {
             Verb::Equivalent => (QueryKind::Equivalent, "left", Some("right")),
             _ => unreachable!("resolve_query is only called for query verbs"),
         };
-        let left = self.resolve_object(&request.body, left_key)?;
+        let registry = self.read_registry();
+        let left = resolve_in(&registry, &request.body, left_key)?;
         let right = match right_key {
-            Some(key) => Some(self.resolve_object(&request.body, key)?),
+            Some(key) => Some(resolve_in(&registry, &request.body, key)?),
             None => None,
         };
+        drop(registry);
         if let Some(right) = &right {
             if left.alphabet() != right.alphabet() {
                 return Err(ProtoError::new(
@@ -652,50 +910,71 @@ impl Service {
         })
     }
 
-    fn resolve_object(&self, body: &Json, key: &str) -> Result<Arc<Buchi>, ProtoError> {
-        let name = require_str(body, key)?;
-        self.registry.get(name).cloned().ok_or_else(|| {
-            ProtoError::new("unknown_object", format!("`{name}` is not defined"))
-        })
-    }
-
     /// Probes the cache, computes on miss (inside a panic boundary,
     /// with engine counters attributed), stores successful results.
-    fn run_query(&mut self, job: &QueryJob) -> Result<Json, ProtoError> {
-        if let Some(result) = self.cache.probe(job.kind, &job.left, job.right.as_ref()) {
-            return Ok(result);
+    ///
+    /// Concurrent cold queries for the same key are **deduplicated**:
+    /// the first connection to claim the key computes it; every other
+    /// connection waits on the condvar and re-probes, so n clients
+    /// asking the same cold question cost one compute, not n. Failed
+    /// computes release the claim without storing — each waiter then
+    /// claims and retries for itself (a budget-limited failure must
+    /// not shadow a retry with a larger budget).
+    fn run_query(&self, job: &QueryJob) -> Result<Json, ProtoError> {
+        let key = QueryCache::key(job.kind, &job.left, job.right.as_deref());
+        loop {
+            if let Some(result) = self
+                .shared
+                .cache
+                .probe(job.kind, &job.left, job.right.as_ref())
+            {
+                return Ok(result);
+            }
+            let mut pending = relock(self.shared.pending.lock());
+            if pending.insert(key) {
+                break;
+            }
+            let guard = relock(self.shared.pending_done.wait(pending));
+            drop(guard);
         }
         let (outcome, delta) = compute_isolated(job);
-        self.engine_totals.absorb(&delta);
-        let result = outcome?;
-        self.cache.store(
-            job.kind,
-            Arc::clone(&job.left),
-            job.right.clone(),
-            result.clone(),
-        );
-        Ok(result)
+        self.absorb_engine(&delta);
+        if let Ok(result) = &outcome {
+            self.shared.cache.store(
+                job.kind,
+                Arc::clone(&job.left),
+                job.right.clone(),
+                result.clone(),
+            );
+        }
+        let mut pending = relock(self.shared.pending.lock());
+        pending.remove(&key);
+        drop(pending);
+        self.shared.pending_done.notify_all();
+        outcome
     }
 
     // ---- decompose ------------------------------------------------
 
-    fn do_decompose(&mut self, request: &Request) -> Result<Json, ProtoError> {
+    fn do_decompose(&self, request: &Request) -> Result<Json, ProtoError> {
         let name = require_str(&request.body, "target")?.to_string();
-        let target = self.resolve_object(&request.body, "target")?;
+        let target = resolve_in(&self.read_registry(), &request.body, "target")?;
         let before = engine_stats();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let d = decompose(&target);
             let check = d.check_sampled(&target, 2, 2);
             (d, check)
         }));
-        self.engine_totals.absorb(&engine_stats().delta_since(&before));
+        self.absorb_engine(&engine_stats().delta_since(&before));
         let (d, check) = outcome.map_err(|payload| {
             ProtoError::new("panic", panic_message(payload.as_ref()))
         })?;
         let safety_name = format!("{name}.safety");
         let liveness_name = format!("{name}.liveness");
-        let safety = self.registry.insert(&safety_name, d.safety);
-        let liveness = self.registry.insert(&liveness_name, d.liveness);
+        let mut registry = self.write_registry();
+        let safety = registry.insert(&safety_name, d.safety);
+        let liveness = registry.insert(&liveness_name, d.liveness);
+        drop(registry);
         Ok(Json::obj(vec![
             ("target", Json::Str(name.to_string())),
             (
@@ -727,54 +1006,23 @@ impl Service {
 
     // ---- monitor-step ---------------------------------------------
 
-    /// Picks a session backend for a target: safety-classified targets
-    /// compile into a shared dense-table fleet (reusing the table when
-    /// other sessions already watch the same `Arc`); anything else —
-    /// not cl-safety, safety check over budget, or a table past the
-    /// `u16` cap — falls back to a private NFA-path [`Monitor`].
-    ///
-    /// The safety check deliberately bypasses the query cache and the
-    /// `engine_totals` bookkeeping: `monitor-step` has never touched
-    /// either, and keeping it that way preserves every existing golden
-    /// `stats` transcript byte-for-byte.
-    fn make_backend(&mut self, target: &Arc<Buchi>) -> SessionBackend {
-        if matches!(is_safety(target), Ok(true)) {
-            if let Some(i) = self
-                .fleets
-                .iter()
-                .position(|entry| Arc::ptr_eq(&entry.source, target))
-            {
-                let slot = self.fleets[i].fleet.spawn();
-                return SessionBackend::Compiled { fleet: i, slot };
-            }
-            if let Ok(compiled) = CompiledMonitor::new(target) {
-                let mut fleet = MonitorFleet::new(&compiled);
-                let slot = fleet.spawn();
-                self.fleets.push(FleetEntry {
-                    source: Arc::clone(target),
-                    fleet,
-                });
-                return SessionBackend::Compiled {
-                    fleet: self.fleets.len() - 1,
-                    slot,
-                };
-            }
-        }
-        SessionBackend::Nfa(Monitor::new(target))
-    }
-
-    fn do_monitor_step(&mut self, request: &Request) -> Result<Json, ProtoError> {
+    fn do_monitor_step(&self, request: &Request) -> Result<Json, ProtoError> {
         let session_name = require_str(&request.body, "monitor")?;
-        if !self.monitors.contains_key(session_name) {
+        // Lock order: registry (read) before sessions — the read lock
+        // is only consulted when the step creates a session, but
+        // taking it up front keeps the order unconditional.
+        let registry = self.read_registry();
+        let mut guard = self.lock_sessions();
+        if !guard.monitors.contains_key(session_name) {
             let target_name = require_str(&request.body, "target").map_err(|_| {
                 ProtoError::new(
                     "invalid_input",
                     format!("monitor session `{session_name}` does not exist; creating one needs `target`"),
                 )
             })?;
-            let target = self.resolve_object(&request.body, "target")?;
-            let backend = self.make_backend(&target);
-            self.monitors.insert(
+            let target = resolve_in(&registry, &request.body, "target")?;
+            let backend = guard.make_backend(&target);
+            guard.monitors.insert(
                 session_name.to_string(),
                 MonitorSession {
                     target: target_name.to_string(),
@@ -784,10 +1032,11 @@ impl Service {
                 },
             );
         }
-        // One lookup: the session surely exists now, and everything
-        // below reads through this borrow (the old double get + target
-        // clone was pure waste on the hot path).
-        let session = self.monitors.get_mut(session_name).expect("inserted above");
+        drop(registry);
+        // Split borrow: the session entry and the fleet table are
+        // disjoint fields, and the compiled backend needs both.
+        let Sessions { monitors, fleets } = &mut *guard;
+        let session = monitors.get_mut(session_name).expect("inserted above");
         if let Some(requested) = request.body.get("target").and_then(Json::as_str) {
             if requested != session.target {
                 return Err(ProtoError::new(
@@ -834,7 +1083,7 @@ impl Service {
         let mut verdicts = Vec::with_capacity(syms.len());
         let final_verdict = match &mut session.backend {
             SessionBackend::Compiled { fleet, slot } => {
-                let fleet = &mut self.fleets[*fleet].fleet;
+                let fleet = &mut fleets[*fleet].fleet;
                 if reset {
                     fleet.reset(*slot);
                 }
@@ -863,27 +1112,75 @@ impl Service {
 
     // ---- stats ----------------------------------------------------
 
+    /// Renders the `stats` snapshot. Every lock here is taken and
+    /// released on its own — `stats` never holds two at once, so it
+    /// can never participate in a lock-order cycle with a mutator.
+    /// Under concurrency the snapshot is a consistent-enough read:
+    /// each counter is exact, cross-counter relations may be mid-
+    /// request.
     fn do_stats(&self) -> Json {
         let mut requests: Vec<(String, Json)> = STATS_VERBS
             .iter()
-            .zip(self.verb_counts.iter())
-            .map(|(verb, &count)| (verb.wire_name().to_string(), Json::Int(count as i64)))
+            .zip(self.shared.counters.verb_counts.iter())
+            .map(|(verb, count)| {
+                (
+                    verb.wire_name().to_string(),
+                    Json::Int(count.load(Ordering::SeqCst) as i64),
+                )
+            })
             .collect();
-        requests.push((
-            "total".to_string(),
-            Json::Int(self.verb_counts.iter().sum::<u64>() as i64),
-        ));
-        let cache = self.cache.stats();
-        let engine = &self.engine_totals;
+        let total: u64 = self
+            .shared
+            .counters
+            .verb_counts
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum();
+        requests.push(("total".to_string(), Json::Int(total as i64)));
+        let automata = self.read_registry().len();
+        let monitors = self.lock_sessions().monitors.len();
+        let cache = self.shared.cache.stats();
+        let shards: Vec<Json> = self
+            .shared
+            .cache
+            .shard_stats()
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("hits", Json::Int(s.hits as i64)),
+                    ("misses", Json::Int(s.misses as i64)),
+                    ("entries", Json::Int(s.entries as i64)),
+                    ("clears", Json::Int(s.clears as i64)),
+                    ("collisions", Json::Int(s.collisions as i64)),
+                ])
+            })
+            .collect();
+        let complement = shared_complement_cache_stats();
+        let antichain = relock(self.shared.engine_totals.lock()).antichain;
+        let counters = &self.shared.counters;
         let mut doc = vec![
             ("requests", Json::Obj(requests)),
-            ("errors", Json::Int(self.errors as i64)),
-            ("io_errors", Json::Int(self.io_errors as i64)),
+            (
+                "errors",
+                Json::Int(counters.errors.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "io_errors",
+                Json::Int(counters.io_errors.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "connections",
+                Json::Int(counters.connections.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "active_sessions",
+                Json::Int(counters.active_sessions.load(Ordering::SeqCst) as i64),
+            ),
             (
                 "registry",
                 Json::obj(vec![
-                    ("automata", Json::Int(self.registry.len() as i64)),
-                    ("monitors", Json::Int(self.monitors.len() as i64)),
+                    ("automata", Json::Int(automata as i64)),
+                    ("monitors", Json::Int(monitors as i64)),
                 ]),
             ),
             (
@@ -894,6 +1191,7 @@ impl Service {
                     ("entries", Json::Int(cache.entries as i64)),
                     ("clears", Json::Int(cache.clears as i64)),
                     ("collisions", Json::Int(cache.collisions as i64)),
+                    ("shards", Json::Arr(shards)),
                 ]),
             ),
             (
@@ -902,42 +1200,40 @@ impl Service {
                     (
                         "complement_cache",
                         Json::obj(vec![
-                            ("hits", Json::Int(engine.complement_cache.hits as i64)),
-                            ("misses", Json::Int(engine.complement_cache.misses as i64)),
-                            ("entries", Json::Int(engine.complement_cache.entries as i64)),
+                            ("hits", Json::Int(complement.hits as i64)),
+                            ("misses", Json::Int(complement.misses as i64)),
+                            ("entries", Json::Int(complement.entries as i64)),
                             (
                                 "invalidations",
-                                Json::Int(engine.complement_cache.invalidations as i64),
+                                Json::Int(complement.invalidations as i64),
                             ),
-                            (
-                                "collisions",
-                                Json::Int(engine.complement_cache.collisions as i64),
-                            ),
+                            ("collisions", Json::Int(complement.collisions as i64)),
                         ]),
                     ),
                     (
                         "antichain",
                         Json::obj(vec![
-                            ("searches", Json::Int(engine.antichain.searches as i64)),
+                            ("searches", Json::Int(antichain.searches as i64)),
                             (
                                 "insert_attempts",
-                                Json::Int(engine.antichain.insert_attempts as i64),
+                                Json::Int(antichain.insert_attempts as i64),
                             ),
                             (
                                 "subsumption_scans",
-                                Json::Int(engine.antichain.subsumption_scans as i64),
+                                Json::Int(antichain.subsumption_scans as i64),
                             ),
                             (
                                 "counterexamples",
-                                Json::Int(engine.antichain.counterexamples as i64),
+                                Json::Int(antichain.counterexamples as i64),
                             ),
                         ]),
                     ),
                 ]),
             ),
         ];
-        if let Some(state) = &self.persist {
-            let p = state.persist.stats();
+        let persist = self.lock_persist();
+        if let Some(state) = persist.as_ref() {
+            let p = *state.persist.stats();
             doc.push((
                 "persist",
                 Json::obj(vec![
@@ -956,6 +1252,7 @@ impl Service {
                 ]),
             ));
         }
+        drop(persist);
         Json::obj(doc)
     }
 
@@ -965,7 +1262,10 @@ impl Service {
     /// sequential intake (fault indices, verb counts, cache probes),
     /// parallel compute of the misses, sequential commit in item
     /// order. One poisoned item degrades to its own typed error.
-    fn do_batch(&mut self, request: &Request) -> Result<Json, ProtoError> {
+    /// Batch items bypass the in-flight dedup table — the sequential
+    /// probe already deduplicates within the batch, and the counters
+    /// it produces are pinned by golden transcripts.
+    fn do_batch(&self, request: &Request) -> Result<Json, ProtoError> {
         let items = request
             .body
             .get("requests")
@@ -975,14 +1275,14 @@ impl Service {
         // Bounded intake: shed oversized batches before any per-item
         // bookkeeping, so an overloaded rejection has no side effects
         // a retry would double-count.
-        if items.len() > self.config.max_batch {
+        if items.len() > self.shared.config.max_batch {
             return Err(ProtoError::new(
                 "overloaded",
                 format!(
                     "batch carries {} requests; the daemon accepts at most {} per batch — \
                      split the batch and retry",
                     items.len(),
-                    self.config.max_batch
+                    self.shared.config.max_batch
                 ),
             ));
         }
@@ -1002,7 +1302,8 @@ impl Service {
             let prepared = request_from_value(item).and_then(|mut sub| {
                 self.count_verb(sub.verb);
                 let index = self.take_index();
-                self.config
+                self.shared
+                    .config
                     .fault
                     .inject_error(REQUEST_FAULT_SITE, index)
                     .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
@@ -1025,13 +1326,17 @@ impl Service {
             });
             match prepared {
                 Err(error) => {
-                    self.errors += 1;
+                    self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
                     slots.push(Slot::Done(err_value(id.as_ref(), &error)));
                 }
                 Ok(job) => {
                     // Sequential probe keeps hit/miss counters (and the
                     // set of computed jobs) schedule-independent.
-                    match self.cache.probe(job.kind, &job.left, job.right.as_ref()) {
+                    match self
+                        .shared
+                        .cache
+                        .probe(job.kind, &job.left, job.right.as_ref())
+                    {
                         Some(result) => slots.push(Slot::Done(ok_value(id.as_ref(), result))),
                         None => {
                             slots.push(Slot::Job {
@@ -1048,7 +1353,8 @@ impl Service {
         // The worker already isolates panics and types its errors, so
         // its closure is infallible; the sweep's own boundary still
         // catches the `par.worker` drill site's injected panics.
-        let report = try_par_map_with(self.config.threads, &jobs, |job| Ok(compute_isolated(job)));
+        let report =
+            try_par_map_with(self.shared.config.threads, &jobs, |job| Ok(compute_isolated(job)));
 
         let mut results = Vec::with_capacity(slots.len());
         let mut outcomes = report.outcomes.into_iter();
@@ -1060,8 +1366,8 @@ impl Service {
                     let job = &jobs[job_index];
                     match outcome {
                         ItemOutcome::Ok((Ok(result), delta)) => {
-                            self.engine_totals.absorb(&delta);
-                            self.cache.store(
+                            self.absorb_engine(&delta);
+                            self.shared.cache.store(
                                 job.kind,
                                 Arc::clone(&job.left),
                                 job.right.clone(),
@@ -1070,17 +1376,17 @@ impl Service {
                             results.push(ok_value(id.as_ref(), result));
                         }
                         ItemOutcome::Ok((Err(error), delta)) => {
-                            self.engine_totals.absorb(&delta);
-                            self.errors += 1;
+                            self.absorb_engine(&delta);
+                            self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
                             results.push(err_value(id.as_ref(), &error));
                         }
                         ItemOutcome::Failed(err) => {
-                            self.errors += 1;
+                            self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
                             let error = ProtoError::new(kind_of(&err), err.to_string());
                             results.push(err_value(id.as_ref(), &error));
                         }
                         ItemOutcome::Panicked(message) => {
-                            self.errors += 1;
+                            self.shared.counters.errors.fetch_add(1, Ordering::SeqCst);
                             let error = ProtoError::new("panic", message);
                             results.push(err_value(id.as_ref(), &error));
                         }
@@ -1193,6 +1499,23 @@ fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
 }
 
 // ---- small helpers ------------------------------------------------
+
+fn shutting_down() -> ProtoError {
+    ProtoError::new(
+        "shutting_down",
+        "the daemon has drained and accepts no further requests",
+    )
+}
+
+/// Name lookup against an already-held registry guard (taking the
+/// read lock inside would self-deadlock a thread that holds it).
+fn resolve_in(registry: &Registry, body: &Json, key: &str) -> Result<Arc<Buchi>, ProtoError> {
+    let name = require_str(body, key)?;
+    registry
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ProtoError::new("unknown_object", format!("`{name}` is not defined")))
+}
 
 fn require_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ProtoError> {
     body.get(key)

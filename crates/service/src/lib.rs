@@ -23,7 +23,19 @@
 //!   transport `io_errors`, persistence metrics, and the engines'
 //!   [`sl_buchi::EngineStats`];
 //! * **`shutdown`** — the graceful drain: flush the write-ahead
-//!   journal, snapshot, refuse further requests, exit.
+//!   journal, snapshot, refuse further requests, close every
+//!   connection (`quit`, by contrast, ends only the issuing
+//!   connection).
+//!
+//! The daemon serves **concurrent connections**: [`Service`] is a
+//! cloneable handle over one shared core (registry behind an RwLock,
+//! query cache and complement cache sharded into striped locks,
+//! journaled verbs serialized through the mutation lock), and
+//! [`serve_tcp`] runs one scoped thread per accepted connection,
+//! bounded by `max_conns` with a typed `overloaded` rejection beyond
+//! the cap. Each client's transcript stays byte-identical to a solo
+//! run of the same script (for sessions over disjoint names) no
+//! matter how many other clients are connected.
 //!
 //! A daemon built with [`Service::with_persistence`] is crash-safe:
 //! the [`persist`] module journals every state-mutating request ahead
@@ -43,7 +55,7 @@
 //! use sl_service::{Service, ServiceConfig};
 //! use sl_support::FaultPlan;
 //!
-//! let mut svc = Service::new(ServiceConfig {
+//! let svc = Service::new(ServiceConfig {
 //!     fault: FaultPlan::disabled(),
 //!     threads: 1,
 //!     ..ServiceConfig::default()

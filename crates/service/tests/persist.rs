@@ -50,23 +50,23 @@ fn restart_resumes_monitor_sessions_with_sticky_verdicts() {
         r#"{"id":3,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["b"]}"#,
         r#"{"id":4,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a"]}"#,
     ];
-    let mut twin = Service::new(quiet());
+    let twin = Service::new(quiet());
     let twin_replies: Vec<String> = lines.iter().map(|l| twin.handle_line(l).line).collect();
     assert!(twin_replies[2].contains("violation"), "{}", twin_replies[2]);
     assert!(twin_replies[3].contains("violation"), "sticky: {}", twin_replies[3]);
 
     // Crash after the violation landed in the journal; the restarted
     // daemon must keep the verdict sticky without re-seeing line 3.
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     for line in &lines[..3] {
         svc.handle_line(line);
     }
     drop(svc);
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     assert_eq!(svc.handle_line(lines[3]).line, twin_replies[3]);
     // A second restart keeps it sticky still.
     drop(svc);
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     assert_eq!(svc.handle_line(lines[3]).line, twin_replies[3]);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -80,16 +80,16 @@ fn crash_between_define_and_first_monitor_step_matches_a_fresh_daemon() {
     let bad_define = r#"{"id":1,"verb":"define","name":"p0","ltl":"G (","alphabet":["a","b"]}"#;
     let step = r#"{"id":2,"verb":"monitor-step","monitor":"m0","target":"p0","symbols":["a"]}"#;
 
-    let mut fresh = Service::new(quiet());
+    let fresh = Service::new(quiet());
     let fresh_define = fresh.handle_line(bad_define).line;
     assert!(fresh_define.contains("\"ok\":false"), "{fresh_define}");
     let fresh_step = fresh.handle_line(step).line;
 
     let dir = temp_dir("baddefine");
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     assert_eq!(svc.handle_line(bad_define).line, fresh_define);
     drop(svc); // crash before any monitor-step
-    let mut recovered = open(&dir, 0);
+    let recovered = open(&dir, 0);
     assert_eq!(recovered.handle_line(step).line, fresh_step);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -97,7 +97,7 @@ fn crash_between_define_and_first_monitor_step_matches_a_fresh_daemon() {
 #[test]
 fn shutdown_drains_snapshots_and_refuses_further_work() {
     let dir = temp_dir("shutdown");
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     assert!(svc.handle_line(DEFINE_GA).line.contains("\"ok\":true"));
     let reply = svc.handle_line(r#"{"id":2,"verb":"shutdown"}"#);
     assert!(reply.quit, "shutdown ends the session");
@@ -110,7 +110,7 @@ fn shutdown_drains_snapshots_and_refuses_further_work() {
     drop(svc);
     // Clean shutdown means the snapshot carries everything: recovery
     // replays zero journal records.
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     let stats = svc.handle_line(r#"{"id":4,"verb":"stats"}"#).line;
     let doc = sl_service::json::parse(&stats).unwrap();
     let persist = doc.get("result").and_then(|r| r.get("persist")).expect("persist metrics");
@@ -126,7 +126,7 @@ fn shutdown_drains_snapshots_and_refuses_further_work() {
 
 #[test]
 fn oversized_batches_are_shed_with_a_typed_overloaded_error() {
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         max_batch: 2,
         ..quiet()
     });
@@ -144,7 +144,7 @@ fn oversized_batches_are_shed_with_a_typed_overloaded_error() {
 #[test]
 fn corrupt_mid_journal_record_is_a_typed_recovery_error() {
     let dir = temp_dir("corrupt");
-    let mut svc = open(&dir, 0);
+    let svc = open(&dir, 0);
     svc.handle_line(DEFINE_GA);
     drop(svc);
     // Flip a payload byte inside the only record: the checksum breaks,
@@ -213,10 +213,13 @@ fn mid_session_disconnect_leaves_the_daemon_serving_the_next_connection() {
         c1.read_exact(&mut reply).unwrap(); // daemon answered; now drop
     }
     // Connection 2: the daemon is still there, with connection 1's
-    // state (the registry is daemon-shared).
+    // state (the registry is daemon-shared). `shutdown` — not `quit`,
+    // which is connection-local now — ends the daemon for the join.
     let mut c2 = TcpStream::connect(addr).unwrap();
-    c2.write_all(b"{\"id\":2,\"verb\":\"classify\",\"target\":\"p0\"}\n{\"id\":3,\"verb\":\"quit\"}\n")
-        .unwrap();
+    c2.write_all(
+        b"{\"id\":2,\"verb\":\"classify\",\"target\":\"p0\"}\n{\"id\":3,\"verb\":\"shutdown\"}\n",
+    )
+    .unwrap();
     let mut replies = String::new();
     c2.read_to_string(&mut replies).unwrap();
     assert!(replies.contains("\"class\":\"safety\""), "{replies}");
@@ -227,7 +230,7 @@ fn mid_session_disconnect_leaves_the_daemon_serving_the_next_connection() {
 #[test]
 fn stats_reports_persistence_metrics() {
     let dir = temp_dir("metrics");
-    let mut svc = open(&dir, 2);
+    let svc = open(&dir, 2);
     svc.handle_line(DEFINE_GA);
     let stats = svc.handle_line(r#"{"id":2,"verb":"stats"}"#).line;
     let doc = sl_service::json::parse(&stats).unwrap();
@@ -247,7 +250,7 @@ fn stats_reports_persistence_metrics() {
     }
     assert_eq!(persist.get("records_since_snapshot").and_then(Json::as_u64), Some(1));
     // A transient daemon reports no persist block at all.
-    let mut transient = Service::new(quiet());
+    let transient = Service::new(quiet());
     let stats = transient.handle_line(r#"{"id":1,"verb":"stats"}"#).line;
     assert!(!stats.contains("\"persist\""), "{stats}");
     let _ = std::fs::remove_dir_all(&dir);

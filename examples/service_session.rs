@@ -24,7 +24,7 @@ fn main() {
     // A quiet daemon: no fault drill, defaults everywhere else. The
     // real binary uses `Service::from_env()` so `SL_FAULT_RATE` /
     // `SL_THREADS` apply; a scripted tour wants reproducibility.
-    let mut svc = Service::new(ServiceConfig {
+    let svc = Service::new(ServiceConfig {
         fault: FaultPlan::disabled(),
         ..ServiceConfig::default()
     });
