@@ -1,0 +1,153 @@
+//! E15 (perf) — property-directed reachability vs bounded model
+//! checking: the fenced-cycle scaling sweep.
+//!
+//! The family that separates the two engines is a large cycle
+//! (diameter `Θ(n)`) whose only bad states sit in a small *fenced*
+//! component no reachable state can enter. Iterative-deepening BMC
+//! ([`sl_pdr::bmc_safety_deepening`] — the classic loop that re-unrolls
+//! the structure from scratch at every bound, exactly as SAT-based BMC
+//! re-solves each depth) must deepen to the reachability diameter
+//! before it can conclude Safe, paying `Θ(diameter²)` frontier work.
+//! LT-PDR blocks the one obligation the fence admits, generalizes it
+//! to the whole backward cone of the bad set (four states, independent
+//! of `n`), and converges in a constant number of frames — `Θ(n)`
+//! total for the final linear certificate check. Measured per size
+//! `n = 2^8 .. 2^12`:
+//!
+//! * `pdr/fenced/<n>` — `check_safety`, certificate validation
+//!   included;
+//! * `bmc/fenced/<n>` — `bmc_safety_deepening` on the same structure;
+//! * `pdr/liveness/<n>` — the k-liveness sweep on a transient-bad
+//!   variant (`FG !bad` holds at `k = 1`), showing the reduction rides
+//!   the same engine at product-sized cost.
+//!
+//! Correctness gates come first: both engines must agree (Safe) at
+//! every size with the PDR invariant replaying cleanly, and the
+//! liveness verdict must be Live at `k = 1`. `BENCH_pdr.json` records
+//! the medians; `scripts/verify.sh` gates PDR-beats-BMC on the
+//! 12-bit point.
+
+use sl_bench::{header, Scoreboard};
+use sl_omega::Alphabet;
+use sl_pdr::{
+    bmc_safety_deepening, check_liveness, check_safety, validate_safety_invariant,
+    LivenessVerdict, SafetyVerdict,
+};
+use sl_support::bench::{black_box, Bench};
+use sl_support::Budget;
+use sl_trees::Kripke;
+use std::process::ExitCode;
+
+/// Sweep sizes, as powers of two.
+const BITS: [u32; 5] = [8, 9, 10, 11, 12];
+
+/// The fenced-cycle family: states `0 .. n-4` form one big cycle
+/// (every reachable state), states `n-4 .. n` a small cycle reachable
+/// from nowhere else, with `n-1` bad. `AG !bad` holds; the backward
+/// cone of the bad set is exactly the fenced component.
+fn fenced(bits: u32) -> (Kripke, Vec<usize>) {
+    let n = 1usize << bits;
+    let m = n - 4;
+    let sigma = Alphabet::ab();
+    let a = sigma.symbol("a").unwrap();
+    let b = sigma.symbol("b").unwrap();
+    let mut succ: Vec<Vec<usize>> = (0..m).map(|i| vec![(i + 1) % m]).collect();
+    for fence in 0..4 {
+        succ.push(vec![m + (fence + 1) % 4]);
+    }
+    let labels: Vec<_> = (0..n).map(|s| if s == n - 1 { b } else { a }).collect();
+    (Kripke::new(sigma, labels, succ, 0), vec![n - 1])
+}
+
+/// The transient-bad variant for the liveness point: the initial state
+/// is bad but every path leaves it forever (the cycle runs over
+/// `1 .. n-1` and never returns), so `FG !bad` holds at `k = 1`.
+fn transient(bits: u32) -> (Kripke, Vec<usize>) {
+    let n = 1usize << bits;
+    let sigma = Alphabet::ab();
+    let a = sigma.symbol("a").unwrap();
+    let b = sigma.symbol("b").unwrap();
+    let mut succ: Vec<Vec<usize>> = vec![vec![1]];
+    for i in 1..n {
+        succ.push(vec![if i + 1 < n { i + 1 } else { 1 }]);
+    }
+    let labels: Vec<_> = (0..n).map(|s| if s == 0 { b } else { a }).collect();
+    (Kripke::new(sigma, labels, succ, 0), vec![0])
+}
+
+fn main() -> ExitCode {
+    header(
+        "E15",
+        "PDR vs iterative-deepening BMC: the fenced-cycle scaling sweep",
+    );
+    let mut board = Scoreboard::new();
+
+    // Correctness before clocks: agreement and certificate replay at
+    // every size, liveness verdict at the largest.
+    for &bits in &BITS {
+        let (k, bad) = fenced(bits);
+        let run = check_safety(&k, &bad, &Budget::unlimited()).expect("unbudgeted");
+        let pdr_safe = match &run.verdict {
+            SafetyVerdict::Safe { invariant } => {
+                validate_safety_invariant(&k, &bad, invariant).is_ok()
+            }
+            SafetyVerdict::Unsafe { .. } => false,
+        };
+        board.claim(
+            &format!("2^{bits}: PDR proves the fence safe with a replaying invariant"),
+            pdr_safe,
+        );
+        board.claim(
+            &format!("2^{bits}: deepening BMC agrees"),
+            matches!(bmc_safety_deepening(&k, &bad), SafetyVerdict::Safe { .. }),
+        );
+    }
+    {
+        let (k, bad) = transient(BITS[BITS.len() - 1]);
+        let run = check_liveness(&k, &bad, &Budget::unlimited()).expect("unbudgeted");
+        board.claim(
+            "liveness: transient bad is Live at k = 1",
+            matches!(run.verdict, LivenessVerdict::Live { k: 1, .. }),
+        );
+    }
+
+    // Measured passes.
+    let mut bench = Bench::from_env();
+    let mut medians = Vec::new();
+    for &bits in &BITS {
+        let n = 1usize << bits;
+        let (k, bad) = fenced(bits);
+        let pdr = bench.measure(&format!("pdr/fenced/{n}"), || {
+            black_box(check_safety(&k, &bad, &Budget::unlimited()).expect("unbudgeted"));
+        });
+        let bmc = bench.measure(&format!("bmc/fenced/{n}"), || {
+            black_box(bmc_safety_deepening(&k, &bad));
+        });
+        let (lk, lbad) = transient(bits);
+        bench.measure(&format!("pdr/liveness/{n}"), || {
+            black_box(check_liveness(&lk, &lbad, &Budget::unlimited()).expect("unbudgeted"));
+        });
+        medians.push((bits, pdr, bmc));
+    }
+
+    println!("\nfenced-cycle sweep (median):");
+    for &(bits, pdr, bmc) in &medians {
+        let speedup = bmc.as_secs_f64() / pdr.as_secs_f64().max(1e-12);
+        println!(
+            "  2^{bits:<2}: pdr {:>10.3} µs   bmc {:>12.3} µs   ({speedup:>7.1}x)",
+            pdr.as_secs_f64() * 1e6,
+            bmc.as_secs_f64() * 1e6,
+        );
+    }
+    for &(bits, pdr, bmc) in &medians {
+        if bits >= 12 {
+            board.claim(
+                &format!("2^{bits}: PDR beats iterative-deepening BMC"),
+                pdr < bmc,
+            );
+        }
+    }
+
+    bench.finish("pdr");
+    board.finish()
+}

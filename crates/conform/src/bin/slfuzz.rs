@@ -4,7 +4,7 @@
 //! slfuzz [--seed N] [--cases N] [--oracle NAME]... [--case N]
 //!        [--corpus PATH] [--append-corpus PATH]
 //!        [--stats PATH | --stats-dir DIR] [--stable]
-//!        [--max-seconds N] [--sabotage antichain-subsumption]
+//!        [--max-seconds N] [--sabotage antichain-subsumption|pdr-relative-induction]
 //!        [--dump N] [--list]
 //! ```
 //!
@@ -45,7 +45,8 @@ fn usage() -> String {
          --stable          omit wall-clock fields from the artifact\n\
          --max-seconds N   wall-clock budget; past it the run truncates\n\
          --sabotage WHAT   enable an engine sabotage drill\n\
-         \x20                (supported: antichain-subsumption)\n\
+         \x20                (supported: antichain-subsumption,\n\
+         \x20                 pdr-relative-induction)\n\
          --dump N          print N generated cases per oracle and exit\n\
          --list            list oracles and exit\n\
          \n\
@@ -114,7 +115,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--sabotage" => {
                 let what = value(&mut args, "--sabotage")?;
-                if what != "antichain-subsumption" {
+                if what != "antichain-subsumption" && what != "pdr-relative-induction" {
                     return Err(format!("unknown sabotage drill `{what}`"));
                 }
                 cli.sabotage = Some(what);
@@ -170,9 +171,16 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if cli.sabotage.is_some() {
-        eprintln!("slfuzz: SABOTAGE DRILL ACTIVE: antichain subsumption deliberately broken");
-        sl_buchi::antichain::sabotage::set_break_subsumption(true);
+    match cli.sabotage.as_deref() {
+        Some("antichain-subsumption") => {
+            eprintln!("slfuzz: SABOTAGE DRILL ACTIVE: antichain subsumption deliberately broken");
+            sl_buchi::antichain::sabotage::set_break_subsumption(true);
+        }
+        Some("pdr-relative-induction") => {
+            eprintln!("slfuzz: SABOTAGE DRILL ACTIVE: PDR relative induction deliberately broken");
+            sl_pdr::engine::sabotage::set_break_relative_induction(true);
+        }
+        _ => {}
     }
     let mut failed = false;
 

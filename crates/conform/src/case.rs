@@ -184,6 +184,29 @@ pub struct SessionCase {
     pub lines: Vec<String>,
 }
 
+/// PDR-oracle case: a small total Kripke structure (successor lists
+/// plus an initial state), a bad-state set, and the property flavour.
+/// Safety cases differentially check LT-PDR against exact BFS
+/// reachability; liveness cases check the k-liveness sweep against a
+/// direct lasso search. Certificates (invariants, traces, lassos) are
+/// replayed by independent code in the oracle itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdrCase {
+    /// Successor lists, one per state. Every list must be nonempty
+    /// (total transition relation) and every index in range.
+    pub succ: Vec<Vec<usize>>,
+    /// The initial state index.
+    pub initial: usize,
+    /// Bad state indices (interpreted modulo the state count by the
+    /// oracle, so shrinking states never invalidates them).
+    pub bad: Vec<usize>,
+    /// `false` checks `AG !bad`, `true` checks `FG !bad`.
+    pub liveness: bool,
+    /// Step budget for the engine, if any (budget exhaustion is an
+    /// accepted outcome, not a failure).
+    pub budget: Option<u64>,
+}
+
 /// Crash-oracle case: a JSON-lines daemon session driven through the
 /// deterministic crash drill — the persistent daemon is killed at
 /// every journal record boundary (and mid-record, via truncation) and
@@ -229,6 +252,9 @@ pub enum Case {
     /// Crash-recovery equivalence: kill-at-every-record-boundary drill
     /// against the persistence layer (oracle `crash`).
     Crash(CrashCase),
+    /// LT-PDR vs exact BFS / lasso-search differential with certificate
+    /// replay (oracle `pdr`).
+    Pdr(PdrCase),
 }
 
 impl Case {
@@ -243,6 +269,7 @@ impl Case {
             Case::Compiled(_) => "compiled",
             Case::Session(_) => "session",
             Case::Crash(_) => "crash",
+            Case::Pdr(_) => "pdr",
         }
     }
 
@@ -312,6 +339,25 @@ impl Case {
                 ];
                 if c.clients > 1 {
                     pairs.push(("clients", Json::Int(i64::from(c.clients))));
+                }
+                Json::obj(pairs)
+            }
+            Case::Pdr(c) => {
+                let row = |outs: &Vec<usize>| {
+                    Json::Arr(outs.iter().map(|&t| Json::Int(t as i64)).collect())
+                };
+                let mut pairs = vec![
+                    ("oracle", Json::Str("pdr".into())),
+                    ("succ", Json::Arr(c.succ.iter().map(row).collect())),
+                    ("initial", Json::Int(c.initial as i64)),
+                    (
+                        "bad",
+                        Json::Arr(c.bad.iter().map(|&b| Json::Int(b as i64)).collect()),
+                    ),
+                    ("liveness", Json::Bool(c.liveness)),
+                ];
+                if let Some(steps) = c.budget {
+                    pairs.push(("budget", Json::Int(steps as i64)));
                 }
                 Json::obj(pairs)
             }
@@ -422,6 +468,42 @@ impl Case {
                     },
                 },
             })),
+            "pdr" => {
+                let succ = doc
+                    .get("succ")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field `succ`")?
+                    .iter()
+                    .map(|row| {
+                        row.as_arr()
+                            .ok_or("non-array row in `succ`".to_string())?
+                            .iter()
+                            .map(|v| {
+                                v.as_u64()
+                                    .map(|n| n as usize)
+                                    .ok_or("non-integer in `succ`".to_string())
+                            })
+                            .collect::<Result<Vec<usize>, String>>()
+                    })
+                    .collect::<Result<Vec<Vec<usize>>, String>>()?;
+                if succ.is_empty() {
+                    return Err("`succ` needs at least one state".into());
+                }
+                Ok(Case::Pdr(PdrCase {
+                    succ,
+                    initial: doc
+                        .get("initial")
+                        .and_then(Json::as_u64)
+                        .ok_or("missing integer field `initial`")?
+                        as usize,
+                    bad: nums_field("bad")?,
+                    liveness: doc
+                        .get("liveness")
+                        .and_then(Json::as_bool)
+                        .ok_or("missing boolean field `liveness`")?,
+                    budget,
+                }))
+            }
             other => Err(format!("unknown oracle `{other}`")),
         }
     }
@@ -438,6 +520,9 @@ impl Case {
             Case::Monitor(c) | Case::Compiled(c) => states(&c.policy) + c.trace.len(),
             Case::Session(c) => c.lines.len(),
             Case::Crash(c) => c.lines.len(),
+            Case::Pdr(c) => {
+                c.succ.len() + c.succ.iter().map(Vec::len).sum::<usize>() + c.bad.len()
+            }
         }
     }
 }
@@ -488,6 +573,20 @@ mod tests {
                 snapshot_every: 0,
                 clients: 2,
             }),
+            Case::Pdr(PdrCase {
+                succ: vec![vec![1, 2], vec![0], vec![2]],
+                initial: 0,
+                bad: vec![2],
+                liveness: true,
+                budget: Some(44),
+            }),
+            Case::Pdr(PdrCase {
+                succ: vec![vec![0]],
+                initial: 0,
+                bad: vec![],
+                liveness: false,
+                budget: None,
+            }),
         ];
         for case in cases {
             let line = case.to_line();
@@ -536,6 +635,13 @@ mod tests {
             )
             .is_err(),
             "zero clients is rejected"
+        );
+        assert!(
+            Case::from_line(
+                "{\"oracle\":\"pdr\",\"succ\":[],\"initial\":0,\"bad\":[],\"liveness\":false}"
+            )
+            .is_err(),
+            "empty state set is rejected"
         );
     }
 }

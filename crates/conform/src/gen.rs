@@ -5,7 +5,9 @@
 //! [`sl_support::prop::case_rng`]), so a single case replays in
 //! isolation from its coordinates alone.
 
-use crate::case::{Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{
+    Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase,
+};
 use sl_buchi::{hoa, random_buchi, Buchi, RandomConfig};
 use sl_ltl::Ltl;
 use sl_omega::Alphabet;
@@ -544,6 +546,37 @@ fn gen_crash_session(rng: &mut SplitMix, ns: &str, defines: usize, ops: usize) -
     lines
 }
 
+/// PDR-oracle case: a small total Kripke structure (every state keeps
+/// at least one successor), a bad set drawn one state in four, the
+/// property flavour by coin flip, and a tight step budget one case in
+/// five so the budget-exhaustion path stays exercised. Sizes stay
+/// small because the differential reference (exact BFS / lasso search)
+/// and the oracle's certificate replay are both run per case.
+pub fn gen_pdr(rng: &mut SplitMix) -> PdrCase {
+    let n = 1 + rng.below(8);
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let outs = 1 + rng.below(3);
+            (0..outs).map(|_| rng.below(n)).collect()
+        })
+        .collect();
+    let initial = rng.below(n);
+    let bad: Vec<usize> = (0..n).filter(|_| rng.percent() < 25).collect();
+    let liveness = rng.flip();
+    let budget = if rng.percent() < 20 {
+        Some(1 + rng.next_u64() % 200)
+    } else {
+        None
+    };
+    PdrCase {
+        succ,
+        initial,
+        bad,
+        liveness,
+        budget,
+    }
+}
+
 /// Minimal JSON string escaping for embedding generated text in
 /// hand-rendered request lines.
 fn escape(text: &str) -> String {
@@ -577,6 +610,7 @@ pub fn gen_case(oracle: &str, rng: &mut SplitMix) -> Case {
         "compiled" => Case::Compiled(gen_compiled(rng)),
         "session" => Case::Session(gen_session(rng)),
         "crash" => Case::Crash(gen_crash(rng)),
+        "pdr" => Case::Pdr(gen_pdr(rng)),
         other => panic!("unknown oracle `{other}`"),
     }
 }

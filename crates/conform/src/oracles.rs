@@ -20,7 +20,7 @@
 //! language-preserving per case), and daemon sessions replay
 //! equivalently across thread counts and cache configurations.
 
-use crate::case::{Case, CrashCase, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{Case, CrashCase, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase};
 use sl_buchi::{
     accepts, closure, equivalent_antichain, equivalent_rank, hoa, included_antichain,
     included_antichain_budgeted, included_rank, live_states, universal_antichain, universal_rank,
@@ -28,16 +28,19 @@ use sl_buchi::{
 };
 use sl_lattice::{
     classify, decompose, decompose_pair_checked, no_decomposition_exists, theorem5_applies,
-    theorem6_strongest_safety, theorem7_weakest_liveness, verify_decomposition, LatticeError,
+    theorem6_strongest_safety, theorem7_weakest_liveness, verify_decomposition, Bitset,
+    LatticeError,
 };
 use sl_ltl::classify_formula;
 use sl_omega::{Alphabet, LassoWord, Symbol, Word};
+use sl_pdr::{bmc_lasso, bmc_safety, check_liveness, check_safety, LivenessVerdict, SafetyVerdict};
 use sl_service::{Json, PersistConfig, Service, ServiceConfig, Verb};
 use sl_support::{fault, Budget, FaultPlan, SlError};
+use sl_trees::{counter_product, Kripke};
 
 /// All oracle names, in registry order.
-pub const ORACLES: [&str; 7] = [
-    "incl", "lattice", "hoa", "monitor", "compiled", "session", "crash",
+pub const ORACLES: [&str; 8] = [
+    "incl", "lattice", "hoa", "monitor", "compiled", "session", "crash", "pdr",
 ];
 
 /// The result of judging one case.
@@ -62,6 +65,7 @@ pub fn check(case: &Case) -> Outcome {
         Case::Compiled(c) => check_compiled(c),
         Case::Session(c) => check_session(c),
         Case::Crash(c) => check_crash(c),
+        Case::Pdr(c) => check_pdr(c),
     }
 }
 
@@ -978,6 +982,236 @@ fn check_crash(c: &CrashCase) -> Outcome {
     }
 }
 
+// ---------------------------------------------------------------------
+// Oracle 8: LT-PDR vs exact reachability / direct lasso search
+// ---------------------------------------------------------------------
+
+/// Edge membership over raw successor lists — the oracle's certificate
+/// replay deliberately never touches the engine's lattice ops or the
+/// `Kripke` accessors it was handed.
+fn pdr_edge(succ: &[Vec<usize>], s: usize, t: usize) -> bool {
+    s < succ.len() && succ[s].contains(&t)
+}
+
+/// Replays a Safe invariant over raw successor lists: contains the
+/// initial state, closed under every edge, disjoint from bad.
+fn pdr_replay_invariant(
+    succ: &[Vec<usize>],
+    initial: usize,
+    bad: &[usize],
+    invariant: &Bitset,
+) -> Result<(), String> {
+    if invariant.universe() != succ.len() {
+        return Err(format!(
+            "invariant universe {} does not match {} states",
+            invariant.universe(),
+            succ.len()
+        ));
+    }
+    if !invariant.contains(initial) {
+        return Err(format!("invariant misses the initial state {initial}"));
+    }
+    for s in invariant.iter() {
+        for &t in &succ[s] {
+            if !invariant.contains(t) {
+                return Err(format!("invariant not closed under edge {s} -> {t}"));
+            }
+        }
+    }
+    for &b in bad {
+        if invariant.contains(b) {
+            return Err(format!("invariant contains bad state {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// Replays an Unsafe trace over raw successor lists: starts at the
+/// initial state, every step is an edge, ends bad.
+fn pdr_replay_trace(
+    succ: &[Vec<usize>],
+    initial: usize,
+    bad: &[usize],
+    trace: &[usize],
+) -> Result<(), String> {
+    let Some(&first) = trace.first() else {
+        return Err("empty trace".into());
+    };
+    if first != initial {
+        return Err(format!("trace starts at {first}, not the initial state"));
+    }
+    for w in trace.windows(2) {
+        if !pdr_edge(succ, w[0], w[1]) {
+            return Err(format!("no edge {} -> {}", w[0], w[1]));
+        }
+    }
+    let last = *trace.last().expect("nonempty");
+    if !bad.contains(&last) {
+        return Err(format!("trace ends at {last}, which is not bad"));
+    }
+    Ok(())
+}
+
+/// Replays a lasso over raw successor lists: the stem runs from the
+/// initial state to the loop entry, the loop continues from the
+/// entry's successor back to the entry and visits a bad state.
+fn pdr_replay_lasso(
+    succ: &[Vec<usize>],
+    initial: usize,
+    bad: &[usize],
+    stem: &[usize],
+    looping: &[usize],
+) -> Result<(), String> {
+    let Some(&first) = stem.first() else {
+        return Err("empty stem".into());
+    };
+    if first != initial {
+        return Err(format!("stem starts at {first}, not the initial state"));
+    }
+    for w in stem.windows(2) {
+        if !pdr_edge(succ, w[0], w[1]) {
+            return Err(format!("no stem edge {} -> {}", w[0], w[1]));
+        }
+    }
+    let entry = *stem.last().expect("nonempty");
+    let Some(&loop_head) = looping.first() else {
+        return Err("empty loop".into());
+    };
+    if !pdr_edge(succ, entry, loop_head) {
+        return Err(format!("no edge {entry} -> {loop_head} into the loop"));
+    }
+    for w in looping.windows(2) {
+        if !pdr_edge(succ, w[0], w[1]) {
+            return Err(format!("no loop edge {} -> {}", w[0], w[1]));
+        }
+    }
+    if *looping.last().expect("nonempty") != entry {
+        return Err(format!("loop does not return to its entry {entry}"));
+    }
+    if !looping.iter().any(|s| bad.contains(s)) {
+        return Err("loop visits no bad state".into());
+    }
+    Ok(())
+}
+
+/// The LT-PDR oracle. Differential: the engine's `AG !bad` verdict
+/// must match exact BFS reachability ([`bmc_safety`]) and its
+/// `FG !bad` verdict the direct lasso search ([`bmc_lasso`]) — neither
+/// reference shares a line of code with the frame/obligation engine.
+/// Every certificate is then replayed here over the raw successor
+/// lists, so a verdict can only pass with a machine-checked witness.
+/// Budget exhaustion (and injected faults) are accepted; a wrong
+/// answer never is.
+fn check_pdr(c: &PdrCase) -> Outcome {
+    let n = c.succ.len();
+    if n == 0 {
+        fail!("case corrupt: no states");
+    }
+    for (s, outs) in c.succ.iter().enumerate() {
+        if outs.is_empty() {
+            fail!("case corrupt: state {s} has no successor (relation must be total)");
+        }
+    }
+    // Indices are interpreted modulo the state count, so shrinking the
+    // state set never invalidates a case.
+    let succ: Vec<Vec<usize>> = c
+        .succ
+        .iter()
+        .map(|outs| outs.iter().map(|&t| t % n).collect())
+        .collect();
+    let initial = c.initial % n;
+    let mut bad: Vec<usize> = c.bad.iter().map(|&b| b % n).collect();
+    bad.sort_unstable();
+    bad.dedup();
+    let sigma = Alphabet::ab();
+    let a_sym = sigma.symbol("a").expect("in alphabet");
+    let b_sym = sigma.symbol("b").expect("in alphabet");
+    let labels: Vec<Symbol> = (0..n)
+        .map(|s| if bad.binary_search(&s).is_ok() { b_sym } else { a_sym })
+        .collect();
+    let kripke = Kripke::new(sigma, labels, succ.clone(), initial);
+    let budget = c.budget.map_or_else(Budget::unlimited, |steps| {
+        Budget::unlimited().with_steps(steps)
+    });
+    if c.liveness {
+        let run = match check_liveness(&kripke, &bad, &budget) {
+            Ok(run) => run,
+            Err(e) if e.is_budget_exceeded() || e.is_fault_injected() => {
+                return Outcome::Accepted("pdr budget exhausted");
+            }
+            Err(e) => fail!("k-liveness returned a non-budget error: {e}"),
+        };
+        let reference = bmc_lasso(&kripke, &bad);
+        match run.verdict {
+            LivenessVerdict::Live { k, invariant } => {
+                if let Some((stem, looping)) = reference {
+                    fail!(
+                        "engines disagree on FG !bad: pdr=Live at k={k}, lasso search found stem {stem:?} loop {looping:?}"
+                    );
+                }
+                if k > bad.len() {
+                    fail!("k bound {k} exceeds the pigeonhole bound {}", bad.len());
+                }
+                // The Live certificate lives on the counter-augmented
+                // product; rebuild it and replay inductiveness there.
+                let product = counter_product(&kripke, &bad, k + 1);
+                let psucc: Vec<Vec<usize>> = (0..product.kripke.len())
+                    .map(|s| product.kripke.successors(s).to_vec())
+                    .collect();
+                if let Err(msg) = pdr_replay_invariant(
+                    &psucc,
+                    product.kripke.initial(),
+                    &product.bad,
+                    &invariant,
+                ) {
+                    fail!("Live certificate fails product replay at k={k}: {msg}");
+                }
+            }
+            LivenessVerdict::Lasso { stem, looping } => {
+                if reference.is_none() {
+                    fail!(
+                        "engines disagree on FG !bad: pdr found lasso stem {stem:?} loop {looping:?}, direct search says live"
+                    );
+                }
+                if let Err(msg) = pdr_replay_lasso(&succ, initial, &bad, &stem, &looping) {
+                    fail!("Lasso certificate fails replay: {msg}");
+                }
+            }
+        }
+    } else {
+        let run = match check_safety(&kripke, &bad, &budget) {
+            Ok(run) => run,
+            Err(e) if e.is_budget_exceeded() || e.is_fault_injected() => {
+                return Outcome::Accepted("pdr budget exhausted");
+            }
+            Err(e) => fail!("pdr returned a non-budget error: {e}"),
+        };
+        let reference = bmc_safety(&kripke, &bad);
+        let pdr_safe = matches!(run.verdict, SafetyVerdict::Safe { .. });
+        let bmc_safe = matches!(reference, SafetyVerdict::Safe { .. });
+        if pdr_safe != bmc_safe {
+            fail!(
+                "engines disagree on AG !bad: pdr says {}, exact BFS says {}",
+                if pdr_safe { "safe" } else { "unsafe" },
+                if bmc_safe { "safe" } else { "unsafe" }
+            );
+        }
+        match run.verdict {
+            SafetyVerdict::Safe { invariant } => {
+                if let Err(msg) = pdr_replay_invariant(&succ, initial, &bad, &invariant) {
+                    fail!("Safe certificate fails replay: {msg}");
+                }
+            }
+            SafetyVerdict::Unsafe { trace } => {
+                if let Err(msg) = pdr_replay_trace(&succ, initial, &bad, &trace) {
+                    fail!("Unsafe certificate fails replay: {msg}");
+                }
+            }
+        }
+    }
+    Outcome::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1104,6 +1338,46 @@ mod tests {
         let err = crash_drill(&lines, 0).unwrap_err();
         assert!(err.contains("boundary"), "{err}");
         assert!(err.contains("diverges"), "{err}");
+    }
+
+    #[test]
+    fn pdr_oracle_judges_handwritten_cases() {
+        // Safe: 0 <-> 1 with a fenced bad state 2.
+        let safe = PdrCase {
+            succ: vec![vec![1], vec![0], vec![2]],
+            initial: 0,
+            bad: vec![2],
+            liveness: false,
+            budget: None,
+        };
+        assert_eq!(check_pdr(&safe), Outcome::Pass);
+        // Unsafe: bad sink one step away.
+        let falsified = PdrCase {
+            succ: vec![vec![1], vec![1]],
+            initial: 0,
+            bad: vec![1],
+            liveness: false,
+            budget: None,
+        };
+        assert_eq!(check_pdr(&falsified), Outcome::Pass);
+        // Liveness refuted by a reachable bad cycle.
+        let lasso = PdrCase {
+            succ: vec![vec![1], vec![2], vec![1]],
+            initial: 0,
+            bad: vec![2],
+            liveness: true,
+            budget: None,
+        };
+        assert_eq!(check_pdr(&lasso), Outcome::Pass);
+        // A one-step budget exhausts without a verdict: accepted.
+        let budgeted = PdrCase {
+            succ: vec![vec![1], vec![2], vec![3], vec![4], vec![4]],
+            initial: 0,
+            bad: vec![4],
+            liveness: false,
+            budget: Some(1),
+        };
+        assert!(matches!(check_pdr(&budgeted), Outcome::Accepted(_)));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! dropping entries. Candidates are ordered biggest-reduction-first so
 //! the greedy loop converges in few evaluations.
 
-use crate::case::{Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, SessionCase};
+use crate::case::{
+    Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase,
+};
 use crate::gen;
 use sl_buchi::{hoa, BuchiBuilder};
 use sl_support::prop::Strategy;
@@ -44,6 +46,7 @@ pub fn shrink_case(case: &Case) -> Vec<Case> {
         Case::Compiled(c) => wrap_monitor_variants(c, Case::Compiled),
         Case::Session(c) => shrink_session(c),
         Case::Crash(c) => shrink_crash(c),
+        Case::Pdr(c) => shrink_pdr(c),
     }
 }
 
@@ -324,6 +327,55 @@ fn shrink_crash(c: &CrashCase) -> Vec<Case> {
             snapshot_every: 0,
             clients: 1,
         }));
+    }
+    out
+}
+
+fn shrink_pdr(c: &PdrCase) -> Vec<Case> {
+    let mut out = Vec::new();
+    let with = |succ: Vec<Vec<usize>>, bad: Vec<usize>, liveness: bool, budget: Option<u64>| {
+        Case::Pdr(PdrCase {
+            succ,
+            initial: c.initial,
+            bad,
+            liveness,
+            budget,
+        })
+    };
+    // Drop a state. The oracle interprets every index modulo the state
+    // count, so the remaining rows (and `initial`/`bad`) stay valid
+    // without remapping.
+    if c.succ.len() > 1 {
+        for i in 0..c.succ.len() {
+            let mut succ = c.succ.clone();
+            succ.remove(i);
+            out.push(with(succ, c.bad.clone(), c.liveness, c.budget));
+        }
+    }
+    // Drop one successor, keeping the relation total.
+    for s in 0..c.succ.len() {
+        if c.succ[s].len() < 2 {
+            continue;
+        }
+        for j in 0..c.succ[s].len() {
+            let mut succ = c.succ.clone();
+            succ[s].remove(j);
+            out.push(with(succ, c.bad.clone(), c.liveness, c.budget));
+        }
+    }
+    // Thin the bad set.
+    for i in 0..c.bad.len() {
+        let mut bad = c.bad.clone();
+        bad.remove(i);
+        out.push(with(c.succ.clone(), bad, c.liveness, c.budget));
+    }
+    // Safety is the simpler-to-debug property, and no budget the
+    // simpler configuration.
+    if c.liveness {
+        out.push(with(c.succ.clone(), c.bad.clone(), false, c.budget));
+    }
+    if c.budget.is_some() {
+        out.push(with(c.succ.clone(), c.bad.clone(), c.liveness, None));
     }
     out
 }

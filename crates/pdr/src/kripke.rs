@@ -1,0 +1,265 @@
+//! The powerset instantiation: LT-PDR over Bitset lattices of
+//! Kripke-structure states.
+//!
+//! `AG !bad` on a finite [`Kripke`] structure is exactly the engine's
+//! `lfp (init \/ post) <= safe` question on the Boolean algebra
+//! `2^{states}`: `init` is the singleton initial state, `post`/`pre`
+//! are the edge images, atoms are singletons (lowest index first, for
+//! deterministic transcripts), and `safe` is the complement of the bad
+//! set. Verdict certificates are translated to concrete form — a state
+//! invariant or a state trace — and replayed against the structure by
+//! the validators below, which deliberately use plain successor-list
+//! iteration rather than the engine's lattice ops.
+
+use crate::engine::{lt_pdr, PdrOutcome, PdrProblem, PdrStats};
+use sl_lattice::{Bitset, BitsetAlgebra};
+use sl_support::{Budget, SlError};
+use sl_trees::Kripke;
+
+/// The verdict of a safety (`AG !bad`) check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyVerdict {
+    /// No bad state is reachable; the invariant contains the initial
+    /// state, is closed under successors, and avoids every bad state.
+    Safe {
+        /// The inductive invariant, as a set of states.
+        invariant: Bitset,
+    },
+    /// A bad state is reachable along this concrete trace (initial
+    /// state first, bad state last, consecutive states are edges).
+    Unsafe {
+        /// The witness trace.
+        trace: Vec<usize>,
+    },
+}
+
+/// A safety verdict plus the engine counters that produced it.
+#[derive(Debug, Clone)]
+pub struct SafetyRun {
+    /// The validated verdict.
+    pub verdict: SafetyVerdict,
+    /// Engine counters.
+    pub stats: PdrStats,
+}
+
+/// Predecessor lists of a structure (reverse adjacency).
+#[must_use]
+pub fn predecessors(kripke: &Kripke) -> Vec<Vec<usize>> {
+    let mut pred = vec![Vec::new(); kripke.len()];
+    for s in 0..kripke.len() {
+        for &t in kripke.successors(s) {
+            pred[t].push(s);
+        }
+    }
+    pred
+}
+
+/// Decides `AG !bad` by LT-PDR on the powerset lattice of states.
+///
+/// The returned certificate is machine-checked twice: once inside the
+/// engine (lattice-level) and once here by explicit replay
+/// ([`validate_safety_invariant`] / [`validate_trace`]).
+///
+/// # Errors
+///
+/// Budget exhaustion and cancellation propagate as typed [`SlError`]s.
+///
+/// # Panics
+///
+/// Panics if a bad index is out of range (callers validate input), or
+/// if replay validation fails (an engine bug).
+pub fn check_safety(
+    kripke: &Kripke,
+    bad: &[usize],
+    budget: &Budget,
+) -> Result<SafetyRun, SlError> {
+    let n = kripke.len();
+    for &b in bad {
+        assert!(b < n, "bad state out of range");
+    }
+    let algebra = BitsetAlgebra::new(n);
+    let init = Bitset::from_indices(n, &[kripke.initial()]);
+    let safe = Bitset::from_indices(n, bad).complement();
+    let pred = predecessors(kripke);
+    let post = |_l: &BitsetAlgebra, x: &Bitset| {
+        let mut out = Bitset::empty(n);
+        for s in x.iter() {
+            for &t in kripke.successors(s) {
+                out.insert(t);
+            }
+        }
+        out
+    };
+    let pre = |_l: &BitsetAlgebra, x: &Bitset| {
+        let mut out = Bitset::empty(n);
+        for s in x.iter() {
+            for &t in &pred[s] {
+                out.insert(t);
+            }
+        }
+        out
+    };
+    let atoms = |_l: &BitsetAlgebra, x: &Bitset| {
+        x.iter().next().map(|i| Bitset::from_indices(n, &[i]))
+    };
+    let problem = PdrProblem {
+        lattice: &algebra,
+        init,
+        safe,
+        post,
+        pre,
+        atoms,
+    };
+    let run = lt_pdr(&problem, budget)?;
+    let verdict = match run.outcome {
+        PdrOutcome::Safe { invariant } => SafetyVerdict::Safe { invariant },
+        PdrOutcome::Unsafe { chain } => SafetyVerdict::Unsafe {
+            trace: chain
+                .iter()
+                .map(|c| c.iter().next().expect("chain atoms are nonempty"))
+                .collect(),
+        },
+    };
+    let replay = match &verdict {
+        SafetyVerdict::Safe { invariant } => {
+            validate_safety_invariant(kripke, bad, invariant)
+        }
+        SafetyVerdict::Unsafe { trace } => validate_trace(kripke, bad, trace),
+    };
+    if !crate::engine::sabotage::relative_induction_broken() {
+        assert!(
+            replay.is_ok(),
+            "PDR certificate failed concrete replay: {}",
+            replay.unwrap_err()
+        );
+    }
+    Ok(SafetyRun {
+        verdict,
+        stats: run.stats,
+    })
+}
+
+/// Replays a Safe certificate: the invariant must contain the initial
+/// state, be closed under every edge, and avoid every bad state.
+///
+/// # Errors
+///
+/// Names the first violation.
+pub fn validate_safety_invariant(
+    kripke: &Kripke,
+    bad: &[usize],
+    invariant: &Bitset,
+) -> Result<(), String> {
+    if invariant.universe() != kripke.len() {
+        return Err("invariant universe mismatch".into());
+    }
+    if !invariant.contains(kripke.initial()) {
+        return Err("invariant misses the initial state".into());
+    }
+    for s in invariant.iter() {
+        for &t in kripke.successors(s) {
+            if !invariant.contains(t) {
+                return Err(format!("invariant not closed under edge {s} -> {t}"));
+            }
+        }
+    }
+    for &b in bad {
+        if b < kripke.len() && invariant.contains(b) {
+            return Err(format!("invariant contains bad state {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// Replays an Unsafe certificate: the trace must start at the initial
+/// state, follow edges, and end in a bad state.
+///
+/// # Errors
+///
+/// Names the first violation.
+pub fn validate_trace(kripke: &Kripke, bad: &[usize], trace: &[usize]) -> Result<(), String> {
+    let Some(&first) = trace.first() else {
+        return Err("empty trace".into());
+    };
+    if first != kripke.initial() {
+        return Err(format!("trace starts at {first}, not the initial state"));
+    }
+    for window in trace.windows(2) {
+        if window[0] >= kripke.len() || !kripke.successors(window[0]).contains(&window[1]) {
+            return Err(format!("no edge {} -> {}", window[0], window[1]));
+        }
+    }
+    let last = *trace.last().expect("nonempty");
+    if !bad.contains(&last) {
+        return Err(format!("trace ends at {last}, which is not bad"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_omega::Alphabet;
+
+    /// Chain 0 -> 1 -> 2 -> 2 with a fenced component 3 -> 3.
+    fn fenced() -> Kripke {
+        let sigma = Alphabet::ab();
+        let a = sigma.symbol("a").unwrap();
+        let b = sigma.symbol("b").unwrap();
+        Kripke::new(
+            sigma,
+            vec![a, a, a, b],
+            vec![vec![1], vec![2], vec![2], vec![3]],
+            0,
+        )
+    }
+
+    #[test]
+    fn unreachable_bad_is_safe() {
+        let k = fenced();
+        let run = check_safety(&k, &[3], &Budget::unlimited()).unwrap();
+        match run.verdict {
+            SafetyVerdict::Safe { invariant } => {
+                validate_safety_invariant(&k, &[3], &invariant).unwrap();
+            }
+            SafetyVerdict::Unsafe { .. } => panic!("state 3 is unreachable"),
+        }
+    }
+
+    #[test]
+    fn reachable_bad_yields_a_shortest_style_trace() {
+        let k = fenced();
+        let run = check_safety(&k, &[2], &Budget::unlimited()).unwrap();
+        match run.verdict {
+            SafetyVerdict::Unsafe { trace } => {
+                validate_trace(&k, &[2], &trace).unwrap();
+                assert_eq!(trace, vec![0, 1, 2]);
+            }
+            SafetyVerdict::Safe { .. } => panic!("state 2 is reachable"),
+        }
+    }
+
+    #[test]
+    fn bad_initial_state() {
+        let k = fenced();
+        let run = check_safety(&k, &[0, 3], &Budget::unlimited()).unwrap();
+        match run.verdict {
+            SafetyVerdict::Unsafe { trace } => assert_eq!(trace, vec![0]),
+            SafetyVerdict::Safe { .. } => panic!("initial state is bad"),
+        }
+    }
+
+    #[test]
+    fn no_bad_states_is_trivially_safe() {
+        let k = fenced();
+        let run = check_safety(&k, &[], &Budget::unlimited()).unwrap();
+        assert!(matches!(run.verdict, SafetyVerdict::Safe { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let k = fenced();
+        let err = check_safety(&k, &[2], &Budget::unlimited().with_steps(1)).unwrap_err();
+        assert!(err.is_budget_exceeded(), "{err}");
+    }
+}

@@ -91,9 +91,12 @@ use sl_buchi::{
     CompiledMonitor, EngineStats, Inclusion, Monitor, MonitorFleet, Verdict,
 };
 use sl_omega::Alphabet;
+use sl_pdr::{check_liveness, check_safety, LivenessVerdict, SafetyVerdict};
 use sl_support::par::{try_par_map_with, ItemOutcome};
-use sl_support::{fault, par, FaultPlan, SlError};
+use sl_support::{fault, par, Budget, FaultPlan, SlError};
+use sl_trees::Kripke;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
@@ -239,7 +242,7 @@ pub struct Reply {
 }
 
 /// All verbs, in the fixed order the `stats` response reports them.
-const STATS_VERBS: [Verb; 11] = [
+const STATS_VERBS: [Verb; 12] = [
     Verb::Define,
     Verb::Classify,
     Verb::Decompose,
@@ -247,6 +250,7 @@ const STATS_VERBS: [Verb; 11] = [
     Verb::Equivalent,
     Verb::Universal,
     Verb::MonitorStep,
+    Verb::Check,
     Verb::Stats,
     Verb::Batch,
     Verb::Shutdown,
@@ -258,6 +262,36 @@ const STATS_VERBS: [Verb; 11] = [
 /// the two decomposition parts, so it mutates the registry too).
 fn is_journaled(verb: Verb) -> bool {
     matches!(verb, Verb::Define | Verb::Decompose | Verb::MonitorStep)
+}
+
+/// The `check` verb's half of the daemon state: LT-PDR engine counters
+/// (atomics, summed over every computed check) plus its own memo
+/// table. `check` operands are inline Kripke structures, not
+/// registered automata, so the query cache's `Arc<Buchi>`-shaped
+/// entries cannot hold them; this cache is keyed by a 64-bit hash of
+/// the request's canonical text with a stored-text equality check
+/// (hash collisions recompute, never corrupt) and the same
+/// cap-and-clear policy as every other cache in the workspace.
+#[derive(Debug, Default)]
+struct CheckState {
+    cache: Mutex<CheckCache>,
+    /// Frames opened across all computed checks.
+    frames: AtomicU64,
+    /// Proof obligations discharged.
+    obligations: AtomicU64,
+    /// Generalizations that strictly strengthened a blocking cube.
+    generalizations: AtomicU64,
+    /// Sum of the k-liveness bounds the sweeps settled at.
+    k_reached: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CheckCache {
+    map: HashMap<u64, (String, Json)>,
+    hits: u64,
+    misses: u64,
+    clears: u64,
+    collisions: u64,
 }
 
 /// The durability attachment: the journal/snapshot manager plus the
@@ -302,6 +336,7 @@ struct Shared {
     registry: RwLock<Registry>,
     sessions: Mutex<Sessions>,
     cache: QueryCache,
+    check: CheckState,
     counters: Counters,
     engine_totals: Mutex<EngineStats>,
     next_request_index: AtomicU64,
@@ -348,6 +383,7 @@ impl Service {
         Service {
             shared: Arc::new(Shared {
                 cache: QueryCache::new(config.cache_cap),
+                check: CheckState::default(),
                 config,
                 registry: RwLock::new(Registry::new()),
                 sessions: Mutex::new(Sessions::default()),
@@ -827,6 +863,7 @@ impl Service {
             }
             Verb::Decompose => self.do_decompose(request),
             Verb::MonitorStep => self.do_monitor_step(request),
+            Verb::Check => self.do_check(request),
             Verb::Stats => Ok(self.do_stats()),
             Verb::Batch => self.do_batch(request),
             Verb::Shutdown | Verb::Quit => {
@@ -1110,6 +1147,105 @@ impl Service {
         ]))
     }
 
+    // ---- check (LT-PDR over an inline Kripke structure) -----------
+
+    /// `check`: decide `AG !bad` (mode `safety`) or `FG !bad` over all
+    /// paths (mode `liveness`, via the k-liveness reduction) on a
+    /// Kripke structure carried inline by the request. A pure query:
+    /// not journaled, cached by a structural hash of the canonicalized
+    /// model, panic-isolated like every other verb.
+    fn do_check(&self, request: &Request) -> Result<Json, ProtoError> {
+        let liveness = match require_str(&request.body, "mode")? {
+            "safety" => false,
+            "liveness" => true,
+            other => {
+                return Err(ProtoError::new(
+                    "invalid_input",
+                    format!("check mode must be `safety` or `liveness`, not `{other}`"),
+                ))
+            }
+        };
+        let (kripke, bad, canon) = parse_check_model(&request.body, liveness)?;
+        let key = {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            canon.hash(&mut hasher);
+            hasher.finish()
+        };
+        {
+            let mut cache = relock(self.shared.check.cache.lock());
+            match cache.map.get(&key) {
+                Some((stored, result)) if *stored == canon => {
+                    let result = result.clone();
+                    cache.hits += 1;
+                    return Ok(result);
+                }
+                Some(_) => {
+                    cache.collisions += 1;
+                    cache.misses += 1;
+                }
+                None => cache.misses += 1,
+            }
+        }
+        let budget = request
+            .budget
+            .map_or_else(Budget::unlimited, BudgetSpec::to_budget);
+        let result = if liveness {
+            let run = check_liveness(&kripke, &bad, &budget)
+                .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
+            self.absorb_check(&run.stats, run.k_reached);
+            match run.verdict {
+                LivenessVerdict::Live { k, invariant } => Json::obj(vec![
+                    ("mode", Json::Str("liveness".to_string())),
+                    ("verdict", Json::Str("live".to_string())),
+                    ("k", Json::Int(k as i64)),
+                    ("invariant", states_json(invariant.iter())),
+                ]),
+                LivenessVerdict::Lasso { stem, looping } => Json::obj(vec![
+                    ("mode", Json::Str("liveness".to_string())),
+                    ("verdict", Json::Str("lasso".to_string())),
+                    ("stem", states_json(stem.into_iter())),
+                    ("loop", states_json(looping.into_iter())),
+                ]),
+            }
+        } else {
+            let run = check_safety(&kripke, &bad, &budget)
+                .map_err(|e| ProtoError::new(kind_of(&e), e.to_string()))?;
+            self.absorb_check(&run.stats, 0);
+            match run.verdict {
+                SafetyVerdict::Safe { invariant } => Json::obj(vec![
+                    ("mode", Json::Str("safety".to_string())),
+                    ("verdict", Json::Str("safe".to_string())),
+                    ("invariant", states_json(invariant.iter())),
+                ]),
+                SafetyVerdict::Unsafe { trace } => Json::obj(vec![
+                    ("mode", Json::Str("safety".to_string())),
+                    ("verdict", Json::Str("unsafe".to_string())),
+                    ("trace", states_json(trace.into_iter())),
+                ]),
+            }
+        };
+        let mut cache = relock(self.shared.check.cache.lock());
+        if !cache.map.contains_key(&key) && cache.map.len() >= self.shared.config.cache_cap {
+            cache.map.clear();
+            cache.clears += 1;
+        }
+        cache.map.insert(key, (canon, result.clone()));
+        drop(cache);
+        Ok(result)
+    }
+
+    /// Folds one computed check's engine counters into the daemon
+    /// totals (cache hits skip this, as they skip the compute).
+    fn absorb_check(&self, stats: &sl_pdr::PdrStats, k_reached: u64) {
+        let check = &self.shared.check;
+        check.frames.fetch_add(stats.frames, Ordering::SeqCst);
+        check.obligations.fetch_add(stats.obligations, Ordering::SeqCst);
+        check
+            .generalizations
+            .fetch_add(stats.generalizations, Ordering::SeqCst);
+        check.k_reached.fetch_add(k_reached, Ordering::SeqCst);
+    }
+
     // ---- stats ----------------------------------------------------
 
     /// Renders the `stats` snapshot. Every lock here is taken and
@@ -1231,6 +1367,48 @@ impl Service {
                 ]),
             ),
         ];
+        let check = &self.shared.check;
+        let (c_hits, c_misses, c_entries, c_clears, c_collisions) = {
+            let cache = relock(check.cache.lock());
+            (
+                cache.hits,
+                cache.misses,
+                cache.map.len(),
+                cache.clears,
+                cache.collisions,
+            )
+        };
+        doc.push((
+            "check",
+            Json::obj(vec![
+                (
+                    "frames",
+                    Json::Int(check.frames.load(Ordering::SeqCst) as i64),
+                ),
+                (
+                    "obligations",
+                    Json::Int(check.obligations.load(Ordering::SeqCst) as i64),
+                ),
+                (
+                    "generalizations",
+                    Json::Int(check.generalizations.load(Ordering::SeqCst) as i64),
+                ),
+                (
+                    "k_reached",
+                    Json::Int(check.k_reached.load(Ordering::SeqCst) as i64),
+                ),
+                (
+                    "cache",
+                    Json::obj(vec![
+                        ("hits", Json::Int(c_hits as i64)),
+                        ("misses", Json::Int(c_misses as i64)),
+                        ("entries", Json::Int(c_entries as i64)),
+                        ("clears", Json::Int(c_clears as i64)),
+                        ("collisions", Json::Int(c_collisions as i64)),
+                    ]),
+                ),
+            ]),
+        ));
         let persist = self.lock_persist();
         if let Some(state) = persist.as_ref() {
             let p = *state.persist.stats();
@@ -1496,6 +1674,146 @@ fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
             })
         }
     }
+}
+
+// ---- check model parsing ------------------------------------------
+
+/// The largest inline model `check` accepts. A typed rejection, not a
+/// resource race: one request must never make the daemon allocate
+/// unboundedly before any budget is consulted.
+const CHECK_MAX_STATES: usize = 4096;
+
+/// The k-liveness sweep builds counter products of up to
+/// `n * (|bad| + 2)` states; cap the largest product a liveness check
+/// may construct.
+const CHECK_MAX_PRODUCT: usize = 1 << 20;
+
+/// Parses and validates the `check` operands into a Kripke structure
+/// (labels derived from badness: bad states read `b`, others `a`), the
+/// sorted deduplicated bad set, and the canonical text the result
+/// cache keys on. Every malformed shape is a typed rejection — the
+/// request crosses a trust boundary, and `Kripke::new` panics on the
+/// invariants it checks.
+fn parse_check_model(
+    body: &Json,
+    liveness: bool,
+) -> Result<(Kripke, Vec<usize>, String), ProtoError> {
+    let model = match body.get("model") {
+        Some(model @ Json::Obj(_)) => model,
+        _ => {
+            return Err(ProtoError::new(
+                "parse",
+                "check needs a `model` object with `succ` and `initial`",
+            ))
+        }
+    };
+    let succ_json = model.get("succ").and_then(Json::as_arr).ok_or_else(|| {
+        ProtoError::new("parse", "model needs a `succ` array of arrays of state indices")
+    })?;
+    let n = succ_json.len();
+    if n == 0 {
+        return Err(ProtoError::new(
+            "invalid_input",
+            "model must have at least one state",
+        ));
+    }
+    if n > CHECK_MAX_STATES {
+        return Err(ProtoError::new(
+            "invalid_input",
+            format!("model has {n} states; check accepts at most {CHECK_MAX_STATES}"),
+        ));
+    }
+    let mut succ: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (s, outs) in succ_json.iter().enumerate() {
+        let outs = outs.as_arr().ok_or_else(|| {
+            ProtoError::new("parse", format!("succ[{s}] must be an array of state indices"))
+        })?;
+        if outs.is_empty() {
+            return Err(ProtoError::new(
+                "invalid_input",
+                format!("state {s} has no successor; the transition relation must be total"),
+            ));
+        }
+        let row: Vec<usize> = outs
+            .iter()
+            .map(|t| state_index(t, n))
+            .collect::<Result<_, _>>()?;
+        succ.push(row);
+    }
+    let initial = match model.get("initial") {
+        Some(v) => state_index(v, n)?,
+        None => {
+            return Err(ProtoError::new(
+                "parse",
+                "model needs an `initial` state index",
+            ))
+        }
+    };
+    let mut bad: Vec<usize> = match body.get("bad") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| ProtoError::new("parse", "`bad` must be an array of state indices"))?
+            .iter()
+            .map(|b| state_index(b, n))
+            .collect::<Result<_, _>>()?,
+    };
+    bad.sort_unstable();
+    bad.dedup();
+    if liveness && n.saturating_mul(bad.len() + 2) > CHECK_MAX_PRODUCT {
+        return Err(ProtoError::new(
+            "invalid_input",
+            format!(
+                "liveness check would build a counter product of up to {} states \
+                 (limit {CHECK_MAX_PRODUCT}); shrink the model or the bad set",
+                n * (bad.len() + 2)
+            ),
+        ));
+    }
+    let canon = Json::obj(vec![
+        (
+            "mode",
+            Json::Str(if liveness { "liveness" } else { "safety" }.to_string()),
+        ),
+        ("initial", Json::Int(initial as i64)),
+        ("bad", states_json(bad.iter().copied())),
+        (
+            "succ",
+            Json::Arr(
+                succ.iter()
+                    .map(|row| states_json(row.iter().copied()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .render();
+    let sigma = Alphabet::ab();
+    let a = sigma.symbol("a").expect("ab alphabet");
+    let b = sigma.symbol("b").expect("ab alphabet");
+    let labels = (0..n)
+        .map(|s| if bad.binary_search(&s).is_ok() { b } else { a })
+        .collect();
+    Ok((Kripke::new(sigma, labels, succ, initial), bad, canon))
+}
+
+/// One state index operand: a nonnegative integer below `n`.
+fn state_index(v: &Json, n: usize) -> Result<usize, ProtoError> {
+    let index = v
+        .as_u64()
+        .and_then(|i| usize::try_from(i).ok())
+        .ok_or_else(|| ProtoError::new("parse", "state indices must be nonnegative integers"))?;
+    if index >= n {
+        return Err(ProtoError::new(
+            "invalid_input",
+            format!("state index {index} is out of range for a {n}-state model"),
+        ));
+    }
+    Ok(index)
+}
+
+/// Renders a state-index sequence as a JSON array.
+fn states_json<I: IntoIterator<Item = usize>>(states: I) -> Json {
+    Json::Arr(states.into_iter().map(|s| Json::Int(s as i64)).collect())
 }
 
 // ---- small helpers ------------------------------------------------

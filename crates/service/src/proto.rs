@@ -45,6 +45,9 @@ pub enum Verb {
     Universal,
     /// Feed symbols to an incremental monitor session.
     MonitorStep,
+    /// LT-PDR model checking of an inline Kripke structure:
+    /// `AG !bad` (safety) or `FG !bad` (liveness via k-liveness).
+    Check,
     /// Daemon counters: per-verb totals, cache and engine stats.
     Stats,
     /// Fan a list of query requests through the parallel sweep.
@@ -67,6 +70,7 @@ impl Verb {
             "equivalent" => Verb::Equivalent,
             "universal" => Verb::Universal,
             "monitor-step" => Verb::MonitorStep,
+            "check" => Verb::Check,
             "stats" => Verb::Stats,
             "batch" => Verb::Batch,
             "shutdown" => Verb::Shutdown,
@@ -86,6 +90,7 @@ impl Verb {
             Verb::Equivalent => "equivalent",
             Verb::Universal => "universal",
             Verb::MonitorStep => "monitor-step",
+            Verb::Check => "check",
             Verb::Stats => "stats",
             Verb::Batch => "batch",
             Verb::Shutdown => "shutdown",
@@ -196,7 +201,7 @@ pub fn request_from_value(doc: Json) -> Result<Request, ProtoError> {
             "unknown_verb",
             format!(
                 "`{verb_name}` is not a verb (accepted: define, classify, decompose, include, \
-                 equivalent, universal, monitor-step, stats, batch, shutdown, quit)"
+                 equivalent, universal, monitor-step, check, stats, batch, shutdown, quit)"
             ),
         )
     })?;
@@ -373,6 +378,7 @@ mod tests {
             Verb::Equivalent,
             Verb::Universal,
             Verb::MonitorStep,
+            Verb::Check,
             Verb::Stats,
             Verb::Batch,
             Verb::Shutdown,

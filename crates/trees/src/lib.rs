@@ -32,6 +32,7 @@ pub mod kripke;
 pub mod minimize;
 pub mod paths;
 pub mod prefix;
+pub mod product;
 pub mod qexamples;
 pub mod regular;
 
@@ -46,5 +47,6 @@ pub use kripke::Kripke;
 pub use minimize::{minimize, subtree_classes};
 pub use paths::{all_paths, exists_accepted_path, exists_path};
 pub use prefix::RegularPrefix;
+pub use product::{counter_product, CounterProduct};
 pub use qexamples::{examples as q_examples, two_path_witness, QExample};
 pub use regular::{enumerate_regular_trees, RegularTree};

@@ -1,0 +1,114 @@
+//! Property-directed reachability on a token-ring scheduler — safety
+//! (`AG !bad`) and liveness (`FG !bad`) on the same engine, every
+//! verdict backed by a certificate the example replays itself.
+//!
+//! ```text
+//! cargo run --example pdr_liveness
+//! ```
+//!
+//! The model is a three-process token ring with an explicit `panic`
+//! state wired in behind a guard. LT-PDR proves the guarded ring safe
+//! and hands back an inductive invariant; removing the guard flips the
+//! verdict to a concrete counterexample trace. The liveness half asks
+//! whether a transient startup glitch is eventually left forever
+//! (`FG !glitch`): the k-liveness reduction answers by running the
+//! same safety engine on a counter-augmented product, and a broken
+//! variant that can re-glitch forever is refuted with a lasso.
+
+use safety_liveness::omega::{Alphabet, Symbol};
+use safety_liveness::pdr::{
+    check_liveness, check_safety, validate_lasso, validate_safety_invariant, validate_trace,
+    LivenessVerdict, SafetyVerdict,
+};
+use safety_liveness::trees::Kripke;
+use sl_support::Budget;
+
+/// Builds a Kripke structure over `{a, b}` with `b` labelling the bad
+/// states — the same convention the `sld` `check` verb uses.
+fn build(succ: Vec<Vec<usize>>, bad: &[usize]) -> Kripke {
+    let sigma = Alphabet::ab();
+    let a = sigma.symbol("a").unwrap();
+    let b = sigma.symbol("b").unwrap();
+    let labels: Vec<Symbol> = (0..succ.len())
+        .map(|s| if bad.contains(&s) { b } else { a })
+        .collect();
+    Kripke::new(sigma, labels, succ, 0)
+}
+
+fn main() {
+    let unlimited = Budget::unlimited();
+
+    // ---- safety: AG !panic on the guarded ring --------------------
+    //
+    // States 0..3 pass the token around; state 3 is the `panic` state,
+    // reachable only from itself — the guard keeps the ring out.
+    println!("== safety: the guarded token ring ==");
+    let ring = build(vec![vec![1], vec![2], vec![0], vec![3]], &[3]);
+    let run = check_safety(&ring, &[3], &unlimited).expect("unbudgeted");
+    match &run.verdict {
+        SafetyVerdict::Safe { invariant } => {
+            validate_safety_invariant(&ring, &[3], invariant).expect("certificate replays");
+            let states: Vec<usize> = invariant.iter().collect();
+            println!("verdict  : SAFE");
+            println!("invariant: {states:?} (contains the initial state,");
+            println!("           closed under every transition, disjoint from panic)");
+        }
+        SafetyVerdict::Unsafe { trace } => panic!("guarded ring cannot panic: {trace:?}"),
+    }
+    println!(
+        "engine   : {} frames, {} obligations, {} generalizations",
+        run.stats.frames, run.stats.obligations, run.stats.generalizations
+    );
+
+    // Drop the guard: state 2 may now mis-route the token into panic.
+    println!("\n== safety: the same ring with the guard removed ==");
+    let broken = build(vec![vec![1], vec![2], vec![0, 3], vec![3]], &[3]);
+    let run = check_safety(&broken, &[3], &unlimited).expect("unbudgeted");
+    match &run.verdict {
+        SafetyVerdict::Unsafe { trace } => {
+            validate_trace(&broken, &[3], trace).expect("counterexample replays");
+            println!("verdict  : UNSAFE");
+            println!("trace    : {trace:?} (a real run from the initial state into panic)");
+        }
+        SafetyVerdict::Safe { .. } => panic!("the unguarded ring must be refutable"),
+    }
+
+    // ---- liveness: FG !glitch via the k-liveness reduction --------
+    //
+    // Startup glitches once (state 0 is bad) and the steady-state loop
+    // 1 -> 2 -> 1 never returns, so every path eventually avoids the
+    // glitch forever. The reduction decides this by checking
+    // AG (glitch-counter < k + 1) on a counter-augmented product.
+    println!("\n== liveness: a transient startup glitch ==");
+    let transient = build(vec![vec![1], vec![2], vec![1]], &[0]);
+    let run = check_liveness(&transient, &[0], &unlimited).expect("unbudgeted");
+    match &run.verdict {
+        LivenessVerdict::Live { k, invariant } => {
+            println!("verdict  : LIVE at k = {k} (no path glitches more than {k} time(s))");
+            println!(
+                "invariant: {} product states certify the counter bound",
+                invariant.iter().count()
+            );
+        }
+        LivenessVerdict::Lasso { stem, looping } => {
+            panic!("transient glitch misjudged: stem {stem:?}, loop {looping:?}")
+        }
+    }
+
+    // A regression that can glitch forever: 2 may fall back to 0.
+    println!("\n== liveness: a regression that re-glitches forever ==");
+    let relapsing = build(vec![vec![1], vec![2], vec![1, 0]], &[0]);
+    let run = check_liveness(&relapsing, &[0], &unlimited).expect("unbudgeted");
+    match &run.verdict {
+        LivenessVerdict::Lasso { stem, looping } => {
+            validate_lasso(&relapsing, &[0], stem, looping).expect("lasso replays");
+            println!("verdict  : LASSO (some path glitches infinitely often)");
+            println!("stem     : {stem:?}");
+            println!("loop     : {looping:?} (revisits the glitch each time around)");
+        }
+        LivenessVerdict::Live { k, .. } => panic!("relapsing glitch misjudged live at k = {k}"),
+    }
+
+    println!("\nThe `sld` daemon serves both queries as the `check` verb —");
+    println!("see scripts/check_session.jsonl for the wire format.");
+}

@@ -23,6 +23,11 @@
 //! the conjunction per Theorem 2, and shows that checking the system
 //! splits into a monitorable safety check plus a pure liveness check —
 //! the practical payoff the paper attributes to the decomposition.
+//!
+//! For state-based models of the same questions — `AG !bad` and
+//! `FG !bad` on an explicit Kripke structure, decided by LT-PDR with
+//! machine-checked certificates — see the `pdr_liveness` example and
+//! the `sld` daemon's `check` verb.
 
 use safety_liveness::buchi::{included_with_complement, BuchiBuilder, Monitor, Verdict};
 use safety_liveness::ltl::{classify_formula, decompose_formula, parse, translate};
@@ -135,5 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "starving system ⊆ liveness: {}",
         d.system_satisfies_liveness(&starving).holds()
     );
+
+    // The same split is served state-based by the daemon: the `check`
+    // verb runs LT-PDR on an inline Kripke structure (`mode: safety`
+    // for AG !bad, `mode: liveness` for FG !bad via k-liveness) — see
+    // the `pdr_liveness` example for the engine used directly.
+    println!("state-based twin: sld's `check` verb (see examples/pdr_liveness.rs)");
     Ok(())
 }

@@ -207,7 +207,8 @@ for o in doc["oracles"]:
     assert acc <= run // 10, f"{o['name']}: {acc} accepted"
 assert doc["findings"] == [], doc["findings"]
 names = sorted(o["name"] for o in doc["oracles"])
-assert names == ["compiled", "crash", "hoa", "incl", "lattice", "monitor", "session"], names
+assert names == ["compiled", "crash", "hoa", "incl", "lattice", "monitor", "pdr",
+                 "session"], names
 print(f"BENCH_conform.json ok: {sum(o['cases'] for o in doc['oracles'])} "
       f"cases across {len(names)} oracles, 0 findings")
 PY
@@ -241,6 +242,71 @@ print(f"sabotage drill ok: {len(findings)} findings, "
       f"smallest shrunk reproducer weight {smallest}")
 PY
 rm -rf "$conf_tmp"
+
+echo "== pdr: check golden, E15 gate, pdr-oracle fuzz, sabotage drill =="
+pdr_tmp="$(mktemp -d)"
+# The check-verb golden transcript must be byte-identical at any worker
+# count: check is a pure query, cached and unjournaled, so the wire
+# behavior cannot depend on the pool.
+for t in 1 8; do
+  echo "-- sld check transcript (SL_THREADS=$t)"
+  SL_THREADS=$t ./target/release/sld --stdin < scripts/check_session.jsonl \
+    > "$pdr_tmp/check_t$t.out"
+  cmp "$pdr_tmp/check_t$t.out" scripts/check_session.golden
+done
+# E15 smoke: the binary fails itself if PDR and deepening BMC disagree
+# on any sweep size, a certificate fails replay, or PDR loses the
+# 12-bit point; the JSON gate re-checks the medians independently.
+echo "-- e15_pdr (smoke)"
+SL_BENCH_SAMPLES=5 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$pdr_tmp" \
+  ./target/release/e15_pdr
+python3 - "$pdr_tmp/BENCH_pdr.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "pdr", doc
+records = {r["name"]: r for r in doc["records"]}
+for name, r in records.items():
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+sizes = sorted(int(n.rsplit("/", 1)[1]) for n in records
+               if n.startswith("pdr/fenced/"))
+big = [n for n in sizes if n >= 1 << 12]
+assert big, f"sweep never reached the 12-bit point: {sizes}"
+for n in big:
+    pdr = records[f"pdr/fenced/{n}"]["median_ns"]
+    bmc = records[f"bmc/fenced/{n}"]["median_ns"]
+    assert pdr < bmc, f"PDR ({pdr}ns) loses to deepening BMC ({bmc}ns) at n={n}"
+top = max(big)
+speedup = records[f"bmc/fenced/{top}"]["median_ns"] / records[f"pdr/fenced/{top}"]["median_ns"]
+print(f"BENCH_pdr.json ok: PDR beats deepening BMC {speedup:.0f}x at n={top}")
+PY
+# The pdr oracle re-runs isolated so a PDR regression is named as such:
+# corpus replay plus a fixed-seed differential sweep against the
+# independent BMC reference.
+echo "-- pdr-oracle corpus + fixed-seed sweep (1000 cases)"
+./target/release/slfuzz --seed 2003 --cases 1000 --oracle pdr \
+  --corpus scripts/conform_corpus.jsonl
+# Sabotage drill: with the relative-induction check deliberately broken
+# the fuzzer must catch the bug (exit 1) and shrink the reproducer.
+echo "-- sabotage drill (pdr-relative-induction)"
+if ./target/release/slfuzz --seed 2003 --cases 200 --oracle pdr \
+     --sabotage pdr-relative-induction --stable \
+     --stats "$pdr_tmp/sabotage_pdr.json" > /dev/null 2>&1; then
+  echo "sabotage drill NOT caught: slfuzz exited 0 with broken relative induction" >&2
+  exit 1
+fi
+python3 - "$pdr_tmp/sabotage_pdr.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+findings = doc["findings"]
+assert findings, "pdr sabotage run produced no findings"
+smallest = min(f["weight"] for f in findings)
+assert smallest <= 10, f"smallest shrunk reproducer weight {smallest} > 10"
+print(f"pdr sabotage drill ok: {len(findings)} findings, "
+      f"smallest shrunk reproducer weight {smallest}")
+PY
+rm -rf "$pdr_tmp"
 
 echo "== persist: crash drill, recovery corpus, E14 smoke =="
 # The acceptance drill for the durability layer: a 200+-request seeded

@@ -31,9 +31,13 @@
 //!   `ncl`/`fcl`.
 //! * [`rabin`] — Rabin tree automata with game-based membership,
 //!   emptiness, and the `rfcl` closure (Theorem 9).
+//! * [`pdr`] — lattice-generic property-directed reachability (LT-PDR)
+//!   over Kripke structures, deciding `AG !bad` directly and `FG !bad`
+//!   via the k-liveness counter reduction, every verdict backed by a
+//!   machine-checked certificate.
 //! * [`service`] — the serving layer: `sld`, a long-running query
 //!   daemon speaking newline-delimited JSON (define/classify/
-//!   decompose/include/monitor-step/...), with batched fan-out,
+//!   decompose/include/monitor-step/check/...), with batched fan-out,
 //!   memoized results, per-request budgets, and fault drills.
 //!
 //! ## Quick start: decompose an LTL property
@@ -61,6 +65,7 @@ pub use sl_games as games;
 pub use sl_lattice as lattice;
 pub use sl_ltl as ltl;
 pub use sl_omega as omega;
+pub use sl_pdr as pdr;
 pub use sl_rabin as rabin;
 pub use sl_service as service;
 pub use sl_trees as trees;
