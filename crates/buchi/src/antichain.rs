@@ -44,6 +44,7 @@ use crate::automaton::{Buchi, StateId};
 use crate::complement::ComplementBudgetExceeded;
 use crate::graph::{tarjan, Graph};
 use crate::incl::Inclusion;
+use crate::interned::{shared_quotient_cache, QuotientCache};
 use crate::reduce::reduce;
 use sl_lattice::Bitset;
 use sl_omega::{LassoWord, Symbol, Word};
@@ -106,11 +107,22 @@ pub struct AntichainStats {
     pub subsumption_scans: u64,
     /// Searches that ended with a counterexample lasso.
     pub counterexamples: u64,
+    /// High-water mark, over this thread's searches, of macro-states
+    /// committed past subsumption in one search — a gauge, not a
+    /// counter: the memory-regression test in `tests/interned_core.rs`
+    /// pins the on-the-fly engine's peak against the eager engine's
+    /// final antichain through it.
+    pub peak_macro_states: u64,
+    /// Live antichain size when the most recent search returned (a
+    /// gauge).
+    pub final_antichain: u64,
 }
 
 impl AntichainStats {
     /// The counter increments since `earlier` (saturating, so a stale
-    /// or cross-thread snapshot never underflows).
+    /// or cross-thread snapshot never underflows). The two gauges —
+    /// `peak_macro_states`, `final_antichain` — are levels, not
+    /// counters, and are carried over as-is.
     #[must_use]
     pub fn delta_since(&self, earlier: &AntichainStats) -> AntichainStats {
         AntichainStats {
@@ -118,15 +130,21 @@ impl AntichainStats {
             insert_attempts: self.insert_attempts.saturating_sub(earlier.insert_attempts),
             subsumption_scans: self.subsumption_scans.saturating_sub(earlier.subsumption_scans),
             counterexamples: self.counterexamples.saturating_sub(earlier.counterexamples),
+            peak_macro_states: self.peak_macro_states,
+            final_antichain: self.final_antichain,
         }
     }
 
-    /// Accumulates another delta into this total.
+    /// Accumulates another delta into this total; the gauges take the
+    /// maximum (a high-water mark across threads is more informative
+    /// than a meaningless sum of levels).
     pub fn absorb(&mut self, delta: &AntichainStats) {
         self.searches += delta.searches;
         self.insert_attempts += delta.insert_attempts;
         self.subsumption_scans += delta.subsumption_scans;
         self.counterexamples += delta.counterexamples;
+        self.peak_macro_states = self.peak_macro_states.max(delta.peak_macro_states);
+        self.final_antichain = self.final_antichain.max(delta.final_antichain);
     }
 }
 
@@ -137,6 +155,8 @@ thread_local! {
             insert_attempts: 0,
             subsumption_scans: 0,
             counterexamples: 0,
+            peak_macro_states: 0,
+            final_antichain: 0,
         }) };
 }
 
@@ -146,17 +166,29 @@ pub fn antichain_stats() -> AntichainStats {
     STATS.with(std::cell::Cell::get)
 }
 
+/// Space usage of one search, tallied as it runs: `peak` is the number
+/// of macro-states ever committed past subsumption (monotone — the
+/// arena high-water mark), `live` the elements currently in the
+/// antichain (commits minus subsumption evictions).
+#[derive(Debug, Clone, Copy, Default)]
+struct SearchGauges {
+    peak: u64,
+    live: u64,
+}
+
 /// Folds one finished search into the thread counters. Called once per
 /// search (not per step), so the hot loops stay counter-free: the
 /// entry points tally attempts/scans in locals they already own for
 /// budgeting and flush here.
-fn record_search(attempts: u64, scans: u64, found_counterexample: bool) {
+fn record_search(attempts: u64, scans: u64, found_counterexample: bool, gauges: SearchGauges) {
     STATS.with(|cell| {
         let mut stats = cell.get();
         stats.searches += 1;
         stats.insert_attempts += attempts;
         stats.subsumption_scans += scans;
         stats.counterexamples += u64::from(found_counterexample);
+        stats.peak_macro_states = stats.peak_macro_states.max(gauges.peak);
+        stats.final_antichain = gauges.live;
         cell.set(stats);
     });
 }
@@ -318,8 +350,15 @@ enum Step {
 type Charge<'c> = dyn FnMut(Step) -> Result<(), SlError> + 'c;
 
 /// The fixpoint search. Returns a counterexample in
-/// `L(a) \ L(b)` or proves inclusion.
-fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, SlError> {
+/// `L(a) \ L(b)` or proves inclusion. `gauges` is updated as elements
+/// commit and evict, so it is meaningful even on an early (budget or
+/// counterexample) exit.
+fn search(
+    a: &Buchi,
+    b: &Buchi,
+    charge: &mut Charge<'_>,
+    gauges: &mut SearchGauges,
+) -> Result<Inclusion, SlError> {
     assert_eq!(
         a.alphabet(),
         b.alphabet(),
@@ -349,6 +388,7 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
                       chains: &mut Vec<Vec<Elem>>,
                       work: &mut VecDeque<(usize, u64)>,
                       next_id: &mut u64,
+                      gauges: &mut SearchGauges,
                       charge: &mut Charge<'_>|
      -> Result<Option<LassoWord>, SlError> {
         charge(Step::Attempt)?;
@@ -366,6 +406,7 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
             charge(Step::Scan)?;
             if cand.acc >= chains[key][i].acc && cand.g.le(&chains[key][i].g) {
                 chains[key].swap_remove(i);
+                gauges.live -= 1;
             } else {
                 i += 1;
             }
@@ -375,6 +416,8 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
         *next_id += 1;
         work.push_back((key, elem.id));
         chains[key].push(elem);
+        gauges.live += 1;
+        gauges.peak += 1;
         let elem = chains[key].last().expect("just pushed");
 
         // Lasso tests enabled by this element. As a stem (from == init)
@@ -426,7 +469,8 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
                     g: letters[sym.index()].clone(),
                     word: vec![sym],
                 };
-                if let Some(w) = insert(p, r, cand, &mut chains, &mut work, &mut next_id, charge)?
+                if let Some(w) =
+                    insert(p, r, cand, &mut chains, &mut work, &mut next_id, gauges, charge)?
                 {
                     return Ok(Inclusion::CounterExample(w));
                 }
@@ -455,7 +499,7 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
                     },
                 };
                 if let Some(w) =
-                    insert(from, r, cand, &mut chains, &mut work, &mut next_id, charge)?
+                    insert(from, r, cand, &mut chains, &mut work, &mut next_id, gauges, charge)?
                 {
                     return Ok(Inclusion::CounterExample(w));
                 }
@@ -463,6 +507,436 @@ fn search(a: &Buchi, b: &Buchi, charge: &mut Charge<'_>) -> Result<Inclusion, Sl
         }
     }
     Ok(Inclusion::Holds)
+}
+
+/// Work items of the on-the-fly search: discover a product row (seed
+/// the single-letter elements out of an `A`-state the search has
+/// actually reached) or right-extend a committed arena element.
+enum Task {
+    Seed(usize),
+    Extend(usize, u32),
+}
+
+/// The on-the-fly fixpoint search: same element semantics and verdicts
+/// as [`search`], different materialization strategy.
+///
+/// * Operand quotients come from `cache` ([`QuotientCache`]) — trimmed
+///   first, memoized across queries, incrementally maintained across
+///   `redefine` — instead of a from-scratch [`reduce`] per call.
+/// * Letter word-graphs of `B` are built on first use, not up front.
+/// * `A`-states are seeded lazily from the initial state's successor
+///   closure: a `(p, σ, r)` single-letter element exists only once the
+///   search has discovered `p`, so a counterexample found early exits
+///   before most of the space is touched.
+/// * Elements live in an append-only arena; the chains hold indices,
+///   and a candidate is composed in scratch and committed only after
+///   surviving subsumption — `gauges.peak` (the arena length) is
+///   exactly the number of macro-states ever materialized, which the
+///   memory-regression test pins against the eager engine's final
+///   antichain.
+///
+/// Verdicts agree with [`search`]: the closure of elements is the same
+/// set (every state of a trimmed quotient is reachable, and eager
+/// elements whose source is unreachable never participate in a lasso
+/// verdict — stems are anchored at the initial state and periods only
+/// pair with such stems), though the counterexample *words* may differ.
+fn search_lazy(
+    a: &Buchi,
+    b: &Buchi,
+    cache: &QuotientCache,
+    charge: &mut Charge<'_>,
+    gauges: &mut SearchGauges,
+) -> Result<Inclusion, SlError> {
+    assert_eq!(
+        a.alphabet(),
+        b.alphabet(),
+        "inclusion requires a common alphabet"
+    );
+    let a = cache.quotient(a);
+    let b = cache.quotient(b);
+    let na = a.num_states();
+    let sigma = a.alphabet().clone();
+    let mut letters: Vec<Option<WordGraph>> = vec![None; sigma.len()];
+    let identity = WordGraph::identity(&b);
+    let init = a.initial();
+
+    let mut arena: Vec<Elem> = Vec::new();
+    let mut alive: Vec<bool> = Vec::new();
+    let mut chains: Vec<Vec<u32>> = vec![Vec::new(); na * na];
+    let mut work: VecDeque<Task> = VecDeque::new();
+    let mut discovered = vec![false; na];
+    discovered[init] = true;
+    work.push_back(Task::Seed(init));
+
+    // Commits a candidate that survives subsumption into the arena,
+    // maintaining the index chains, queueing the extension, and running
+    // the stem/period lasso tests it enables.
+    let insert = |from: usize,
+                  to: usize,
+                  cand: Elem,
+                  arena: &mut Vec<Elem>,
+                  alive: &mut Vec<bool>,
+                  chains: &mut Vec<Vec<u32>>,
+                  work: &mut VecDeque<Task>,
+                  gauges: &mut SearchGauges,
+                  charge: &mut Charge<'_>|
+     -> Result<Option<LassoWord>, SlError> {
+        charge(Step::Attempt)?;
+        let key = from * na + to;
+        for &idx in &chains[key] {
+            charge(Step::Scan)?;
+            let kept = &arena[idx as usize];
+            if kept.acc >= cand.acc && kept.g.le(&cand.g) {
+                return Ok(None); // subsumed: never materialized
+            }
+        }
+        let mut i = 0;
+        while i < chains[key].len() {
+            charge(Step::Scan)?;
+            let old = chains[key][i] as usize;
+            if cand.acc >= arena[old].acc && cand.g.le(&arena[old].g) {
+                alive[old] = false;
+                chains[key].swap_remove(i);
+                gauges.live -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        let idx = u32::try_from(arena.len()).expect("arena outgrew u32 indices");
+        let mut elem = cand;
+        elem.id = u64::from(idx);
+        arena.push(elem);
+        alive.push(true);
+        chains[key].push(idx);
+        gauges.live += 1;
+        gauges.peak += 1;
+        work.push_back(Task::Extend(key, idx));
+        let elem = &arena[idx as usize];
+
+        if from == init {
+            let p = to;
+            for &pid in &chains[p * na + p] {
+                let period = &arena[pid as usize];
+                if period.acc && !lasso_in_b(&b, &elem.g, &period.g) {
+                    return Ok(Some(LassoWord::new(
+                        &Word::new(&elem.word),
+                        &Word::new(&period.word),
+                    )));
+                }
+            }
+        }
+        if from == to && elem.acc {
+            let p = from;
+            if p == init && !lasso_in_b(&b, &identity, &elem.g) {
+                return Ok(Some(LassoWord::new(
+                    &Word::empty(),
+                    &Word::new(&elem.word),
+                )));
+            }
+            for &sid in &chains[init * na + p] {
+                let stem = &arena[sid as usize];
+                if stem.id != elem.id && !lasso_in_b(&b, &stem.g, &elem.g) {
+                    return Ok(Some(LassoWord::new(
+                        &Word::new(&stem.word),
+                        &Word::new(&elem.word),
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    };
+
+    while let Some(task) = work.pop_front() {
+        match task {
+            Task::Seed(p) => {
+                for sym in sigma.symbols() {
+                    let si = sym.index();
+                    if letters[si].is_none() {
+                        letters[si] = Some(WordGraph::letter(&b, sym));
+                    }
+                    for &r in a.successors(p, sym) {
+                        let cand = Elem {
+                            id: 0,
+                            acc: a.is_accepting(p) || a.is_accepting(r),
+                            g: letters[si].as_ref().expect("just built").clone(),
+                            word: vec![sym],
+                        };
+                        if let Some(w) = insert(
+                            p, r, cand, &mut arena, &mut alive, &mut chains, &mut work,
+                            gauges, charge,
+                        )? {
+                            return Ok(Inclusion::CounterExample(w));
+                        }
+                        if !discovered[r] {
+                            discovered[r] = true;
+                            work.push_back(Task::Seed(r));
+                        }
+                    }
+                }
+            }
+            Task::Extend(key, idx) => {
+                if !alive[idx as usize] {
+                    continue; // evicted after queueing; its subsumer regenerates
+                }
+                let elem = arena[idx as usize].clone();
+                let (from, to) = (key / na, key % na);
+                for sym in sigma.symbols() {
+                    let si = sym.index();
+                    if letters[si].is_none() {
+                        letters[si] = Some(WordGraph::letter(&b, sym));
+                    }
+                    for &r in a.successors(to, sym) {
+                        let cand = Elem {
+                            id: 0,
+                            acc: elem.acc || a.is_accepting(r),
+                            g: elem.g.compose(letters[si].as_ref().expect("just built")),
+                            word: {
+                                let mut w = elem.word.clone();
+                                w.push(sym);
+                                w
+                            },
+                        };
+                        if let Some(w) = insert(
+                            from, r, cand, &mut arena, &mut alive, &mut chains, &mut work,
+                            gauges, charge,
+                        )? {
+                            return Ok(Inclusion::CounterExample(w));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Inclusion::Holds)
+}
+
+/// Decides `L(a) ⊆ L(b)` with the on-the-fly antichain engine against
+/// an explicit [`QuotientCache`] — the `sld` daemon passes its private
+/// instance here so cache counters stay a deterministic function of
+/// the session.
+///
+/// # Errors
+///
+/// Returns [`ComplementBudgetExceeded`] (the shared blow-up error of
+/// the inclusion API) if the search exceeds
+/// [`DEFAULT_ANTICHAIN_BUDGET`] insertion attempts.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn included_onthefly_with_cache(
+    cache: &QuotientCache,
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Inclusion, ComplementBudgetExceeded> {
+    let mut attempts: u64 = 0;
+    let mut scans: u64 = 0;
+    let mut charge = |step: Step| -> Result<(), SlError> {
+        match step {
+            Step::Attempt => {
+                attempts += 1;
+                if attempts > DEFAULT_ANTICHAIN_BUDGET as u64 {
+                    return Err(SlError::BudgetExceeded {
+                        phase: "buchi.incl.antichain",
+                        spent: attempts,
+                    });
+                }
+            }
+            Step::Scan => scans += 1,
+        }
+        Ok(())
+    };
+    let mut gauges = SearchGauges::default();
+    let outcome = search_lazy(a, b, cache, &mut charge, &mut gauges);
+    record_search(
+        attempts,
+        scans,
+        matches!(outcome, Ok(Inclusion::CounterExample(_))),
+        gauges,
+    );
+    outcome.map_err(|_| ComplementBudgetExceeded {
+        budget: DEFAULT_ANTICHAIN_BUDGET,
+    })
+}
+
+/// Decides `L(a) ⊆ L(b)` with the on-the-fly antichain engine (lazy
+/// macro-state expansion over quotients from the process-wide
+/// [`QuotientCache`]). The default engine of the dispatching deciders;
+/// verdict-equivalent to [`included_antichain`] and
+/// [`crate::incl::included_rank`] on every instance (the three-way
+/// differential suite in `tests/inclusion_engines.rs` and the `incl3`
+/// conform oracle enforce this), though counterexample words may
+/// differ.
+///
+/// # Errors
+///
+/// As for [`included_onthefly_with_cache`].
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn included_onthefly(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
+    included_onthefly_with_cache(shared_quotient_cache(), a, b)
+}
+
+/// Decides `L(a) ⊆ L(b)` with the on-the-fly engine under a cooperative
+/// [`Budget`] against an explicit [`QuotientCache`]: the budget phase
+/// and fault site are `"buchi.incl.antichain"`, identical to the eager
+/// path — both engines are the same search, differently materialized,
+/// so a budget that admits one admits the other.
+///
+/// # Errors
+///
+/// [`SlError::BudgetExceeded`] / [`SlError::Cancelled`] from the
+/// budget, or [`SlError::FaultInjected`] when the fault plan fires.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn included_onthefly_budgeted_with_cache(
+    cache: &QuotientCache,
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Inclusion, SlError> {
+    let mut meter = budget.meter("buchi.incl.antichain");
+    let plan = fault::global();
+    let mut attempts: u64 = 0;
+    let mut scans: u64 = 0;
+    let mut charge = |step: Step| -> Result<(), SlError> {
+        match step {
+            Step::Attempt => {
+                meter.tick()?;
+                attempts += 1;
+                plan.inject_error("buchi.incl.antichain", attempts)
+            }
+            Step::Scan => {
+                scans += 1;
+                meter.tick_every(SCAN_STRIDE)
+            }
+        }
+    };
+    let mut gauges = SearchGauges::default();
+    let outcome = search_lazy(a, b, cache, &mut charge, &mut gauges);
+    record_search(
+        attempts,
+        scans,
+        matches!(outcome, Ok(Inclusion::CounterExample(_))),
+        gauges,
+    );
+    outcome
+}
+
+/// [`included_onthefly_budgeted_with_cache`] against the process-wide
+/// quotient cache.
+///
+/// # Errors
+///
+/// As for [`included_onthefly_budgeted_with_cache`].
+pub fn included_onthefly_budgeted(
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Inclusion, SlError> {
+    included_onthefly_budgeted_with_cache(shared_quotient_cache(), a, b, budget)
+}
+
+/// Decides `L(b) = Σ^ω` with the on-the-fly engine, returning a
+/// rejected word if not.
+///
+/// # Errors
+///
+/// As for [`included_onthefly`].
+pub fn universal_onthefly(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    universal_onthefly_with_cache(shared_quotient_cache(), b)
+}
+
+/// [`universal_onthefly`] against an explicit [`QuotientCache`].
+///
+/// # Errors
+///
+/// As for [`included_onthefly_with_cache`].
+pub fn universal_onthefly_with_cache(
+    cache: &QuotientCache,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    let all = Buchi::universal(b.alphabet().clone());
+    Ok(match included_onthefly_with_cache(cache, &all, b)? {
+        Inclusion::Holds => Ok(()),
+        Inclusion::CounterExample(w) => Err(w),
+    })
+}
+
+/// Decides `L(a) = L(b)` with the on-the-fly engine, returning a
+/// separating word if the languages differ; short-circuits on a
+/// counterexample to the first inclusion like its siblings.
+///
+/// # Errors
+///
+/// As for [`included_onthefly`].
+pub fn equivalent_onthefly(
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    equivalent_onthefly_with_cache(shared_quotient_cache(), a, b)
+}
+
+/// [`equivalent_onthefly`] against an explicit [`QuotientCache`].
+///
+/// # Errors
+///
+/// As for [`included_onthefly_with_cache`].
+pub fn equivalent_onthefly_with_cache(
+    cache: &QuotientCache,
+    a: &Buchi,
+    b: &Buchi,
+) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
+    if let Inclusion::CounterExample(w) = included_onthefly_with_cache(cache, a, b)? {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) = included_onthefly_with_cache(cache, b, a)? {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
+}
+
+/// Decides `L(a) = L(b)` with the on-the-fly engine under a cooperative
+/// [`Budget`] shared across both inclusion directions.
+///
+/// # Errors
+///
+/// As for [`included_onthefly_budgeted`].
+pub fn equivalent_onthefly_budgeted(
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Result<(), LassoWord>, SlError> {
+    equivalent_onthefly_budgeted_with_cache(shared_quotient_cache(), a, b, budget)
+}
+
+/// [`equivalent_onthefly_budgeted`] against an explicit
+/// [`QuotientCache`].
+///
+/// # Errors
+///
+/// As for [`included_onthefly_budgeted_with_cache`].
+pub fn equivalent_onthefly_budgeted_with_cache(
+    cache: &QuotientCache,
+    a: &Buchi,
+    b: &Buchi,
+    budget: &Budget,
+) -> Result<Result<(), LassoWord>, SlError> {
+    if let Inclusion::CounterExample(w) =
+        included_onthefly_budgeted_with_cache(cache, a, b, budget)?
+    {
+        return Ok(Err(w));
+    }
+    if let Inclusion::CounterExample(w) =
+        included_onthefly_budgeted_with_cache(cache, b, a, budget)?
+    {
+        return Ok(Err(w));
+    }
+    Ok(Ok(()))
 }
 
 /// Decides `L(a) ⊆ L(b)` with the antichain engine — no complement is
@@ -496,11 +970,13 @@ pub fn included_antichain(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementB
         }
         Ok(())
     };
-    let outcome = search(a, b, &mut charge);
+    let mut gauges = SearchGauges::default();
+    let outcome = search(a, b, &mut charge, &mut gauges);
     record_search(
         attempts,
         scans,
         matches!(outcome, Ok(Inclusion::CounterExample(_))),
+        gauges,
     );
     outcome.map_err(|_| ComplementBudgetExceeded {
         budget: DEFAULT_ANTICHAIN_BUDGET,
@@ -544,11 +1020,13 @@ pub fn included_antichain_budgeted(
             }
         }
     };
-    let outcome = search(a, b, &mut charge);
+    let mut gauges = SearchGauges::default();
+    let outcome = search(a, b, &mut charge, &mut gauges);
     record_search(
         attempts,
         scans,
         matches!(outcome, Ok(Inclusion::CounterExample(_))),
+        gauges,
     );
     outcome
 }
@@ -755,6 +1233,96 @@ mod tests {
             Ok(inc) => assert_eq!(inc, included_antichain(&only_a(&s), &inf_a(&s)).unwrap()),
             Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
         }
+    }
+
+    #[test]
+    fn onthefly_agrees_with_eager_on_random_corpus() {
+        let s = sigma();
+        let config = RandomConfig {
+            states: 5,
+            density_percent: 55,
+            accepting_percent: 35,
+        };
+        let cache = QuotientCache::new();
+        for seed in 0..40u64 {
+            let a = random_buchi(&s, seed, config);
+            let b = random_buchi(&s, seed + 2000, config);
+            let lazy = included_onthefly_with_cache(&cache, &a, &b).unwrap();
+            let eager = included_antichain(&a, &b).unwrap();
+            assert_eq!(
+                lazy.holds(),
+                eager.holds(),
+                "seed {seed}: lazy and eager disagree on inclusion"
+            );
+            if let Inclusion::CounterExample(w) = &lazy {
+                assert!(a.accepts(w), "seed {seed}: cex not accepted by a");
+                assert!(!b.accepts(w), "seed {seed}: cex not rejected by b");
+            }
+            assert_eq!(
+                universal_onthefly_with_cache(&cache, &a).unwrap().is_ok(),
+                universal_antichain(&a).unwrap().is_ok(),
+                "seed {seed}: universality differs"
+            );
+        }
+        // Repeat queries went through the cache: far fewer quotient
+        // computations than lookups.
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "repeated operands should hit the quotient cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn onthefly_budgeted_respects_step_limit_and_matches_unbudgeted() {
+        let s = sigma();
+        let err = included_onthefly_budgeted(
+            &inf_a(&s),
+            &only_a(&s),
+            &Budget::unlimited().with_steps(1),
+        )
+        .unwrap_err();
+        assert!(
+            err.root().is_budget_exceeded() || err.root().is_fault_injected(),
+            "{err}"
+        );
+        match included_onthefly_budgeted(&only_a(&s), &inf_a(&s), &Budget::unlimited()) {
+            Ok(inc) => assert_eq!(inc, included_onthefly(&only_a(&s), &inf_a(&s)).unwrap()),
+            Err(err) => assert!(err.root().is_fault_injected(), "{err}"),
+        }
+    }
+
+    #[test]
+    fn onthefly_equivalence_and_separation() {
+        let s = sigma();
+        let cache = QuotientCache::new();
+        assert!(equivalent_onthefly_with_cache(&cache, &inf_a(&s), &inf_a(&s))
+            .unwrap()
+            .is_ok());
+        let w = equivalent_onthefly_with_cache(&cache, &inf_a(&s), &Buchi::universal(s.clone()))
+            .unwrap()
+            .unwrap_err();
+        assert_ne!(
+            inf_a(&s).accepts(&w),
+            Buchi::universal(s.clone()).accepts(&w)
+        );
+    }
+
+    #[test]
+    fn search_gauges_are_recorded() {
+        let s = sigma();
+        let before = antichain_stats();
+        assert!(included_onthefly(&only_a(&s), &inf_a(&s)).unwrap().holds());
+        let after = antichain_stats();
+        assert!(
+            after.peak_macro_states > 0,
+            "a completed search commits at least one macro-state"
+        );
+        assert!(
+            after.final_antichain > 0 && after.final_antichain <= after.peak_macro_states,
+            "the live antichain is bounded by the commit high-water mark: {after:?}"
+        );
+        assert_eq!(after.searches, before.searches + 1);
     }
 
     #[test]

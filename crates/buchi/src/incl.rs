@@ -1,21 +1,26 @@
 //! Language inclusion, equivalence, and universality.
 //!
-//! Two engines decide all three questions:
+//! Three engines decide all three questions:
 //!
-//! * the **antichain engine** ([`crate::antichain`]) — the default —
-//!   searches for a counterexample lasso directly over word-graphs of
-//!   the right operand, never constructing a complement;
+//! * the **on-the-fly antichain engine** ([`crate::antichain`]) — the
+//!   default — searches for a counterexample lasso over word-graphs of
+//!   the right operand, expanding macro-states lazily and taking its
+//!   simulation quotients from the persistent
+//!   [`crate::interned::QuotientCache`];
+//! * the **eager antichain engine** runs the same search with both
+//!   operands quotiented from scratch and the element space seeded up
+//!   front — the first differential oracle;
 //! * the **rank-based engine** reduces to emptiness through
 //!   complementation (`L(A) ⊆ L(B)` iff `L(A) ∩ ¬L(B) = ∅`) and is
-//!   kept as a cross-check oracle and for callers that need the
-//!   complement automaton itself. When `B` is all-accepting the cheap
+//!   kept as a second oracle and for callers that need the complement
+//!   automaton itself. When `B` is all-accepting the cheap
 //!   subset-construction complement is used automatically.
 //!
 //! [`included`], [`equivalent`], and [`universal`] dispatch on
-//! `SL_INCL_ENGINE` (`antichain`, the default, or `rank`), read once
-//! per process; the per-engine entry points ([`included_antichain`],
-//! [`included_rank`], ...) pin an engine explicitly regardless of the
-//! environment.
+//! `SL_INCL_ENGINE` (`onthefly`, the default, `antichain`, or `rank`),
+//! read once per process; the per-engine entry points
+//! ([`included_onthefly`], [`included_antichain`], [`included_rank`],
+//! ...) pin an engine explicitly regardless of the environment.
 //!
 //! Rank-based complements are expensive, and the exhaustive verifiers
 //! may call the rank engine over small corpora where the same automata
@@ -32,12 +37,15 @@
 //! which measure an isolated instance instead of the shared shards).
 
 use crate::antichain::{
-    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
-    included_antichain_budgeted, universal_antichain, AntichainStats,
+    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, equivalent_onthefly,
+    equivalent_onthefly_budgeted, included_antichain, included_antichain_budgeted,
+    included_onthefly, included_onthefly_budgeted, universal_antichain, universal_onthefly,
+    AntichainStats,
 };
 use crate::automaton::Buchi;
 use crate::complement::{complement, complement_budgeted, ComplementBudgetExceeded};
 use crate::empty::{find_accepted_word, is_empty};
+use crate::interned::{shared_quotient_cache_stats, QuotientCacheStats};
 use crate::ops::intersection;
 use sl_omega::LassoWord;
 use sl_support::{fault, Budget, SlError};
@@ -48,9 +56,16 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 /// [`equivalent`], and [`universal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InclEngine {
-    /// Complement-free antichain search (the default).
+    /// On-the-fly antichain search over cached quotients — lazy
+    /// macro-state expansion, the [`crate::interned::QuotientCache`]
+    /// behind it (the default).
+    OnTheFly,
+    /// Eager antichain search: both operands quotiented from scratch,
+    /// all letter graphs and single-letter elements materialized up
+    /// front (the first differential oracle).
     Antichain,
-    /// Rank-based complementation + product emptiness (the oracle).
+    /// Rank-based complementation + product emptiness (the second
+    /// oracle).
     Rank,
 }
 
@@ -60,25 +75,26 @@ pub enum InclEngine {
 /// process environment.
 fn parse_incl_engine(raw: Option<&str>) -> (InclEngine, Option<String>) {
     match raw {
-        None | Some("" | "antichain") => (InclEngine::Antichain, None),
+        None | Some("" | "onthefly") => (InclEngine::OnTheFly, None),
+        Some("antichain") => (InclEngine::Antichain, None),
         Some("rank") => (InclEngine::Rank, None),
         Some(other) => (
-            InclEngine::Antichain,
+            InclEngine::OnTheFly,
             Some(format!(
                 "sl-buchi: SL_INCL_ENGINE=`{other}` is not a known inclusion engine \
-                 (accepted values: `antichain`, `rank`); falling back to `antichain`"
+                 (accepted values: `onthefly`, `antichain`, `rank`); falling back to `onthefly`"
             )),
         ),
     }
 }
 
-/// The engine selected by `SL_INCL_ENGINE` (`antichain` or `rank`),
-/// read once per process; unset values select
-/// [`InclEngine::Antichain`], and an unrecognized value falls back to
-/// the antichain engine after warning once on stderr (naming the bad
+/// The engine selected by `SL_INCL_ENGINE` (`onthefly`, `antichain`,
+/// or `rank`), read once per process; unset values select
+/// [`InclEngine::OnTheFly`], and an unrecognized value falls back to
+/// the on-the-fly engine after warning once on stderr (naming the bad
 /// value and the accepted ones — a silent fallback once masked typos
 /// like `SL_INCL_ENGINE=ranked` in benchmark runs). Tests that need
-/// both engines in one process call the per-engine entry points
+/// several engines in one process call the per-engine entry points
 /// instead of mutating the environment.
 pub fn incl_engine() -> InclEngine {
     static ENGINE: OnceLock<InclEngine> = OnceLock::new();
@@ -322,8 +338,12 @@ pub struct EngineStats {
     /// Complement-cache counters (rank engine): hits, misses, resident
     /// entries, fault invalidations, hash collisions.
     pub complement_cache: ComplementCacheStats,
+    /// Quotient-cache counters (on-the-fly engine): hits, misses,
+    /// resident entries, invalidations, collisions, incremental
+    /// advances, dirty/clean SCC splits.
+    pub quotient_cache: QuotientCacheStats,
     /// Antichain fixpoint counters: searches, insertion attempts,
-    /// subsumption scans, counterexamples.
+    /// subsumption scans, counterexamples, macro-state gauges.
     pub antichain: AntichainStats,
 }
 
@@ -350,6 +370,34 @@ impl EngineStats {
                     .collisions
                     .saturating_sub(earlier.complement_cache.collisions),
             },
+            quotient_cache: QuotientCacheStats {
+                hits: self.quotient_cache.hits.saturating_sub(earlier.quotient_cache.hits),
+                misses: self
+                    .quotient_cache
+                    .misses
+                    .saturating_sub(earlier.quotient_cache.misses),
+                entries: self.quotient_cache.entries,
+                invalidations: self
+                    .quotient_cache
+                    .invalidations
+                    .saturating_sub(earlier.quotient_cache.invalidations),
+                collisions: self
+                    .quotient_cache
+                    .collisions
+                    .saturating_sub(earlier.quotient_cache.collisions),
+                advances: self
+                    .quotient_cache
+                    .advances
+                    .saturating_sub(earlier.quotient_cache.advances),
+                dirty_sccs: self
+                    .quotient_cache
+                    .dirty_sccs
+                    .saturating_sub(earlier.quotient_cache.dirty_sccs),
+                clean_sccs: self
+                    .quotient_cache
+                    .clean_sccs
+                    .saturating_sub(earlier.quotient_cache.clean_sccs),
+            },
             antichain: self.antichain.delta_since(&earlier.antichain),
         }
     }
@@ -364,6 +412,15 @@ impl EngineStats {
             self.complement_cache.entries.max(delta.complement_cache.entries);
         self.complement_cache.invalidations += delta.complement_cache.invalidations;
         self.complement_cache.collisions += delta.complement_cache.collisions;
+        self.quotient_cache.hits += delta.quotient_cache.hits;
+        self.quotient_cache.misses += delta.quotient_cache.misses;
+        self.quotient_cache.entries =
+            self.quotient_cache.entries.max(delta.quotient_cache.entries);
+        self.quotient_cache.invalidations += delta.quotient_cache.invalidations;
+        self.quotient_cache.collisions += delta.quotient_cache.collisions;
+        self.quotient_cache.advances += delta.quotient_cache.advances;
+        self.quotient_cache.dirty_sccs += delta.quotient_cache.dirty_sccs;
+        self.quotient_cache.clean_sccs += delta.quotient_cache.clean_sccs;
         self.antichain.absorb(&delta.antichain);
     }
 }
@@ -380,6 +437,7 @@ impl EngineStats {
 pub fn engine_stats() -> EngineStats {
     EngineStats {
         complement_cache: shared_complement_cache_stats(),
+        quotient_cache: shared_quotient_cache_stats(),
         antichain: antichain_stats(),
     }
 }
@@ -414,6 +472,7 @@ impl Inclusion {
 /// [`included_with_complement`] instead.
 pub fn included(a: &Buchi, b: &Buchi) -> Result<Inclusion, ComplementBudgetExceeded> {
     match incl_engine() {
+        InclEngine::OnTheFly => included_onthefly(a, b),
         InclEngine::Antichain => included_antichain(a, b),
         InclEngine::Rank => included_rank(a, b),
     }
@@ -476,6 +535,7 @@ pub fn included_with_complement(a: &Buchi, not_b: &Buchi) -> Inclusion {
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn equivalent(a: &Buchi, b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
     match incl_engine() {
+        InclEngine::OnTheFly => equivalent_onthefly(a, b),
         InclEngine::Antichain => equivalent_antichain(a, b),
         InclEngine::Rank => equivalent_rank(a, b),
     }
@@ -529,6 +589,7 @@ pub fn equivalent_rank_with_cache(
 /// Propagates [`ComplementBudgetExceeded`].
 pub fn universal(b: &Buchi) -> Result<Result<(), LassoWord>, ComplementBudgetExceeded> {
     match incl_engine() {
+        InclEngine::OnTheFly => universal_onthefly(b),
         InclEngine::Antichain => universal_antichain(b),
         InclEngine::Rank => universal_rank(b),
     }
@@ -583,6 +644,8 @@ pub fn universal_rank_with_cache(
 /// `included_budgeted`.
 pub fn included_budgeted(a: &Buchi, b: &Buchi, budget: &Budget) -> Result<Inclusion, SlError> {
     match incl_engine() {
+        InclEngine::OnTheFly => included_onthefly_budgeted(a, b, budget)
+            .map_err(|e| e.context("included_budgeted: antichain search")),
         InclEngine::Antichain => included_antichain_budgeted(a, b, budget)
             .map_err(|e| e.context("included_budgeted: antichain search")),
         InclEngine::Rank => included_rank_budgeted(a, b, budget),
@@ -617,6 +680,8 @@ pub fn equivalent_budgeted(
     budget: &Budget,
 ) -> Result<Result<(), LassoWord>, SlError> {
     match incl_engine() {
+        InclEngine::OnTheFly => equivalent_onthefly_budgeted(a, b, budget)
+            .map_err(|e| e.context("included_budgeted: antichain search")),
         InclEngine::Antichain => equivalent_antichain_budgeted(a, b, budget)
             .map_err(|e| e.context("included_budgeted: antichain search")),
         InclEngine::Rank => {
@@ -671,8 +736,12 @@ mod tests {
 
     #[test]
     fn recognized_engine_values_parse_silently() {
-        assert_eq!(parse_incl_engine(None), (InclEngine::Antichain, None));
-        assert_eq!(parse_incl_engine(Some("")), (InclEngine::Antichain, None));
+        assert_eq!(parse_incl_engine(None), (InclEngine::OnTheFly, None));
+        assert_eq!(parse_incl_engine(Some("")), (InclEngine::OnTheFly, None));
+        assert_eq!(
+            parse_incl_engine(Some("onthefly")),
+            (InclEngine::OnTheFly, None)
+        );
         assert_eq!(
             parse_incl_engine(Some("antichain")),
             (InclEngine::Antichain, None)
@@ -683,11 +752,12 @@ mod tests {
     #[test]
     fn unrecognized_engine_value_warns_and_falls_back() {
         let (engine, warning) = parse_incl_engine(Some("ranked"));
-        assert_eq!(engine, InclEngine::Antichain);
+        assert_eq!(engine, InclEngine::OnTheFly);
         let warning = warning.expect("an unrecognized value must earn a warning");
         // The warning has to name the bad value and every accepted one,
         // so the fix is readable straight off stderr.
         assert!(warning.contains("`ranked`"), "bad value missing: {warning}");
+        assert!(warning.contains("`onthefly`"), "accepted value missing: {warning}");
         assert!(warning.contains("`antichain`"), "accepted value missing: {warning}");
         assert!(warning.contains("`rank`"), "accepted value missing: {warning}");
         assert!(warning.contains("SL_INCL_ENGINE"), "variable missing: {warning}");
@@ -726,11 +796,23 @@ mod tests {
                 invalidations: 0,
                 collisions: 0,
             },
+            quotient_cache: QuotientCacheStats {
+                hits: 5,
+                misses: 2,
+                entries: 2,
+                invalidations: 0,
+                collisions: 0,
+                advances: 1,
+                dirty_sccs: 3,
+                clean_sccs: 7,
+            },
             antichain: AntichainStats {
                 searches: 1,
                 insert_attempts: 10,
                 subsumption_scans: 20,
                 counterexamples: 0,
+                peak_macro_states: 8,
+                final_antichain: 5,
             },
         };
         let mut total = EngineStats::default();
@@ -739,10 +821,20 @@ mod tests {
         assert_eq!(total.complement_cache.hits, 4);
         // `entries` is a gauge: absorbed as a high-water mark, not summed.
         assert_eq!(total.complement_cache.entries, 3);
+        assert_eq!(total.quotient_cache.hits, 10);
+        assert_eq!(total.quotient_cache.entries, 2);
+        assert_eq!(total.quotient_cache.dirty_sccs, 6);
         assert_eq!(total.antichain.insert_attempts, 20);
+        // The macro-state gauges absorb as high-water marks too.
+        assert_eq!(total.antichain.peak_macro_states, 8);
         assert_eq!(a.delta_since(&a), EngineStats {
             complement_cache: ComplementCacheStats { entries: 3, ..Default::default() },
-            ..Default::default()
+            quotient_cache: QuotientCacheStats { entries: 2, ..Default::default() },
+            antichain: AntichainStats {
+                peak_macro_states: 8,
+                final_antichain: 5,
+                ..Default::default()
+            },
         });
     }
 
@@ -806,18 +898,19 @@ mod tests {
     fn engine_selection_follows_env() {
         let expected = match std::env::var("SL_INCL_ENGINE").as_deref() {
             Ok("rank") => InclEngine::Rank,
-            _ => InclEngine::Antichain,
+            Ok("antichain") => InclEngine::Antichain,
+            _ => InclEngine::OnTheFly,
         };
         assert_eq!(incl_engine(), expected);
     }
 
     #[test]
-    fn dispatching_deciders_agree_with_both_engines() {
+    fn dispatching_deciders_agree_with_all_engines() {
         let s = sigma();
         let a = only_a(&s);
         let b = inf_a(&s);
         // Whatever SL_INCL_ENGINE says, the dispatcher must agree with
-        // both pinned engines — they are exact.
+        // every pinned engine — they are exact.
         assert_eq!(
             included(&a, &b).unwrap().holds(),
             included_rank(&a, &b).unwrap().holds()
@@ -827,12 +920,24 @@ mod tests {
             crate::antichain::included_antichain(&a, &b).unwrap().holds()
         );
         assert_eq!(
+            included(&a, &b).unwrap().holds(),
+            included_onthefly(&a, &b).unwrap().holds()
+        );
+        assert_eq!(
             universal(&b).unwrap().is_ok(),
             universal_rank(&b).unwrap().is_ok()
         );
         assert_eq!(
+            universal(&b).unwrap().is_ok(),
+            universal_onthefly(&b).unwrap().is_ok()
+        );
+        assert_eq!(
             equivalent(&a, &b).unwrap().is_ok(),
             equivalent_rank(&a, &b).unwrap().is_ok()
+        );
+        assert_eq!(
+            equivalent(&a, &b).unwrap().is_ok(),
+            equivalent_onthefly(&a, &b).unwrap().is_ok()
         );
     }
 

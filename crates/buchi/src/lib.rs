@@ -54,6 +54,7 @@ pub mod empty;
 mod graph;
 pub mod hoa;
 pub mod incl;
+pub mod interned;
 pub mod member;
 pub mod monitor;
 pub mod ops;
@@ -61,8 +62,12 @@ pub mod random;
 pub mod reduce;
 
 pub use antichain::{
-    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, included_antichain,
-    included_antichain_budgeted, universal_antichain, AntichainStats, DEFAULT_ANTICHAIN_BUDGET,
+    antichain_stats, equivalent_antichain, equivalent_antichain_budgeted, equivalent_onthefly,
+    equivalent_onthefly_budgeted, equivalent_onthefly_budgeted_with_cache,
+    equivalent_onthefly_with_cache, included_antichain, included_antichain_budgeted,
+    included_onthefly, included_onthefly_budgeted, included_onthefly_budgeted_with_cache,
+    included_onthefly_with_cache, universal_antichain, universal_onthefly,
+    universal_onthefly_with_cache, AntichainStats, DEFAULT_ANTICHAIN_BUDGET,
 };
 pub use automaton::{Buchi, BuchiBuilder, StateId};
 pub use classify::{classify, is_liveness, is_safety, Classification};
@@ -79,6 +84,11 @@ pub use incl::{
     included_rank_with_cache, included_with_complement, reset_shared_complement_cache,
     shared_complement_cache_stats, universal, universal_rank, universal_rank_with_cache,
     ComplementCache, ComplementCacheStats, EngineStats, InclEngine, Inclusion,
+};
+pub use interned::{
+    reset_shared_quotient_cache, scratch_quotient, shared_quotient_cache,
+    shared_quotient_cache_stats, AdvanceReport, InternedGraph, InternedNode, QuotientCache,
+    QuotientCacheStats,
 };
 pub use member::{accepts, BuchiProperty};
 pub use monitor::{Monitor, SecurityAutomaton, Verdict};

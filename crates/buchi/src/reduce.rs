@@ -12,6 +12,84 @@ use crate::automaton::{Buchi, BuchiBuilder, StateId};
 use sl_lattice::Bitset;
 use sl_omega::Symbol;
 
+/// Per-(state, symbol) successor sets, fixed for the whole refinement.
+pub(crate) fn successor_sets(b: &Buchi) -> Vec<Vec<Bitset>> {
+    let n = b.num_states();
+    let syms: Vec<Symbol> = b.alphabet().symbols().collect();
+    (0..n)
+        .map(|q| {
+            syms.iter()
+                .map(|&sym| Bitset::from_indices(n, b.successors(q, sym)))
+                .collect()
+        })
+        .collect()
+}
+
+/// The acceptance-consistent complete relation — the top element of
+/// the refinement: `rows[q] = F_B` for accepting `q`, everything
+/// otherwise.
+pub(crate) fn initial_rows(b: &Buchi) -> Vec<Bitset> {
+    let n = b.num_states();
+    let accepting = Bitset::from_indices(
+        n,
+        &(0..n).filter(|&q| b.is_accepting(q)).collect::<Vec<_>>(),
+    );
+    let full = Bitset::full(n);
+    (0..n)
+        .map(|q| {
+            if b.is_accepting(q) {
+                accepting.clone()
+            } else {
+                full.clone()
+            }
+        })
+        .collect()
+}
+
+/// Refines `rows[q] = { r | q ≤ r }` in place to the greatest fixpoint
+/// of the direct-simulation operator. The starting relation may be any
+/// set between the fixpoint and [`initial_rows`]: removals only ever
+/// drop pairs that fail against a superset of the fixpoint (so no true
+/// pair is lost), and the stable relation is a post-fixpoint, hence
+/// *the* greatest fixpoint — which is what lets
+/// [`crate::interned::InternedGraph::advance`] seed the loop with stale
+/// verdicts from a previous automaton version and still land on a
+/// bit-identical result.
+pub(crate) fn refine_rows(succ: &[Vec<Bitset>], rows: &mut [Bitset]) {
+    let n = rows.len();
+    let nsyms = if n == 0 { 0 } else { succ[0].len() };
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            // A pair failing the check against the current (over-
+            // approximate) rows fails against every smaller relation, so
+            // removals in any order converge to the greatest fixpoint.
+            let dropped: Vec<usize> = rows[q]
+                .iter()
+                .filter(|&r| {
+                    !(0..nsyms)
+                        .all(|s| succ[q][s].iter().all(|qs| rows[qs].intersects(&succ[r][s])))
+                })
+                .collect();
+            for r in dropped {
+                rows[q].remove(r);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// The greatest-fixpoint simulation as one [`Bitset`] row per state.
+pub(crate) fn simulation_rows(b: &Buchi) -> Vec<Bitset> {
+    let succ = successor_sets(b);
+    let mut rows = initial_rows(b);
+    refine_rows(&succ, &mut rows);
+    rows
+}
+
 /// The direct-simulation preorder as a boolean matrix:
 /// `result[q * n + r]` iff `q` is (direct-)simulated by `r`.
 ///
@@ -22,60 +100,14 @@ use sl_omega::Symbol;
 #[must_use]
 pub fn direct_simulation(b: &Buchi) -> Vec<bool> {
     let n = b.num_states();
-    let syms: Vec<Symbol> = b.alphabet().symbols().collect();
-    // Per-(state, symbol) successor sets, fixed for the whole refinement.
-    let succ: Vec<Vec<Bitset>> = (0..n)
-        .map(|q| {
-            syms.iter()
-                .map(|&sym| Bitset::from_indices(n, b.successors(q, sym)))
-                .collect()
-        })
-        .collect();
-    // rows[q] = { r | q ≤ r }. Start from the acceptance-consistent
-    // complete relation and refine (greatest fixpoint).
-    let accepting = Bitset::from_indices(
-        n,
-        &(0..n).filter(|&q| b.is_accepting(q)).collect::<Vec<_>>(),
-    );
-    let full = Bitset::full(n);
-    let mut rows: Vec<Bitset> = (0..n)
-        .map(|q| {
-            if b.is_accepting(q) {
-                accepting.clone()
-            } else {
-                full.clone()
-            }
-        })
-        .collect();
-    loop {
-        let mut changed = false;
-        for q in 0..n {
-            // A pair failing the check against the current (over-
-            // approximate) rows fails against every smaller relation, so
-            // removals in any order converge to the greatest fixpoint.
-            let dropped: Vec<usize> = rows[q]
-                .iter()
-                .filter(|&r| {
-                    !(0..syms.len()).all(|s| {
-                        succ[q][s].iter().all(|qs| rows[qs].intersects(&succ[r][s]))
-                    })
-                })
-                .collect();
-            for r in dropped {
-                rows[q].remove(r);
-                changed = true;
-            }
-        }
-        if !changed {
-            let mut sim = vec![false; n * n];
-            for (q, row) in rows.iter().enumerate() {
-                for r in row.iter() {
-                    sim[q * n + r] = true;
-                }
-            }
-            return sim;
+    let rows = simulation_rows(b);
+    let mut sim = vec![false; n * n];
+    for (q, row) in rows.iter().enumerate() {
+        for r in row.iter() {
+            sim[q * n + r] = true;
         }
     }
+    sim
 }
 
 /// Quotients the automaton by mutual direct simulation and prunes
@@ -83,9 +115,17 @@ pub fn direct_simulation(b: &Buchi) -> Vec<bool> {
 /// The result recognizes the same language with at most as many states.
 #[must_use]
 pub fn reduce(b: &Buchi) -> Buchi {
+    quotient_from_rows(b, &simulation_rows(b))
+}
+
+/// The quotient-and-prune half of [`reduce`], over an already-computed
+/// greatest-fixpoint simulation (`rows[q] = { r | q ≤ r }`). Because
+/// the fixpoint is unique, any two routes to `rows` — from-scratch
+/// refinement or the incremental seeding in [`crate::interned`] — yield
+/// bit-identical quotients here.
+pub(crate) fn quotient_from_rows(b: &Buchi, rows: &[Bitset]) -> Buchi {
     let n = b.num_states();
-    let sim = direct_simulation(b);
-    let le = |q: usize, r: usize| sim[q * n + r];
+    let le = |q: usize, r: usize| rows[q].contains(r);
     // Representative of each mutual-simulation class: smallest index.
     let rep: Vec<usize> = (0..n)
         .map(|q| {

@@ -4,7 +4,8 @@
 //! slfuzz [--seed N] [--cases N] [--oracle NAME]... [--case N]
 //!        [--corpus PATH] [--append-corpus PATH]
 //!        [--stats PATH | --stats-dir DIR] [--stable]
-//!        [--max-seconds N] [--sabotage antichain-subsumption|pdr-relative-induction]
+//!        [--max-seconds N]
+//!        [--sabotage antichain-subsumption|pdr-relative-induction|dirty-scc-invalidation]
 //!        [--dump N] [--list]
 //! ```
 //!
@@ -46,7 +47,8 @@ fn usage() -> String {
          --max-seconds N   wall-clock budget; past it the run truncates\n\
          --sabotage WHAT   enable an engine sabotage drill\n\
          \x20                (supported: antichain-subsumption,\n\
-         \x20                 pdr-relative-induction)\n\
+         \x20                 pdr-relative-induction,\n\
+         \x20                 dirty-scc-invalidation)\n\
          --dump N          print N generated cases per oracle and exit\n\
          --list            list oracles and exit\n\
          \n\
@@ -115,7 +117,12 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--sabotage" => {
                 let what = value(&mut args, "--sabotage")?;
-                if what != "antichain-subsumption" && what != "pdr-relative-induction" {
+                let known = [
+                    "antichain-subsumption",
+                    "pdr-relative-induction",
+                    "dirty-scc-invalidation",
+                ];
+                if !known.contains(&what.as_str()) {
                     return Err(format!("unknown sabotage drill `{what}`"));
                 }
                 cli.sabotage = Some(what);
@@ -179,6 +186,12 @@ fn main() -> ExitCode {
         Some("pdr-relative-induction") => {
             eprintln!("slfuzz: SABOTAGE DRILL ACTIVE: PDR relative induction deliberately broken");
             sl_pdr::engine::sabotage::set_break_relative_induction(true);
+        }
+        Some("dirty-scc-invalidation") => {
+            eprintln!(
+                "slfuzz: SABOTAGE DRILL ACTIVE: incremental dirty-SCC invalidation deliberately broken"
+            );
+            sl_buchi::interned::sabotage::set_break_dirty_tracking(true);
         }
         _ => {}
     }

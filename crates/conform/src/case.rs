@@ -74,6 +74,26 @@ pub struct InclCase {
     pub budget: Option<u64>,
 }
 
+/// Three-engine inclusion case (oracle `incl3`): two automata plus a
+/// seeded mutation sequence for the incremental-vs-scratch quotient
+/// differential. `steps` edits of the left automaton are drawn from
+/// `seed`, and after every edit the incrementally advanced interned
+/// quotient must be bit-identical to a from-scratch computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incl3Case {
+    /// HOA text of the left automaton (`L(left) ⊆ L(right)?`).
+    pub left: String,
+    /// HOA text of the right automaton.
+    pub right: String,
+    /// Number of seeded mutations in the incremental differential.
+    pub steps: u32,
+    /// Seed for the mutation stream (kept within `u32` range so the
+    /// JSON codec round-trips it exactly).
+    pub seed: u64,
+    /// Step budget for the budgeted on-the-fly twin, if any.
+    pub budget: Option<u64>,
+}
+
 /// Lattice-oracle case: the recipe for a modular complemented lattice
 /// and a closure pair `cl1 <= cl2`.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,6 +256,9 @@ pub struct CrashCase {
 pub enum Case {
     /// Antichain-vs-rank differential (oracle `incl`).
     Incl(InclCase),
+    /// Three-engine (on-the-fly / antichain / rank) differential with
+    /// an incremental-vs-scratch quotient drill (oracle `incl3`).
+    Incl3(Incl3Case),
     /// Theorems 2/3/5/6/7 on a generated lattice (oracle `lattice`).
     Lattice(LatticeCase),
     /// HOA round-trip and diagnostic stability (oracle `hoa`).
@@ -263,6 +286,7 @@ impl Case {
     pub fn oracle(&self) -> &'static str {
         match self {
             Case::Incl(_) => "incl",
+            Case::Incl3(_) => "incl3",
             Case::Lattice(_) => "lattice",
             Case::Hoa(_) => "hoa",
             Case::Monitor(_) => "monitor",
@@ -282,6 +306,19 @@ impl Case {
                     ("oracle", Json::Str("incl".into())),
                     ("left", Json::Str(c.left.clone())),
                     ("right", Json::Str(c.right.clone())),
+                ];
+                if let Some(steps) = c.budget {
+                    pairs.push(("budget", Json::Int(steps as i64)));
+                }
+                Json::obj(pairs)
+            }
+            Case::Incl3(c) => {
+                let mut pairs = vec![
+                    ("oracle", Json::Str("incl3".into())),
+                    ("left", Json::Str(c.left.clone())),
+                    ("right", Json::Str(c.right.clone())),
+                    ("steps", Json::Int(i64::from(c.steps))),
+                    ("seed", Json::Int(c.seed as i64)),
                 ];
                 if let Some(steps) = c.budget {
                     pairs.push(("budget", Json::Int(steps as i64)));
@@ -424,6 +461,19 @@ impl Case {
                 right: text_field("right")?,
                 budget,
             })),
+            "incl3" => Ok(Case::Incl3(Incl3Case {
+                left: text_field("left")?,
+                right: text_field("right")?,
+                steps: doc
+                    .get("steps")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing integer field `steps`")? as u32,
+                seed: doc
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing integer field `seed`")?,
+                budget,
+            })),
             "lattice" => {
                 let factors = list_field("factors")?
                     .iter()
@@ -515,6 +565,7 @@ impl Case {
         let states = |hoa: &str| crate::oracles::parse_states(hoa);
         match self {
             Case::Incl(c) => states(&c.left) + states(&c.right),
+            Case::Incl3(c) => states(&c.left) + states(&c.right) + c.steps as usize,
             Case::Lattice(c) => c.len(),
             Case::Hoa(c) => c.text.lines().count(),
             Case::Monitor(c) | Case::Compiled(c) => states(&c.policy) + c.trace.len(),
@@ -538,6 +589,20 @@ mod tests {
                 left: "HOA: v1\nStates: 1\n".into(),
                 right: "HOA: v1\nStates: 2\n".into(),
                 budget: Some(77),
+            }),
+            Case::Incl3(Incl3Case {
+                left: "HOA: v1\nStates: 3\n".into(),
+                right: "HOA: v1\nStates: 2\n".into(),
+                steps: 5,
+                seed: 0x00ab_cdef,
+                budget: Some(123),
+            }),
+            Case::Incl3(Incl3Case {
+                left: "HOA: v1\nStates: 1\n".into(),
+                right: "HOA: v1\nStates: 1\n".into(),
+                steps: 0,
+                seed: 0,
+                budget: None,
             }),
             Case::Lattice(LatticeCase {
                 factors: vec![Factor::Boolean(2), Factor::M3],
@@ -624,6 +689,11 @@ mod tests {
         assert!(Case::from_line("{oops").is_err());
         assert!(Case::from_line("{\"oracle\":\"nope\"}").is_err());
         assert!(Case::from_line("{\"oracle\":\"incl\",\"left\":\"x\"}").is_err());
+        assert!(
+            Case::from_line("{\"oracle\":\"incl3\",\"left\":\"x\",\"right\":\"y\",\"seed\":1}")
+                .is_err(),
+            "incl3 without a step count is rejected"
+        );
         assert!(
             Case::from_line("{\"oracle\":\"lattice\",\"factors\":[],\"fix2\":[],\"extra1\":[]}")
                 .is_err(),

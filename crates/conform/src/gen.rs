@@ -6,7 +6,8 @@
 //! isolation from its coordinates alone.
 
 use crate::case::{
-    Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase,
+    Case, CrashCase, Factor, HoaCase, Incl3Case, InclCase, LatticeCase, MonitorCase, PdrCase,
+    SessionCase,
 };
 use sl_buchi::{hoa, random_buchi, Buchi, RandomConfig};
 use sl_ltl::Ltl;
@@ -90,6 +91,46 @@ pub fn gen_incl(rng: &mut SplitMix) -> InclCase {
     InclCase {
         left: hoa::to_hoa(&left, "left"),
         right: hoa::to_hoa(&right, "right"),
+        budget,
+    }
+}
+
+/// Three-engine inclusion case: bigger automata than [`gen_incl`] (the
+/// on-the-fly and eager antichain engines are polynomial per macro
+/// state, and the rank oracle skips itself via its complement budget
+/// when a pair is out of reach), plus a seeded mutation sequence for
+/// the incremental-vs-scratch quotient differential.
+pub fn gen_incl3(rng: &mut SplitMix) -> Incl3Case {
+    let alphabet = gen_alphabet(rng);
+    let left = gen_buchi(rng, &alphabet, MAX_STATES + 2);
+    // Same derived-right bias as `gen_incl`: near-inclusions are the
+    // interesting regime for subsumption and lazy expansion. The union
+    // addend stays small — the antichain product is exponential in the
+    // right side's state count, and a 15-state union turns one case
+    // into a minute-long search.
+    let right = if rng.flip() {
+        if rng.flip() {
+            sl_buchi::union(&left, &gen_buchi(rng, &alphabet, 2))
+        } else {
+            gen_buchi(rng, &alphabet, MAX_STATES + 2)
+        }
+    } else {
+        gen_buchi(rng, &alphabet, MAX_STATES + 2)
+    };
+    let steps = 1 + rng.below(8) as u32;
+    // Seed kept within u32 range so the i64-backed JSON codec
+    // round-trips it exactly.
+    let seed = rng.next_u64() >> 32;
+    let budget = if rng.percent() < 25 {
+        Some(1 + rng.next_u64() % 50_000)
+    } else {
+        None
+    };
+    Incl3Case {
+        left: hoa::to_hoa(&left, "left"),
+        right: hoa::to_hoa(&right, "right"),
+        steps,
+        seed,
         budget,
     }
 }
@@ -604,6 +645,7 @@ fn escape(text: &str) -> String {
 pub fn gen_case(oracle: &str, rng: &mut SplitMix) -> Case {
     match oracle {
         "incl" => Case::Incl(gen_incl(rng)),
+        "incl3" => Case::Incl3(gen_incl3(rng)),
         "lattice" => Case::Lattice(gen_lattice(rng)),
         "hoa" => Case::Hoa(gen_hoa(rng)),
         "monitor" => Case::Monitor(gen_monitor(rng)),

@@ -20,11 +20,15 @@
 //! language-preserving per case), and daemon sessions replay
 //! equivalently across thread counts and cache configurations.
 
-use crate::case::{Case, CrashCase, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase};
+use crate::case::{
+    Case, CrashCase, HoaCase, Incl3Case, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase,
+};
 use sl_buchi::{
-    accepts, closure, equivalent_antichain, equivalent_rank, hoa, included_antichain,
-    included_antichain_budgeted, included_rank, live_states, universal_antichain, universal_rank,
-    Buchi, CompiledMonitor, Inclusion, Monitor, Verdict,
+    accepts, closure, equivalent_antichain, equivalent_onthefly, equivalent_rank, hoa,
+    included_antichain, included_antichain_budgeted, included_onthefly,
+    included_onthefly_budgeted_with_cache, included_rank, live_states, scratch_quotient,
+    universal_antichain, universal_onthefly, universal_rank, Buchi, BuchiBuilder, CompiledMonitor,
+    Inclusion, InternedGraph, Monitor, QuotientCache, Verdict,
 };
 use sl_lattice::{
     classify, decompose, decompose_pair_checked, no_decomposition_exists, theorem5_applies,
@@ -35,12 +39,12 @@ use sl_ltl::classify_formula;
 use sl_omega::{Alphabet, LassoWord, Symbol, Word};
 use sl_pdr::{bmc_lasso, bmc_safety, check_liveness, check_safety, LivenessVerdict, SafetyVerdict};
 use sl_service::{Json, PersistConfig, Service, ServiceConfig, Verb};
-use sl_support::{fault, Budget, FaultPlan, SlError};
+use sl_support::{fault, Budget, FaultPlan, SlError, SplitMix};
 use sl_trees::{counter_product, Kripke};
 
 /// All oracle names, in registry order.
-pub const ORACLES: [&str; 8] = [
-    "incl", "lattice", "hoa", "monitor", "compiled", "session", "crash", "pdr",
+pub const ORACLES: [&str; 9] = [
+    "incl", "incl3", "lattice", "hoa", "monitor", "compiled", "session", "crash", "pdr",
 ];
 
 /// The result of judging one case.
@@ -59,6 +63,7 @@ pub enum Outcome {
 pub fn check(case: &Case) -> Outcome {
     match case {
         Case::Incl(c) => check_incl(c),
+        Case::Incl3(c) => check_incl3(c),
         Case::Lattice(c) => check_lattice(c),
         Case::Hoa(c) => check_hoa(c),
         Case::Monitor(c) => check_monitor(c),
@@ -91,10 +96,10 @@ pub fn parse_states(text: &str) -> usize {
 // Oracle 1: antichain vs rank inclusion
 // ---------------------------------------------------------------------
 
-fn parse_pair(c: &InclCase) -> Result<(Buchi, Buchi), Outcome> {
-    let left = hoa::from_hoa(&c.left)
+fn parse_pair(left: &str, right: &str) -> Result<(Buchi, Buchi), Outcome> {
+    let left = hoa::from_hoa(left)
         .map_err(|e| Outcome::Fail(format!("case corrupt: left HOA does not parse: {e}")))?;
-    let right = hoa::from_hoa(&c.right)
+    let right = hoa::from_hoa(right)
         .map_err(|e| Outcome::Fail(format!("case corrupt: right HOA does not parse: {e}")))?;
     if left.alphabet() != right.alphabet() {
         return Err(Outcome::Fail("case corrupt: alphabet mismatch".into()));
@@ -116,7 +121,7 @@ fn valid_cex(a: &Buchi, b: &Buchi, w: &LassoWord) -> Result<(), String> {
 }
 
 fn check_incl(c: &InclCase) -> Outcome {
-    let (a, b) = match parse_pair(c) {
+    let (a, b) = match parse_pair(&c.left, &c.right) {
         Ok(pair) => pair,
         Err(outcome) => return outcome,
     };
@@ -194,6 +199,235 @@ fn check_incl(c: &InclCase) -> Outcome {
             (Err(e), _) => fail!("budgeted antichain returned a non-budget error: {e}"),
             (Ok(_), Err(_)) => {}
         }
+    }
+    Outcome::Pass
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1b: three-engine inclusion + incremental quotient drill
+// ---------------------------------------------------------------------
+
+/// The editable shape of an automaton for the seeded mutation drill:
+/// acceptance bits plus the per-(state, symbol-index) successor lists.
+/// Mutations edit this and rebuild, since [`Buchi`] is immutable.
+struct Shape {
+    accepting: Vec<bool>,
+    succ: Vec<Vec<Vec<usize>>>,
+}
+
+fn shape_of(b: &Buchi) -> Shape {
+    let n = b.num_states();
+    Shape {
+        accepting: (0..n).map(|q| b.is_accepting(q)).collect(),
+        succ: (0..n)
+            .map(|q| {
+                b.alphabet()
+                    .symbols()
+                    .map(|sym| b.successors(q, sym).to_vec())
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn build_shape(sigma: &Alphabet, shape: &Shape) -> Buchi {
+    let mut builder = BuchiBuilder::new(sigma.clone());
+    let ids: Vec<usize> = shape.accepting.iter().map(|&acc| builder.add_state(acc)).collect();
+    for (q, by_sym) in shape.succ.iter().enumerate() {
+        for (s, sym) in sigma.symbols().enumerate() {
+            for &r in &by_sym[s] {
+                builder.add_transition(ids[q], sym, ids[r]);
+            }
+        }
+    }
+    builder.build(ids[0])
+}
+
+/// One seeded random edit: toggle an acceptance bit, add or remove a
+/// transition, or graft a fresh state reachable from an existing one.
+fn mutate_shape(sigma: &Alphabet, shape: &mut Shape, rng: &mut SplitMix) {
+    let n = shape.accepting.len();
+    let nsyms = sigma.len();
+    match rng.below(5) {
+        0 => {
+            let q = rng.below(n);
+            shape.accepting[q] = !shape.accepting[q];
+        }
+        1 | 2 => {
+            let (q, s, r) = (rng.below(n), rng.below(nsyms), rng.below(n));
+            if !shape.succ[q][s].contains(&r) {
+                shape.succ[q][s].push(r);
+                shape.succ[q][s].sort_unstable();
+            }
+        }
+        3 => {
+            let (q, s) = (rng.below(n), rng.below(nsyms));
+            if !shape.succ[q][s].is_empty() {
+                let at = rng.below(shape.succ[q][s].len());
+                shape.succ[q][s].remove(at);
+            }
+        }
+        _ => {
+            let from = rng.below(n);
+            let s = rng.below(nsyms);
+            let back = rng.below(n);
+            shape.accepting.push(rng.flip());
+            shape.succ.push(vec![Vec::new(); nsyms]);
+            let fresh = shape.accepting.len() - 1;
+            if !shape.succ[from][s].contains(&fresh) {
+                shape.succ[from][s].push(fresh);
+                shape.succ[from][s].sort_unstable();
+            }
+            shape.succ[fresh][s].push(back);
+        }
+    }
+}
+
+/// Three-engine differential (on-the-fly / eager antichain / rank) on
+/// inclusion, universality, and equivalence, followed by the
+/// incremental-quotient drill: `steps` seeded edits of the left
+/// automaton, each `advance`d through an [`InternedGraph`] and checked
+/// bit-for-bit against a from-scratch quotient. The dirty-SCC
+/// invalidation sabotage drill must be caught here.
+fn check_incl3(c: &Incl3Case) -> Outcome {
+    let (a, b) = match parse_pair(&c.left, &c.right) {
+        Ok(pair) => pair,
+        Err(outcome) => return outcome,
+    };
+    // The two antichain engines are polynomial per macro-state and must
+    // both answer; the rank oracle joins only on pairs small enough for
+    // its complement to be cheap (incl3 pairs run bigger than the
+    // rank-friendly `incl` sizes, and even a budget-aborted rank run
+    // pays for the exploration up to the abort).
+    let rank_feasible = a.num_states().max(b.num_states()) <= 4;
+    let of = included_onthefly(&a, &b);
+    let ac = included_antichain(&a, &b);
+    match (&of, &ac) {
+        (Ok(of), Ok(ac)) => {
+            let (oh, ah) = (matches!(of, Inclusion::Holds), matches!(ac, Inclusion::Holds));
+            if oh != ah {
+                fail!("engines disagree on inclusion: onthefly={of:?} antichain={ac:?}");
+            }
+            for (engine, verdict) in [("onthefly", of), ("antichain", ac)] {
+                if let Inclusion::CounterExample(w) = verdict {
+                    if let Err(msg) = valid_cex(&a, &b, w) {
+                        fail!("{engine} {msg}");
+                    }
+                }
+            }
+            if rank_feasible {
+                if let Ok(rk) = included_rank(&a, &b) {
+                    if matches!(rk, Inclusion::Holds) != ah {
+                        fail!("engines disagree on inclusion: antichain={ac:?} rank={rk:?}");
+                    }
+                    if let Inclusion::CounterExample(w) = &rk {
+                        if let Err(msg) = valid_cex(&a, &b, w) {
+                            fail!("rank {msg}");
+                        }
+                    }
+                }
+            }
+        }
+        _ => return Outcome::Accepted("complement budget exceeded"),
+    }
+    // Universality of a, three ways.
+    match (universal_onthefly(&a), universal_antichain(&a)) {
+        (Ok(of), Ok(ac)) => {
+            let ac_ok = ac.is_ok();
+            if of.is_ok() != ac_ok {
+                fail!("engines disagree on universality: onthefly={of:?} antichain={ac:?}");
+            }
+            let mut witnesses = vec![of.err(), ac.err()];
+            if rank_feasible {
+                if let Ok(rk) = universal_rank(&a) {
+                    if rk.is_ok() != ac_ok {
+                        fail!("engines disagree on universality: antichain vs rank={rk:?}");
+                    }
+                    witnesses.push(rk.err());
+                }
+            }
+            for w in witnesses.into_iter().flatten() {
+                if accepts(&a, &w) {
+                    fail!("universality witness {w:?} is accepted (not a rejection)");
+                }
+            }
+        }
+        _ => return Outcome::Accepted("complement budget exceeded"),
+    }
+    // Equivalence, three ways.
+    match (equivalent_onthefly(&a, &b), equivalent_antichain(&a, &b)) {
+        (Ok(of), Ok(ac)) => {
+            let ac_ok = ac.is_ok();
+            if of.is_ok() != ac_ok {
+                fail!("engines disagree on equivalence: onthefly={of:?} antichain={ac:?}");
+            }
+            let mut separators = vec![of.err(), ac.err()];
+            if rank_feasible {
+                if let Ok(rk) = equivalent_rank(&a, &b) {
+                    if rk.is_ok() != ac_ok {
+                        fail!("engines disagree on equivalence: antichain vs rank={rk:?}");
+                    }
+                    separators.push(rk.err());
+                }
+            }
+            for w in separators.into_iter().flatten() {
+                if accepts(&a, &w) == accepts(&b, &w) {
+                    fail!("equivalence separator {w:?} does not separate the languages");
+                }
+            }
+        }
+        _ => return Outcome::Accepted("complement budget exceeded"),
+    }
+    // Budgeted on-the-fly twin through an explicit quotient cache; a
+    // successful run must agree, exhaustion and faults are accepted.
+    if let Some(steps) = c.budget {
+        let budget = Budget::unlimited().with_steps(steps);
+        let cache = QuotientCache::new();
+        match (included_onthefly_budgeted_with_cache(&cache, &a, &b, &budget), &of) {
+            (Ok(bud), Ok(unb)) => {
+                if matches!(bud, Inclusion::Holds) != matches!(unb, Inclusion::Holds) {
+                    fail!("budgeted onthefly disagrees with unbudgeted: {bud:?} vs {unb:?}");
+                }
+                if let Inclusion::CounterExample(w) = &bud {
+                    if let Err(msg) = valid_cex(&a, &b, w) {
+                        fail!("budgeted onthefly {msg}");
+                    }
+                }
+            }
+            (Err(e), _) if e.is_budget_exceeded() || e.is_fault_injected() => {
+                return Outcome::Accepted("step budget exhausted");
+            }
+            (Err(e), _) => fail!("budgeted onthefly returned a non-budget error: {e}"),
+            (Ok(_), Err(_)) => {}
+        }
+    }
+    // Incremental-vs-scratch quotient drill: the greatest simulation
+    // fixpoint is unique, so after every advance the interned node's
+    // quotient must be bit-identical to a from-scratch computation.
+    let sigma = a.alphabet().clone();
+    let mut rng = SplitMix::new(c.seed);
+    let mut graph = InternedGraph::new();
+    let mut prev = a;
+    graph.quotient(&prev);
+    let mut shape = shape_of(&prev);
+    for step in 0..c.steps {
+        mutate_shape(&sigma, &mut shape, &mut rng);
+        let next = build_shape(&sigma, &shape);
+        graph.advance(&prev, &next);
+        let Some(node) = graph.node(&next) else {
+            fail!("advance did not intern the mutated automaton at step {step}");
+        };
+        let incremental = node.quotient();
+        let scratch = scratch_quotient(&next);
+        if *incremental != scratch {
+            fail!(
+                "incremental quotient diverged from scratch at step {step}: \
+                 {} vs {} states (stale dirty-SCC seeding?)",
+                incremental.num_states(),
+                scratch.num_states()
+            );
+        }
+        prev = next;
     }
     Outcome::Pass
 }

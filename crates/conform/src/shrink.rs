@@ -9,7 +9,8 @@
 //! the greedy loop converges in few evaluations.
 
 use crate::case::{
-    Case, CrashCase, Factor, HoaCase, InclCase, LatticeCase, MonitorCase, PdrCase, SessionCase,
+    Case, CrashCase, Factor, HoaCase, Incl3Case, InclCase, LatticeCase, MonitorCase, PdrCase,
+    SessionCase,
 };
 use crate::gen;
 use sl_buchi::{hoa, BuchiBuilder};
@@ -40,6 +41,7 @@ impl Strategy for CaseStrategy {
 pub fn shrink_case(case: &Case) -> Vec<Case> {
     match case {
         Case::Incl(c) => shrink_incl(c),
+        Case::Incl3(c) => shrink_incl3(c),
         Case::Lattice(c) => shrink_lattice(c),
         Case::Hoa(c) => shrink_hoa(c),
         Case::Monitor(c) => wrap_monitor_variants(c, Case::Monitor),
@@ -130,6 +132,38 @@ fn shrink_incl(c: &InclCase) -> Vec<Case> {
             right: c.right.clone(),
             budget: None,
         }));
+    }
+    out
+}
+
+fn shrink_incl3(c: &Incl3Case) -> Vec<Case> {
+    let with = |left: String, right: String, steps: u32, budget: Option<u64>| {
+        Case::Incl3(Incl3Case {
+            left,
+            right,
+            steps,
+            seed: c.seed,
+            budget,
+        })
+    };
+    let mut out = Vec::new();
+    // Halve the mutation sequence first: the incremental drill
+    // re-derives its edits from (seed, steps), so a shorter prefix is
+    // still a faithful replay and usually the biggest reduction.
+    if c.steps > 1 {
+        out.push(with(c.left.clone(), c.right.clone(), c.steps / 2, c.budget));
+    }
+    for left in shrink_buchi(&c.left) {
+        out.push(with(left, c.right.clone(), c.steps, c.budget));
+    }
+    for right in shrink_buchi(&c.right) {
+        out.push(with(c.left.clone(), right, c.steps, c.budget));
+    }
+    if c.steps > 0 {
+        out.push(with(c.left.clone(), c.right.clone(), c.steps - 1, c.budget));
+    }
+    if c.budget.is_some() {
+        out.push(with(c.left.clone(), c.right.clone(), c.steps, None));
     }
     out
 }

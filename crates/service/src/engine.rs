@@ -86,9 +86,12 @@ use crate::proto::{
 };
 use crate::registry::Registry;
 use sl_buchi::{
-    classify, closure, decompose, engine_stats, equivalent, equivalent_budgeted, hoa, included,
-    included_budgeted, is_safety, shared_complement_cache_stats, universal, Buchi, Classification,
-    CompiledMonitor, EngineStats, Inclusion, Monitor, MonitorFleet, Verdict,
+    classify, closure, decompose, engine_stats, equivalent, equivalent_budgeted,
+    equivalent_onthefly_budgeted_with_cache, equivalent_onthefly_with_cache, hoa, incl_engine,
+    included, included_budgeted, included_onthefly_budgeted_with_cache,
+    included_onthefly_with_cache, is_safety, shared_complement_cache_stats, universal,
+    universal_onthefly_with_cache, Buchi, Classification, CompiledMonitor, EngineStats,
+    InclEngine, Inclusion, Monitor, MonitorFleet, QuotientCache, Verdict,
 };
 use sl_omega::Alphabet;
 use sl_pdr::{check_liveness, check_safety, LivenessVerdict, SafetyVerdict};
@@ -339,6 +342,13 @@ struct Shared {
     check: CheckState,
     counters: Counters,
     engine_totals: Mutex<EngineStats>,
+    /// Per-daemon interned-quotient cache: `define`/`redefine` advance
+    /// it incrementally, the on-the-fly inclusion engine reads it.
+    /// Private to this service (not the process-global cache) so the
+    /// `stats` counters are deterministic under concurrent tests. Its
+    /// shard mutexes are leaf locks — never taken while holding the
+    /// registry, session, or cache locks.
+    quotient: QuotientCache,
     next_request_index: AtomicU64,
     /// The mutation lock: journaled verbs append and dispatch under
     /// it, so journal order is dispatch order (`None` when the
@@ -384,6 +394,7 @@ impl Service {
             shared: Arc::new(Shared {
                 cache: QueryCache::new(config.cache_cap),
                 check: CheckState::default(),
+                quotient: QuotientCache::with_fault(config.fault),
                 config,
                 registry: RwLock::new(Registry::new()),
                 sessions: Mutex::new(Sessions::default()),
@@ -467,12 +478,14 @@ impl Service {
     }
 
     /// Folds a per-query engine delta into the daemon totals. The
-    /// complement-cache half is dropped: that cache is process-shared
-    /// now, so `stats` reports it live instead of summing deltas that
-    /// other threads' activity would skew.
+    /// complement- and quotient-cache halves are dropped: those caches
+    /// are shared beyond the query (process-wide and daemon-wide
+    /// respectively), so `stats` reports them live instead of summing
+    /// deltas that other threads' activity would skew.
     fn absorb_engine(&self, delta: &EngineStats) {
         let mut antichain_only = *delta;
         antichain_only.complement_cache = Default::default();
+        antichain_only.quotient_cache = Default::default();
         relock(self.shared.engine_totals.lock()).absorb(&antichain_only);
     }
 
@@ -905,6 +918,22 @@ impl Service {
                 "define needs `ltl` (with `alphabet`) or `hoa`",
             ));
         };
+        // Advance the interned quotient before publishing the binding:
+        // a redefine seeds the simulation refinement from the previous
+        // version's rows (clean SCCs carry over, only dirty ones are
+        // re-derived), a fresh define warms the cache from scratch.
+        // Mutating verbs serialize under the persist lock, so reading
+        // the old binding here is not racy, and journal replay during
+        // recovery re-warms the cache deterministically.
+        let previous = self.read_registry().get(name).cloned();
+        match &previous {
+            Some(old) => {
+                self.shared.quotient.advance(old, &automaton);
+            }
+            None => {
+                let _ = self.shared.quotient.quotient(&automaton);
+            }
+        }
         let stored = self.write_registry().insert(name, automaton);
         Ok(Json::obj(vec![
             ("name", Json::Str(name.to_string())),
@@ -974,7 +1003,7 @@ impl Service {
             let guard = relock(self.shared.pending_done.wait(pending));
             drop(guard);
         }
-        let (outcome, delta) = compute_isolated(job);
+        let (outcome, delta) = compute_isolated(job, &self.shared.quotient);
         self.absorb_engine(&delta);
         if let Ok(result) = &outcome {
             self.shared.cache.store(
@@ -1293,6 +1322,7 @@ impl Service {
             .collect();
         let complement = shared_complement_cache_stats();
         let antichain = relock(self.shared.engine_totals.lock()).antichain;
+        let quotient = self.shared.quotient.stats();
         let counters = &self.shared.counters;
         let mut doc = vec![
             ("requests", Json::Obj(requests)),
@@ -1362,6 +1392,30 @@ impl Service {
                                 "counterexamples",
                                 Json::Int(antichain.counterexamples as i64),
                             ),
+                            (
+                                "peak_macro_states",
+                                Json::Int(antichain.peak_macro_states as i64),
+                            ),
+                            (
+                                "final_antichain",
+                                Json::Int(antichain.final_antichain as i64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "quotient_cache",
+                        Json::obj(vec![
+                            ("hits", Json::Int(quotient.hits as i64)),
+                            ("misses", Json::Int(quotient.misses as i64)),
+                            ("entries", Json::Int(quotient.entries as i64)),
+                            (
+                                "invalidations",
+                                Json::Int(quotient.invalidations as i64),
+                            ),
+                            ("collisions", Json::Int(quotient.collisions as i64)),
+                            ("advances", Json::Int(quotient.advances as i64)),
+                            ("dirty_sccs", Json::Int(quotient.dirty_sccs as i64)),
+                            ("clean_sccs", Json::Int(quotient.clean_sccs as i64)),
                         ]),
                     ),
                 ]),
@@ -1531,8 +1585,9 @@ impl Service {
         // The worker already isolates panics and types its errors, so
         // its closure is infallible; the sweep's own boundary still
         // catches the `par.worker` drill site's injected panics.
-        let report =
-            try_par_map_with(self.shared.config.threads, &jobs, |job| Ok(compute_isolated(job)));
+        let report = try_par_map_with(self.shared.config.threads, &jobs, |job| {
+            Ok(compute_isolated(job, &self.shared.quotient))
+        });
 
         let mut results = Vec::with_capacity(slots.len());
         let mut outcomes = report.outcomes.into_iter();
@@ -1581,9 +1636,12 @@ impl Service {
 /// Computes one query inside a panic boundary, measuring the engine
 /// counters it spent on this thread. Returns the typed outcome plus
 /// the counter delta — the caller decides how to fold both in.
-fn compute_isolated(job: &QueryJob) -> (Result<Json, ProtoError>, EngineStats) {
+fn compute_isolated(
+    job: &QueryJob,
+    quotient: &QuotientCache,
+) -> (Result<Json, ProtoError>, EngineStats) {
     let before = engine_stats();
-    let outcome = catch_unwind(AssertUnwindSafe(|| compute_query(job)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| compute_query(job, quotient)));
     let delta = engine_stats().delta_since(&before);
     let outcome = match outcome {
         Ok(Ok(result)) => Ok(result),
@@ -1596,9 +1654,14 @@ fn compute_isolated(job: &QueryJob) -> (Result<Json, ProtoError>, EngineStats) {
 /// The verb semantics proper. Unbudgeted requests go through the plain
 /// engine entry points (no extra fault sites, so fault drills only
 /// fire where a budgeted path opted in); budgeted requests use the
-/// budgeted twins.
-fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
+/// budgeted twins. When the selected engine is the default on-the-fly
+/// one, `include`/`equivalent`/`universal` route through the
+/// `_with_cache` twins against the daemon's [`QuotientCache`], so
+/// repeated queries over the same operands reuse interned quotients
+/// instead of recomputing the simulation per query.
+fn compute_query(job: &QueryJob, quotient: &QuotientCache) -> Result<Json, SlError> {
     let budget = job.budget.map(BudgetSpec::to_budget);
+    let onthefly = incl_engine() == InclEngine::OnTheFly;
     match job.kind {
         QueryKind::Classify => {
             let b = job.left.as_ref();
@@ -1629,7 +1692,11 @@ fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
         QueryKind::Include => {
             let (a, b) = (job.left.as_ref(), job.right.as_ref().expect("binary").as_ref());
             let inclusion = match &budget {
+                None if onthefly => included_onthefly_with_cache(quotient, a, b)?,
                 None => included(a, b)?,
+                Some(budget) if onthefly => {
+                    included_onthefly_budgeted_with_cache(quotient, a, b, budget)?
+                }
                 Some(budget) => included_budgeted(a, b, budget)?,
             };
             Ok(match inclusion {
@@ -1643,7 +1710,11 @@ fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
         QueryKind::Equivalent => {
             let (a, b) = (job.left.as_ref(), job.right.as_ref().expect("binary").as_ref());
             let verdict = match &budget {
+                None if onthefly => equivalent_onthefly_with_cache(quotient, a, b)?,
                 None => equivalent(a, b)?,
+                Some(budget) if onthefly => {
+                    equivalent_onthefly_budgeted_with_cache(quotient, a, b, budget)?
+                }
                 Some(budget) => equivalent_budgeted(a, b, budget)?,
             };
             Ok(match verdict {
@@ -1657,9 +1728,16 @@ fn compute_query(job: &QueryJob) -> Result<Json, SlError> {
         QueryKind::Universal => {
             let b = job.left.as_ref();
             let verdict = match &budget {
+                None if onthefly => universal_onthefly_with_cache(quotient, b)?,
                 None => universal(b)?,
                 Some(budget) => {
-                    match included_budgeted(&Buchi::universal(b.alphabet().clone()), b, budget)? {
+                    let all = Buchi::universal(b.alphabet().clone());
+                    let inclusion = if onthefly {
+                        included_onthefly_budgeted_with_cache(quotient, &all, b, budget)?
+                    } else {
+                        included_budgeted(&all, b, budget)?
+                    };
+                    match inclusion {
                         Inclusion::Holds => Ok(()),
                         Inclusion::CounterExample(w) => Err(w),
                     }

@@ -32,10 +32,10 @@ for exp in e1_rem_linear e2_figure1 e3_figure2 e4_decomposition \
   "./target/release/$exp"
 done
 
-echo "== incl-engines: antichain vs rank differential + E11 smoke =="
-# The differential suite must agree under both engine selections (the
-# dispatcher is pinned once per process via SL_INCL_ENGINE).
-for engine in antichain rank; do
+echo "== incl-engines: onthefly vs antichain vs rank differential + E11 smoke =="
+# The differential suite must agree under all three engine selections
+# (the dispatcher is pinned once per process via SL_INCL_ENGINE).
+for engine in onthefly antichain rank; do
   echo "-- differential suite (SL_INCL_ENGINE=$engine)"
   SL_INCL_ENGINE=$engine cargo test -q --offline --test inclusion_engines
 done
@@ -188,7 +188,7 @@ conf_tmp="$(mktemp -d)"
 echo "-- corpus replay (scripts/conform_corpus.jsonl)"
 ./target/release/slfuzz --corpus scripts/conform_corpus.jsonl --corpus-only
 echo "-- fixed-seed fuzz (seed 2003, 1000 cases/oracle)"
-./target/release/slfuzz --seed 2003 --cases 1000 --max-seconds 300 \
+./target/release/slfuzz --seed 2003 --cases 1000 --max-seconds 420 \
   --corpus scripts/conform_corpus.jsonl \
   --stable --stats-dir "$conf_tmp"
 python3 - "$conf_tmp/BENCH_conform.json" <<'PY'
@@ -196,7 +196,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 assert doc["suite"] == "conform" and doc["seed"] == 2003, doc
-assert not doc["truncated"], "fuzz run blew its 300s wall-clock budget"
+assert not doc["truncated"], "fuzz run blew its 420s wall-clock budget"
 for o in doc["oracles"]:
     run = o["cases"]
     assert run >= 1000, f"{o['name']}: only {run} cases"
@@ -207,8 +207,8 @@ for o in doc["oracles"]:
     assert acc <= run // 10, f"{o['name']}: {acc} accepted"
 assert doc["findings"] == [], doc["findings"]
 names = sorted(o["name"] for o in doc["oracles"])
-assert names == ["compiled", "crash", "hoa", "incl", "lattice", "monitor", "pdr",
-                 "session"], names
+assert names == ["compiled", "crash", "hoa", "incl", "incl3", "lattice", "monitor",
+                 "pdr", "session"], names
 print(f"BENCH_conform.json ok: {sum(o['cases'] for o in doc['oracles'])} "
       f"cases across {len(names)} oracles, 0 findings")
 PY
@@ -242,6 +242,77 @@ print(f"sabotage drill ok: {len(findings)} findings, "
       f"smallest shrunk reproducer weight {smallest}")
 PY
 rm -rf "$conf_tmp"
+
+echo "== scale: quotient-session golden, E16 asymptote gate, dirty-SCC drill =="
+scale_tmp="$(mktemp -d)"
+# The redefine-heavy session golden pins the quotient cache's wire
+# behavior (hits, invalidations, dirty/clean SCC counters in stats)
+# at any worker count.
+for t in 1 8; do
+  echo "-- sld quotient-session transcript (SL_THREADS=$t)"
+  SL_THREADS=$t ./target/release/sld --stdin < scripts/quotient_session.jsonl \
+    > "$scale_tmp/quotient_t$t.out"
+  cmp "$scale_tmp/quotient_t$t.out" scripts/quotient_session.golden
+done
+# E16: the scale sweep. The binary fails itself if the engines disagree
+# on any padded pair, an advance diverges from a scratch quotient, or
+# the asymptote inverts; the JSON gate re-checks the medians
+# independently. The eager 10^4 point is a single timed call (minutes
+# of refinement over the raw candidate relation), so this is the one
+# bench stage that is minutes, not seconds.
+echo "-- e16_scale (asymptote + redefine-reuse gate, ~3 min)"
+SL_BENCH_SAMPLES=3 SL_BENCH_WARMUP_MS=10 SL_BENCH_JSON_DIR="$scale_tmp" \
+  ./target/release/e16_scale
+python3 - "$scale_tmp/BENCH_scale.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["suite"] == "scale", doc
+records = {r["name"]: r for r in doc["records"]}
+for name, r in records.items():
+    assert r["median_ns"] > 0 and r["samples"] > 0, (name, r)
+# The eager 10^4 point must be the honest single observation.
+assert records["incl/eager/struct/10000"]["samples"] == 1, records
+# On-the-fly beats eager at >=10^4 states, by a factor that grows.
+speed = {n: records[f"incl/eager/struct/{n}"]["median_ns"]
+            / records[f"incl/lazy/struct/{n}"]["median_ns"]
+         for n in (1000, 10000)}
+assert speed[10000] > 1, f"lazy loses to eager at 10^4: {speed[10000]:.2f}x"
+assert speed[10000] >= 2 * speed[1000], \
+    f"lazy advantage not growing: {speed[1000]:.0f}x at 10^3, {speed[10000]:.0f}x at 10^4"
+# The padding-immunity bar: lazy over 10^5 raw states still beats
+# eager over 10^3.
+assert records["incl/lazy/rand/100000"]["median_ns"] \
+    < records["incl/eager/rand/1000"]["median_ns"], records
+# The quotient-reuse bar on the redefine-heavy session.
+scratch = records["redefine/scratch/chain1000"]["median_ns"]
+incr = records["redefine/incremental/chain1000"]["median_ns"]
+assert incr < scratch, f"incremental ({incr}ns) loses to scratch ({scratch}ns)"
+print(f"BENCH_scale.json ok: lazy over eager {speed[1000]:.0f}x at 10^3 -> "
+      f"{speed[10000]:.0f}x at 10^4, redefine reuse {scratch / incr:.1f}x")
+PY
+# Sabotage drill: with per-SCC dirty tracking deliberately broken the
+# three-way engine matrix must catch the stale-quotient bug (exit 1)
+# and shrink the reproducer.
+echo "-- sabotage drill (dirty-scc-invalidation)"
+if ./target/release/slfuzz --seed 2003 --cases 200 --oracle incl3 \
+     --sabotage dirty-scc-invalidation --stable \
+     --stats "$scale_tmp/sabotage_scc.json" > /dev/null 2>&1; then
+  echo "sabotage drill NOT caught: slfuzz exited 0 with broken dirty tracking" >&2
+  exit 1
+fi
+python3 - "$scale_tmp/sabotage_scc.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+findings = doc["findings"]
+assert findings, "dirty-scc sabotage run produced no findings"
+smallest = min(f["weight"] for f in findings)
+assert smallest <= 8, f"smallest shrunk reproducer weight {smallest} > 8"
+print(f"dirty-scc sabotage drill ok: {len(findings)} findings, "
+      f"smallest shrunk reproducer weight {smallest}")
+PY
+rm -rf "$scale_tmp"
 
 echo "== pdr: check golden, E15 gate, pdr-oracle fuzz, sabotage drill =="
 pdr_tmp="$(mktemp -d)"

@@ -1,12 +1,15 @@
-//! Differential verification of the two inclusion engines: the
-//! complement-free antichain search against the rank-based oracle.
+//! Differential verification of the three inclusion engines: the
+//! on-the-fly antichain search (quotient-cached, lazily expanded), the
+//! eager antichain search, and the rank-based oracle.
 //!
-//! Both engines are exact, so on every query they must return the same
-//! verdict, and every counterexample either produces must be *genuine*
-//! (accepted by the left operand, rejected by the right). The sweep
-//! compares the engines over 500+ random automaton pairs drawn from a
-//! pool of 120 distinct machines; rank-side complement-budget blowups
-//! are skipped (and bounded), never treated as disagreements.
+//! All three engines are exact, so on every query they must return the
+//! same verdict, and every counterexample any of them produces must be
+//! *genuine* (accepted by the left operand, rejected by the right —
+//! checked on the *raw* operands, so the on-the-fly engine's internal
+//! quotienting cannot mask a bad witness). The sweep compares the
+//! engines over 500+ random automaton pairs drawn from a pool of 120
+//! distinct machines; rank-side complement-budget blowups are skipped
+//! (and bounded), never treated as disagreements.
 //!
 //! The tests stay green under an environment fault drill
 //! (`SL_FAULT_RATE` > 0): the unbudgeted entry points consult no
@@ -15,8 +18,9 @@
 //! recomputations.
 
 use safety_liveness::buchi::{
-    equivalent_antichain, equivalent_rank, included_antichain, included_rank, random_buchi,
-    universal_antichain, universal_rank, Buchi, Inclusion, RandomConfig,
+    equivalent_antichain, equivalent_onthefly, equivalent_rank, included_antichain,
+    included_onthefly, included_rank, random_buchi, universal_antichain, universal_onthefly,
+    universal_rank, Buchi, Inclusion, RandomConfig,
 };
 use safety_liveness::omega::Alphabet;
 use sl_support::prop;
@@ -82,6 +86,14 @@ fn engines_agree_on_inclusion_over_500_pairs() {
         let (a, b) = (&machines[i], &machines[j]);
         let ac = included_antichain(a, b)
             .expect("antichain budget must not blow on a ≤5-state pair");
+        let of = included_onthefly(a, b)
+            .expect("on-the-fly budget must not blow on a ≤5-state pair");
+        assert_eq!(
+            ac.holds(),
+            of.holds(),
+            "engines disagree on pair ({i}, {j}): antichain {ac:?} vs onthefly {of:?}"
+        );
+        assert_genuine("onthefly", &of, a, b, (i, j));
         let Ok(rk) = included_rank(a, b) else {
             rank_skips += 1;
             continue;
@@ -107,6 +119,15 @@ fn engines_agree_on_universality() {
     let mut rank_skips = 0usize;
     for (i, b) in machines.iter().enumerate() {
         let ac = universal_antichain(b).expect("antichain universality budget");
+        let of = universal_onthefly(b).expect("on-the-fly universality budget");
+        assert_eq!(
+            ac.is_ok(),
+            of.is_ok(),
+            "universality verdicts disagree on pool[{i}]: antichain vs onthefly"
+        );
+        if let Err(w) = &of {
+            assert!(!b.accepts(w), "onthefly non-universality witness {w} accepted");
+        }
         let Ok(rk) = universal_rank(b) else {
             rank_skips += 1;
             continue;
@@ -135,6 +156,15 @@ fn engines_agree_on_equivalence() {
         let j = (k * 29 + 7) % n;
         let (a, b) = (&machines[i], &machines[j]);
         let ac = equivalent_antichain(a, b).expect("antichain equivalence budget");
+        let of = equivalent_onthefly(a, b).expect("on-the-fly equivalence budget");
+        assert_eq!(
+            ac.is_ok(),
+            of.is_ok(),
+            "equivalence verdicts disagree on pair ({i}, {j}): antichain vs onthefly"
+        );
+        if let Err(w) = &of {
+            assert_ne!(a.accepts(w), b.accepts(w), "onthefly separator {w} separates nothing");
+        }
         let Ok(rk) = equivalent_rank(a, b) else {
             continue;
         };
@@ -169,6 +199,13 @@ fn prop_engines_agree_on_random_pairs() {
             let b = random_buchi(&sigma, seed2, cfg);
             let ac = included_antichain(&a, &b)
                 .map_err(|e| format!("antichain budget: {e}"))?;
+            let of = included_onthefly(&a, &b)
+                .map_err(|e| format!("onthefly budget: {e}"))?;
+            prop_assert_eq!(ac.holds(), of.holds());
+            if let Inclusion::CounterExample(w) = &of {
+                prop_assert_eq!(a.accepts(w), true);
+                prop_assert_eq!(b.accepts(w), false);
+            }
             if let Ok(rk) = included_rank(&a, &b) {
                 prop_assert_eq!(ac.holds(), rk.holds());
                 if let Inclusion::CounterExample(w) = &ac {

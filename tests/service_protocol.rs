@@ -17,6 +17,8 @@ use std::io::Cursor;
 
 const SESSION_SCRIPT: &str = include_str!("../scripts/service_session.jsonl");
 const SESSION_GOLDEN: &str = include_str!("../scripts/service_session.golden");
+const QUOTIENT_SCRIPT: &str = include_str!("../scripts/quotient_session.jsonl");
+const QUOTIENT_GOLDEN: &str = include_str!("../scripts/quotient_session.golden");
 
 fn quiet_service(threads: usize) -> Service {
     Service::new(ServiceConfig {
@@ -87,6 +89,59 @@ fn batch_heavy_script() -> String {
 fn golden_transcript_reproduces_byte_for_byte() {
     let out = run_script(&mut quiet_service(1), SESSION_SCRIPT);
     assert_eq!(out, SESSION_GOLDEN, "golden transcript drifted");
+}
+
+/// The redefine-heavy golden session pins the interned quotient
+/// cache's wire-visible behavior: repeated queries over the same
+/// bindings hit interned quotients instead of recomputing the
+/// simulation per query, and each `define` over an existing name
+/// advances the interned node (re-deriving only dirty SCCs). The
+/// stats counters are part of the byte-pinned transcript, and the
+/// structural assertions below keep the pin honest if the golden is
+/// ever regenerated.
+#[test]
+fn quotient_cache_golden_session_pins_reuse_and_advance_counters() {
+    for threads in [1, 8] {
+        let out = run_script(&mut quiet_service(threads), QUOTIENT_SCRIPT);
+        assert_eq!(out, QUOTIENT_GOLDEN, "quotient golden drifted at threads={threads}");
+    }
+    let responses = response_lines(QUOTIENT_GOLDEN);
+    let stats = &responses[responses.len() - 2];
+    let quotient = stats
+        .get("result")
+        .and_then(|r| r.get("engine"))
+        .and_then(|e| e.get("quotient_cache"))
+        .expect("stats carries engine.quotient_cache");
+    let field = |name: &str| quotient.get(name).and_then(Json::as_u64).expect(name);
+    // Four distinct automata reach the cache: G F a, G a, the
+    // universality reference, and the G F b redefine.
+    assert_eq!(field("misses"), 4);
+    assert_eq!(field("entries"), 4);
+    // Every query after the warming defines reuses an interned
+    // quotient — the whole point of the cache.
+    assert!(field("hits") >= 10, "hits {}", field("hits"));
+    // Both redefines of `x` advanced the interned node; only the
+    // G F a -> G F b flip actually re-derived an SCC (the redefine
+    // back to G F a lands on the still-interned original).
+    assert_eq!(field("advances"), 2);
+    assert!(field("dirty_sccs") >= 1, "dirty_sccs {}", field("dirty_sccs"));
+    assert_eq!(field("invalidations"), 0);
+    assert_eq!(field("collisions"), 0);
+    // And the on-the-fly engine's gauges are live in the same stats.
+    let antichain = stats
+        .get("result")
+        .and_then(|r| r.get("engine"))
+        .and_then(|e| e.get("antichain"))
+        .expect("stats carries engine.antichain");
+    let peak = antichain
+        .get("peak_macro_states")
+        .and_then(Json::as_u64)
+        .expect("peak_macro_states");
+    let fin = antichain
+        .get("final_antichain")
+        .and_then(Json::as_u64)
+        .expect("final_antichain");
+    assert!(peak > 0 && fin > 0 && fin <= peak, "peak {peak} final {fin}");
 }
 
 #[test]
